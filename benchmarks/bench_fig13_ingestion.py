@@ -1,0 +1,93 @@
+"""Figure 13: ingestion rate on EP.
+
+The paper ingests an EP subset into each system on one node and reports
+millions of data points per second: InfluxDB 0.08, Cassandra 0.04,
+Parquet 0.17, ORC 0.15, ModelarDBv1 0.21, ModelarDBv2 0.44 — and scale-out
+scenarios B-6 (bulk loading, 1.81) and O-6 (online analytics, 1.97).
+"""
+
+import pytest
+
+from repro.cluster import ModelarCluster
+from repro.workloads import s_agg
+
+from .conftest import ep_config, format_table
+
+SYSTEMS = (
+    "InfluxDB",
+    "Cassandra",
+    "Parquet",
+    "ORC",
+    "ModelarDBv1@5",
+    "ModelarDBv2@5",
+)
+
+_results: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig13_single_node_ingest(benchmark, ep_dataset, ep_systems, system):
+    def ingest():
+        cache = type(ep_systems)(ep_dataset, ep_config)
+        cache.get(system)
+        return cache.ingest_seconds[system]
+
+    elapsed = benchmark.pedantic(ingest, rounds=1, iterations=1)
+    _results[system.partition("@")[0]] = (
+        ep_dataset.data_points() / elapsed / 1e6
+    )
+
+
+def test_fig13_cluster_scenarios(benchmark, ep_dataset, report):
+    """B-6 (bulk) and O-6 (online analytics) on six simulated workers."""
+
+    def bulk():
+        cluster = ModelarCluster(
+            6, ep_config(5.0), ep_dataset.dimensions
+        )
+        return cluster.ingest(ep_dataset.series)
+
+    bulk_report = benchmark.pedantic(bulk, rounds=1, iterations=1)
+    _results["B-6"] = bulk_report.data_points / bulk_report.makespan / 1e6
+
+    # O-6: the same ingestion with aggregate queries executed on random
+    # series through the Segment View while data streams in. The cluster
+    # ingests per worker; queries interleave between workers.
+    cluster = ModelarCluster(6, ep_config(5.0), ep_dataset.dimensions)
+    groups = cluster.partition(ep_dataset.series)
+    cluster.assign(groups)
+    workload = s_agg(ep_dataset.production_tids, seed=13, count=4)
+    import time as _time
+
+    worker_seconds = []
+    points = 0
+    for worker in cluster.workers:
+        if not worker.groups:
+            continue
+        started = _time.perf_counter()
+        worker.ingest_assigned()
+        for query in workload.queries:
+            worker.engine.aggregate(
+                "SUM_S",
+                tids=[tid for tid in (query.tids or ()) if tid in worker.tids]
+                or None,
+            )
+        worker_seconds.append(_time.perf_counter() - started)
+        points += worker.stats.data_points
+    _results["O-6"] = points / max(worker_seconds) / 1e6
+
+    paper = {
+        "InfluxDB": 0.08, "Cassandra": 0.04, "Parquet": 0.17, "ORC": 0.15,
+        "ModelarDBv1": 0.21, "ModelarDBv2": 0.44, "B-6": 1.81, "O-6": 1.97,
+    }
+    rows = [
+        [name, f"{rate:.3f}", paper.get(name, "-")]
+        for name, rate in _results.items()
+    ]
+    report(
+        "Figure 13 ingestion rate, EP (Mpts per s)",
+        format_table(["System", "Measured", "Paper"], rows),
+    )
+    assert _results["B-6"] > _results["ModelarDBv2"], (
+        "six workers must out-ingest one"
+    )

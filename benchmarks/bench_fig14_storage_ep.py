@@ -1,0 +1,50 @@
+"""Figure 14: storage required for EP.
+
+Paper (GiB): InfluxDB 19.78, Cassandra 129.37, Parquet 17.61, ORC 14.89,
+ModelarDBv1 12.27 (0 %), ModelarDBv2 7.99/... at 0/1/5/10 % — v2 up to
+16.19x smaller than the other formats and 1.45-1.54x smaller than v1.
+The EP correlation hint is ``Production 0, Measure 1 ProductionMWh``.
+"""
+
+import pytest
+
+from repro.models import RAW_POINT_BYTES
+
+from .conftest import ERROR_BOUNDS, format_table
+
+BASELINES = ("InfluxDB", "Cassandra", "Parquet", "ORC")
+
+
+def test_fig14_storage_ep(benchmark, ep_dataset, ep_systems, report):
+    def measure():
+        sizes = {}
+        for name in BASELINES:
+            sizes[f"{name} (0%)"] = ep_systems.get(name).size_bytes()
+        sizes["ModelarDBv1 (0%)"] = ep_systems.get("ModelarDBv1@0").size_bytes()
+        for bound in ERROR_BOUNDS:
+            sizes[f"ModelarDBv2 ({bound:g}%)"] = ep_systems.get(
+                f"ModelarDBv2@{bound:g}"
+            ).size_bytes()
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    raw = ep_dataset.data_points() * RAW_POINT_BYTES
+    rows = [
+        [name, size, f"{raw / size:.1f}x"]
+        for name, size in sizes.items()
+    ]
+    report(
+        "Figure 14 storage, EP",
+        format_table(["System", "Bytes", "Compression vs raw"], rows)
+        + [
+            f"raw (12 B/point): {raw} bytes",
+            "Paper shape: v2 smallest at every bound; Cassandra largest; "
+            "v2 1.45-1.54x below v1.",
+        ],
+    )
+    v2 = sizes["ModelarDBv2 (0%)"]
+    assert v2 < sizes["ModelarDBv1 (0%)"]
+    assert all(v2 < sizes[f"{name} (0%)"] for name in BASELINES)
+    assert sizes["Cassandra (0%)"] == max(sizes.values())
+    bounds_sizes = [sizes[f"ModelarDBv2 ({b:g}%)"] for b in ERROR_BOUNDS]
+    assert bounds_sizes == sorted(bounds_sizes, reverse=True)

@@ -1,0 +1,42 @@
+"""Figure 16: model usage mix on EP per error bound.
+
+Paper (% of data points represented): Gorilla falls from 5.39 % at a 0 %
+bound while PMC-Mean and Swing grow — PMC 92.46/86.39/66.16/51.59 and
+Swing 2.14/3.60/16.62/25.65 across 0/1/5/10 % ... (all three models are
+always used; the adaptive mix is the point).
+"""
+
+import pytest
+
+from .conftest import ERROR_BOUNDS, format_table
+
+
+def test_fig16_model_mix_ep(benchmark, ep_systems, report):
+    def measure():
+        mixes = {}
+        for bound in ERROR_BOUNDS:
+            fmt = ep_systems.get(f"ModelarDBv2@{bound:g}")
+            mixes[bound] = fmt.db.stats.model_mix()
+        return mixes
+
+    mixes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{bound:g}%",
+            f"{mix.get('PMC', 0.0):.2f}",
+            f"{mix.get('Swing', 0.0):.2f}",
+            f"{mix.get('Gorilla', 0.0):.2f}",
+        ]
+        for bound, mix in mixes.items()
+    ]
+    report(
+        "Figure 16 models used, EP (% of data points)",
+        format_table(["Error bound", "PMC-Mean", "Swing", "Gorilla"], rows)
+        + ["Paper shape: PMC dominates; Gorilla share shrinks as the "
+           "bound grows."],
+    )
+    for mix in mixes.values():
+        assert sum(mix.values()) == pytest.approx(100.0)
+    # Gorilla's share must not grow with the bound.
+    gorilla = [mixes[b].get("Gorilla", 0.0) for b in ERROR_BOUNDS]
+    assert gorilla[0] >= gorilla[-1]

@@ -1,0 +1,41 @@
+"""Figure 17: model usage mix on EH per error bound.
+
+Paper (% of data points): on the weakly correlated, high-frequency EH,
+Gorilla carries much more of the data than on EP (58.67 % at 0 %) and
+PMC grows with the bound (40.72 -> 49.25 %); Swing stays marginal.
+"""
+
+import pytest
+
+from .conftest import ERROR_BOUNDS, format_table
+
+
+def test_fig17_model_mix_eh(benchmark, eh_systems, report):
+    def measure():
+        mixes = {}
+        for bound in ERROR_BOUNDS:
+            fmt = eh_systems.get(f"ModelarDBv2@{bound:g}")
+            mixes[bound] = fmt.db.stats.model_mix()
+        return mixes
+
+    mixes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{bound:g}%",
+            f"{mix.get('PMC', 0.0):.2f}",
+            f"{mix.get('Swing', 0.0):.2f}",
+            f"{mix.get('Gorilla', 0.0):.2f}",
+        ]
+        for bound, mix in mixes.items()
+    ]
+    report(
+        "Figure 17 models used, EH (% of data points)",
+        format_table(["Error bound", "PMC-Mean", "Swing", "Gorilla"], rows)
+        + ["Paper shape: Gorilla much more prominent than on EP; PMC "
+           "grows with the bound."],
+    )
+    for mix in mixes.values():
+        assert sum(mix.values()) == pytest.approx(100.0)
+    # Gorilla carries more of EH at a 0% bound than it does once a
+    # usable bound exists.
+    assert mixes[0.0].get("Gorilla", 0.0) >= mixes[10.0].get("Gorilla", 0.0)

@@ -1,0 +1,85 @@
+"""Figure 18: effect of the correlation distance on storage.
+
+The paper sweeps the distance threshold from 0 upward for both data sets
+and all bounds: only the *lowest non-zero* distance reduces storage;
+larger distances create inappropriate groups and inflate it — confirming
+the rule of thumb of Section 4.1.
+
+The sweep uses smaller data sets than the other figures (every cell is a
+full ingest).
+"""
+
+import pytest
+
+from repro import Configuration, ModelarDB
+from repro.datasets import generate_eh, generate_ep
+
+from .conftest import format_table
+
+BOUNDS = (0.0, 10.0)
+#: EH distances: 0 (singletons), the (1/3)/2 rule of thumb, and larger.
+EH_DISTANCES = (0.0, 0.17, 0.34, 0.5)
+#: EP has two 2-level dimensions, so distances move in steps of 0.25.
+EP_DISTANCES = (0.0, 0.25, 0.5)
+
+
+def sweep(dataset, distances, bounds):
+    sizes = {}
+    for distance in distances:
+        for bound in bounds:
+            config = Configuration(
+                error_bound=bound,
+                correlation=[f"{distance:.8f}"] if distance else [],
+            )
+            db = ModelarDB(config, dimensions=dataset.dimensions)
+            db.ingest(dataset.series)
+            sizes[(distance, bound)] = db.size_bytes()
+    return sizes
+
+
+def test_fig18_distance_eh(benchmark, report):
+    dataset = generate_eh(
+        n_parks=2, entities_per_park=3, measures=("ActivePower",),
+        n_points=4_000, seed=18,
+    )
+    sizes = benchmark.pedantic(
+        lambda: sweep(dataset, EH_DISTANCES, BOUNDS), rounds=1, iterations=1
+    )
+    rows = [
+        [f"{d:.2f}", *(sizes[(d, b)] for b in BOUNDS)] for d in EH_DISTANCES
+    ]
+    report(
+        "Figure 18 distance sweep, EH",
+        format_table(
+            ["Distance", *(f"bytes @{b:g}%" for b in BOUNDS)], rows
+        )
+        + ["Paper shape: the lowest non-zero distance (~0.17, the rule "
+           "of thumb) is never beaten by larger distances."],
+    )
+    for bound in BOUNDS:
+        best_nonzero = sizes[(0.17, bound)]
+        assert best_nonzero <= sizes[(0.5, bound)] * 1.05, (
+            f"rule-of-thumb distance should beat 0.5 at {bound}%"
+        )
+
+
+def test_fig18_distance_ep(benchmark, report):
+    dataset = generate_ep(
+        n_entities=4, measures_per_entity=3, n_points=1_500, seed=19,
+    )
+    sizes = benchmark.pedantic(
+        lambda: sweep(dataset, EP_DISTANCES, BOUNDS), rounds=1, iterations=1
+    )
+    rows = [
+        [f"{d:.2f}", *(sizes[(d, b)] for b in BOUNDS)] for d in EP_DISTANCES
+    ]
+    report(
+        "Figure 18 distance sweep, EP",
+        format_table(
+            ["Distance", *(f"bytes @{b:g}%" for b in BOUNDS)], rows
+        )
+        + ["Paper shape: the lowest distance groups correlated measures; "
+           "0.5 merges uncorrelated series and inflates storage."],
+    )
+    for bound in BOUNDS:
+        assert sizes[(0.25, bound)] <= sizes[(0.5, bound)] * 1.05

@@ -1,0 +1,50 @@
+"""Figure 21: small simple aggregates (S-AGG) on EP.
+
+Paper (minutes): InfluxDB 0.35, Cassandra 0.88, Parquet 0.77, ORC 0.70,
+ModelarDBv1 0.54/0.59 (SV/DPV), ModelarDBv2 0.50/... — v2 is slightly
+slower than the fastest formats because a whole *group* segment must be
+read even when the query touches one series, but stays within ~2x of
+InfluxDB.
+"""
+
+import pytest
+
+from repro.workloads import s_agg
+
+from .conftest import format_table
+
+SYSTEMS = (
+    "InfluxDB",
+    "Cassandra",
+    "Parquet",
+    "ORC",
+    "ModelarDBv1@5",
+    "ModelarDBv2@5",
+    "ModelarDBv2-DPV@5",
+)
+
+_seconds: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig21_sagg_ep(benchmark, ep_dataset, ep_systems, system):
+    fmt = ep_systems.get(system)
+    workload = s_agg(ep_dataset.production_tids, seed=21, count=10)
+    benchmark(lambda: workload.run(fmt))
+    _seconds[fmt.name] = benchmark.stats["mean"]
+
+
+def test_fig21_report(benchmark, report):
+    # The report itself is not timed; the benchmark fixture is
+    # exercised so --benchmark-only does not skip the report step.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, f"{value * 1e3:.2f} ms"] for name, value in _seconds.items()
+    ]
+    report(
+        "Figure 21 S-AGG, EP",
+        format_table(["System", "Runtime"], rows)
+        + ["Paper shape: InfluxDB fastest; v2 competitive (group read "
+           "overhead) and SV faster than DPV."],
+    )
+    assert _seconds["ModelarDBv2-SV"] <= _seconds["ModelarDBv2-DPV"]

@@ -1,0 +1,50 @@
+"""Figure 22: small simple aggregates (S-AGG) on EH.
+
+Paper (minutes): Parquet is by far the fastest (0.84) thanks to its
+column layout on EH's few-but-long series; InfluxDB 16.75 beats
+ModelarDBv2 (24.30) by ~1.45x; Cassandra is pathological (2413). The
+group read overhead is larger than on EP because EH's series are longer.
+"""
+
+import pytest
+
+from repro.workloads import s_agg
+
+from .conftest import format_table
+
+SYSTEMS = (
+    "InfluxDB",
+    "Cassandra",
+    "Parquet",
+    "ORC",
+    "ModelarDBv1@5",
+    "ModelarDBv2@5",
+    "ModelarDBv2-DPV@5",
+)
+
+_seconds: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig22_sagg_eh(benchmark, eh_dataset, eh_systems, system):
+    fmt = eh_systems.get(system)
+    tids = [ts.tid for ts in eh_dataset.series]
+    workload = s_agg(tids, seed=22, count=10)
+    benchmark(lambda: workload.run(fmt))
+    _seconds[fmt.name] = benchmark.stats["mean"]
+
+
+def test_fig22_report(benchmark, report):
+    # The report itself is not timed; the benchmark fixture is
+    # exercised so --benchmark-only does not skip the report step.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, f"{value * 1e3:.2f} ms"] for name, value in _seconds.items()
+    ]
+    report(
+        "Figure 22 S-AGG, EH",
+        format_table(["System", "Runtime"], rows)
+        + ["Paper shape: Parquet fastest; Cassandra slowest; v2 pays the "
+           "group read overhead on EH's long series."],
+    )
+    assert _seconds["Parquet"] < _seconds["Cassandra"]

@@ -1,0 +1,36 @@
+"""Figure 27: M-AGG-One on EH — GROUP BY month and Park.
+
+Paper (minutes): InfluxDB unsupported, Cassandra 2543, Parquet 84, ORC
+32, ModelarDBv2-SV 30.84, -DPV 57.96 — v2 1.05-82x faster.
+"""
+
+import pytest
+
+from .magg_common import SYSTEMS, influx_unsupported, magg_report, run_magg
+
+MEMBER = ("Category", "Power")
+GROUP_BY = "Park"
+
+_seconds: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("system", [s for s in SYSTEMS if s != "InfluxDB"])
+def test_fig27_magg_one_eh(benchmark, eh_systems, system):
+    workload, fmt = run_magg(eh_systems, system, MEMBER, GROUP_BY, False)
+    benchmark(lambda: workload.run(fmt))
+    _seconds[fmt.name] = benchmark.stats["mean"]
+
+
+def test_fig27_report(benchmark, eh_systems, report):
+    # The report itself is not timed; the benchmark fixture is
+    # exercised so --benchmark-only does not skip the report step.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _seconds["InfluxDB"] = influx_unsupported(eh_systems)
+    magg_report(
+        report,
+        "Figure 27 M-AGG-One, EH",
+        _seconds,
+        "Paper shape: InfluxDB unsupported; v2-SV at least competitive "
+        "with the best format and far ahead of Cassandra.",
+    )
+    assert _seconds["ModelarDBv2-SV"] < _seconds["Cassandra"]

@@ -1,0 +1,62 @@
+"""Extension benchmark: model-level pruning for similarity search.
+
+Quantifies the benefit of executing similarity search on models (the
+paper's future-work item ii): the envelope lower bound computed from
+O(1) per-segment min/max discards almost every candidate window, so only
+a handful are verified against reconstructed values.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Configuration, ModelarDB
+from repro.datasets import generate_ep
+from repro.datasets.ep import EP_CORRELATION
+from repro.query.similarity import SearchStats, similarity_search
+
+from .conftest import format_table
+
+
+@pytest.fixture(scope="module")
+def search_db():
+    dataset = generate_ep(
+        n_entities=4, measures_per_entity=3, n_points=3_000, seed=33,
+        gap_probability=0.0,
+    )
+    db = ModelarDB(
+        Configuration(error_bound=1.0, correlation=EP_CORRELATION),
+        dimensions=dataset.dimensions,
+    )
+    db.ingest(dataset.series)
+    rng = np.random.default_rng(34)
+    source = dataset.series[2].values
+    start = int(rng.integers(0, len(source) - 16))
+    pattern = source[start:start + 16].astype(np.float64)
+    return db, pattern
+
+
+def test_similarity_model_pruning(benchmark, search_db, report):
+    db, pattern = search_db
+    stats = SearchStats()
+
+    def run():
+        stats.windows = stats.verified = 0
+        return similarity_search(db.engine, pattern, k=3, stats=stats)
+
+    matches = benchmark(run)
+    report(
+        "Extension: similarity search pruning",
+        format_table(
+            ["Quantity", "Value"],
+            [
+                ["candidate windows", stats.windows],
+                ["windows verified on data points", stats.verified],
+                ["pruned at the model level", f"{100 * stats.pruned_fraction:.1f}%"],
+                ["best distance", f"{matches[0].distance:.3f}"],
+            ],
+        )
+        + ["The planted pattern is an exact sub-sequence, so the best "
+           "distance is ~0 and everything else prunes early."],
+    )
+    assert matches[0].distance == pytest.approx(0.0, abs=1e-6)
+    assert stats.pruned_fraction > 0.9

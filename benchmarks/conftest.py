@@ -1,0 +1,166 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md's per-experiment index) and prints the corresponding rows.
+Data sets are scaled-down synthetic equivalents of EP and EH (the real
+ones are proprietary; see DESIGN.md §1), so the *shape* of each result —
+who wins, by roughly what factor — is the reproduction target, not the
+absolute numbers. EXPERIMENTS.md records paper-vs-measured per figure.
+
+Expensive ingests are session-cached so the ~20 benchmark files share
+one ingested copy of each system per (data set, error bound).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import (
+    CassandraLike,
+    InfluxLike,
+    ModelarV1Format,
+    ModelarV2Format,
+    ORCLike,
+    ParquetLike,
+)
+from repro.core import Configuration
+from repro.datasets import generate_eh, generate_ep
+from repro.datasets.ep import EP_CORRELATION
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark-scale EP: 5 entities x 4 production measures (+1 temperature
+#: each) x 3000 minutes. Groups of 4 like the paper's per-entity measures.
+EP_SCALE = dict(
+    n_entities=5, measures_per_entity=4, n_points=3_000,
+    gap_probability=0.0008, seed=42,
+)
+
+#: Benchmark-scale EH: 2 parks x 4 entities x 1 measure x 15000 ticks of
+#: 100 ms — fewer but longer series than EP, weakly correlated.
+EH_SCALE = dict(
+    n_parks=2, entities_per_park=4, measures=("ActivePower",),
+    n_points=15_000, seed=43,
+)
+
+ERROR_BOUNDS = (0.0, 1.0, 5.0, 10.0)
+
+
+@pytest.fixture(scope="session")
+def ep_dataset():
+    return generate_ep(**EP_SCALE)
+
+
+@pytest.fixture(scope="session")
+def eh_dataset():
+    return generate_eh(**EH_SCALE)
+
+
+def ep_config(error_bound: float) -> Configuration:
+    return Configuration(error_bound=error_bound, correlation=EP_CORRELATION)
+
+
+def eh_config(dataset, error_bound: float, distance=None) -> Configuration:
+    return Configuration(
+        error_bound=error_bound, correlation=dataset.correlation(distance)
+    )
+
+
+class SystemCache:
+    """Ingest-once cache for the comparison systems."""
+
+    def __init__(self, dataset, config_factory):
+        self._dataset = dataset
+        self._config_factory = config_factory
+        self._systems: dict[str, object] = {}
+        self.ingest_seconds: dict[str, float] = {}
+
+    def get(self, key: str):
+        if key not in self._systems:
+            self._systems[key] = self._build(key)
+        return self._systems[key]
+
+    def _build(self, key: str):
+        fmt = self._make(key)
+        started = time.perf_counter()
+        fmt.ingest(self._dataset.series, self._dataset.dimensions)
+        self.ingest_seconds[key] = time.perf_counter() - started
+        return fmt
+
+    def _make(self, key: str):
+        name, _, bound_text = key.partition("@")
+        bound = float(bound_text) if bound_text else 0.0
+        if name == "InfluxDB":
+            return InfluxLike()
+        if name == "Cassandra":
+            return CassandraLike()
+        if name == "Parquet":
+            return ParquetLike()
+        if name == "ORC":
+            return ORCLike()
+        config = self._config_factory(bound)
+        if name == "ModelarDBv1":
+            return ModelarV1Format(config)
+        if name == "ModelarDBv1-DPV":
+            return ModelarV1Format(config, view="datapoint")
+        if name == "ModelarDBv2":
+            return ModelarV2Format(config)
+        if name == "ModelarDBv2-DPV":
+            return ModelarV2Format(config, view="datapoint")
+        raise KeyError(f"unknown system {key!r}")
+
+
+@pytest.fixture(scope="session")
+def ep_systems(ep_dataset):
+    return SystemCache(ep_dataset, ep_config)
+
+
+@pytest.fixture(scope="session")
+def eh_systems(eh_dataset):
+    return SystemCache(
+        eh_dataset, lambda bound: eh_config(eh_dataset, bound)
+    )
+
+
+@pytest.fixture
+def report(capsys, request):
+    """Print a figure's rows to the real stdout and persist them."""
+
+    def _report(title: str, lines: list[str]) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        body = "\n".join(lines)
+        slug = (
+            title.lower().replace(" ", "_").replace(",", "")
+            .replace("(", "").replace(")", "").replace("/", "-")
+        )
+        (RESULTS_DIR / f"{slug}.txt").write_text(body + "\n")
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(body)
+
+    return _report
+
+
+def format_table(headers: list[str], rows: list[list]) -> list[str]:
+    """Fixed-width table lines."""
+    columns = [
+        [str(header)] + [str(row[i]) for row in rows]
+        for i, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                str(cell).ljust(width) for cell, width in zip(row, widths)
+            )
+        )
+    return lines

@@ -1,0 +1,56 @@
+"""Shared driver for the M-AGG figures (25-28).
+
+M-AGG: multi-dimensional aggregate queries with a WHERE clause on the
+member indicating energy production, grouped by month plus a dimension
+column (variant One) or additionally by Tid (variant Two). InfluxDB
+cannot execute them at all — it only supports fixed-duration windows —
+which the paper shows as "Query Not Supported".
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import UnsupportedQueryError
+from repro.workloads import m_agg
+
+from .conftest import format_table
+
+SYSTEMS = (
+    "InfluxDB",
+    "Cassandra",
+    "Parquet",
+    "ORC",
+    "ModelarDBv2@5",
+    "ModelarDBv2-DPV@5",
+)
+
+
+def run_magg(
+    cache,
+    system: str,
+    member: tuple[str, str],
+    group_by: str,
+    per_tid: bool,
+):
+    fmt = cache.get(system)
+    workload = m_agg(member, group_by, per_tid=per_tid, count=4)
+    return workload, fmt
+
+
+def magg_report(report, title: str, seconds: dict, paper_note: str) -> None:
+    rows = [
+        [
+            name,
+            value if isinstance(value, str) else f"{value * 1e3:.2f} ms",
+        ]
+        for name, value in seconds.items()
+    ]
+    report(title, format_table(["System", "Runtime"], rows) + [paper_note])
+
+
+def influx_unsupported(cache) -> str:
+    fmt = cache.get("InfluxDB")
+    try:
+        fmt.rollup("SUM", "MONTH")
+    except UnsupportedQueryError:
+        return "query not supported"
+    raise AssertionError("InfluxDB must reject calendar rollups")

@@ -1,0 +1,42 @@
+"""repro — a Python reproduction of ModelarDB (ICDE 2021).
+
+Model-based management of correlated dimensional time series:
+Multi-Model Group Compression (MMGC), metadata-only partitioning of
+correlated series, and multi-dimensional aggregate queries executed
+directly on models. See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the reproduced evaluation.
+"""
+
+from .core.config import Configuration
+from .core.dimensions import Dimension, DimensionSet, build_dimension
+from .core.errors import ModelarError
+from .core.group import TimeSeriesGroup, singleton_groups
+from .core.segment import SegmentGroup
+from .core.timeseries import DataPoint, TimeSeries, from_data_points
+from .modelardb import ModelarDB
+from .models.base import ModelType
+from .models.registry import ModelRegistry
+from .storage.filestore import FileStorage
+from .storage.memory import MemoryStorage
+
+__version__ = "2.0.0"
+
+__all__ = [
+    "Configuration",
+    "Dimension",
+    "DimensionSet",
+    "build_dimension",
+    "ModelarError",
+    "TimeSeriesGroup",
+    "singleton_groups",
+    "SegmentGroup",
+    "DataPoint",
+    "TimeSeries",
+    "from_data_points",
+    "ModelarDB",
+    "ModelType",
+    "ModelRegistry",
+    "FileStorage",
+    "MemoryStorage",
+    "__version__",
+]

@@ -1,0 +1,123 @@
+"""Command-line SQL shell over a persisted ModelarDB directory.
+
+Usage::
+
+    python -m repro <storage-dir>                 # interactive shell
+    python -m repro <storage-dir> -c "SELECT ..." # one statement
+
+The directory must contain a :class:`~repro.storage.FileStorage` written
+by a previous ingestion (see ``examples/persistent_storage.py``). Inside
+the shell, ``\\dt`` lists the stored time series, ``\\q`` quits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.errors import ModelarError
+from .models.registry import ModelRegistry
+from .query.engine import QueryEngine
+from .storage.filestore import FileStorage
+
+
+def format_rows(rows: list[dict]) -> str:
+    """Render query results as a fixed-width table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0])
+    for row in rows[1:]:
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    cells = [
+        [("" if row.get(column) is None else str(row.get(column)))
+         for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(row[i]) for row in cells))
+        for i, column in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(column.ljust(width) for column, width in zip(columns, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+def describe_tables(engine: QueryEngine) -> str:
+    """The ``\\dt`` listing: one line per stored time series."""
+    lines = ["Tid  Gid  SI        Scaling  Dimensions"]
+    metadata = engine.metadata
+    for tid in sorted(metadata.all_tids()):
+        gid = metadata.gid_of(tid)
+        si = metadata.sampling_interval(gid)
+        scaling = metadata.scaling(tid)
+        dims = ", ".join(
+            f"{k}={v}" for k, v in metadata.dimension_row(tid).items()
+        )
+        lines.append(f"{tid:<4} {gid:<4} {si:<9} {scaling:<8} {dims}")
+    return "\n".join(lines)
+
+
+def run_statement(engine: QueryEngine, statement: str, out) -> None:
+    try:
+        rows = engine.sql(statement)
+    except ModelarError as error:
+        print(f"error: {error}", file=out)
+        return
+    print(format_rows(rows), file=out)
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SQL shell over a ModelarDB storage directory",
+    )
+    parser.add_argument("directory", help="FileStorage directory to open")
+    parser.add_argument(
+        "-c", "--command", help="execute one SQL statement and exit"
+    )
+    arguments = parser.parse_args(argv)
+
+    storage = FileStorage(arguments.directory)
+    if not storage.time_series():
+        print(f"error: no time series stored in {arguments.directory}",
+              file=out)
+        return 1
+    engine = QueryEngine(storage, ModelRegistry())
+
+    if arguments.command:
+        run_statement(engine, arguments.command, out)
+        return 0
+
+    print(
+        f"repro shell — {len(storage.time_series())} series, "
+        f"{storage.segment_count()} segments. \\dt lists series, \\q quits.",
+        file=out,
+    )
+    while True:
+        try:
+            line = input("modelardb> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if not line:
+            continue
+        if line in ("\\q", "exit", "quit"):
+            break
+        if line == "\\dt":
+            print(describe_tables(engine), file=out)
+            continue
+        run_statement(engine, line, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

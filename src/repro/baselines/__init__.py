@@ -1,0 +1,19 @@
+"""Reproductions of the evaluation's comparison systems (Section 7.1)."""
+
+from .base import StorageFormat
+from .cassandra import CassandraLike
+from .influx import InfluxLike
+from .modelardb_adapter import ModelarFormat, ModelarV1Format, ModelarV2Format
+from .orc import ORCLike
+from .parquet import ParquetLike
+
+__all__ = [
+    "StorageFormat",
+    "CassandraLike",
+    "InfluxLike",
+    "ModelarFormat",
+    "ModelarV1Format",
+    "ModelarV2Format",
+    "ORCLike",
+    "ParquetLike",
+]

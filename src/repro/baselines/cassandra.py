@@ -1,0 +1,104 @@
+"""Cassandra-as-a-storage-format (Section 7.1's Cassandra baseline).
+
+Reproduces how the paper stores data points in Cassandra: one row per
+data point with primary key ``(Tid, TS, Value)`` and the denormalised
+dimensions appended to every row. The consequences the evaluation
+depends on:
+
+* *enormous storage* — every row repeats the dimension members and pays
+  per-cell metadata overhead (Fig. 14's 129 GiB for EP);
+* *slow ingestion* — a mutation is built and encoded per data point;
+* *mediocre scans* — queries decompress and decode whole rows (all
+  columns), not just the queried value column.
+
+Rows are fixed-width records (16 B key/value + per-row cell overhead +
+a fixed-width dimension blob), accumulated per partition (Tid) in a
+memtable and flushed to zlib-compressed SSTable blocks.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from ..core.timeseries import TimeSeries
+from .base import StorageFormat
+
+#: Approximate Cassandra per-cell metadata overhead per row.
+_ROW_OVERHEAD_BYTES = 8
+_BLOCK_ROWS = 4096
+_KEY_FORMAT = "<Iqf"
+
+
+class CassandraLike(StorageFormat):
+    """Row-per-data-point store with denormalised dimensions."""
+
+    name = "Cassandra"
+    supports_online_analytics = True
+    supports_distribution = True
+    supports_calendar_rollup = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._blocks: dict[int, list[bytes]] = {}
+        self._row_width: dict[int, int] = {}
+        self._dimension_width: dict[int, int] = {}
+
+    def _ingest_series(self, ts: TimeSeries, dimensions: dict[str, str]) -> None:
+        dimension_blob = "|".join(dimensions.values()).encode("utf-8")
+        width = len(dimension_blob)
+        memtable = bytearray()
+        blocks: list[bytes] = []
+        rows_in_block = 0
+        overhead = b"\x00" * _ROW_OVERHEAD_BYTES
+        for point in ts:
+            if point.value is None:
+                continue
+            # The per-point write path: build and encode one mutation.
+            row = (
+                struct.pack(_KEY_FORMAT, point.tid, point.timestamp, point.value)
+                + overhead
+                + dimension_blob
+            )
+            memtable += row
+            rows_in_block += 1
+            if rows_in_block >= _BLOCK_ROWS:
+                blocks.append(zlib.compress(bytes(memtable), 6))
+                memtable = bytearray()
+                rows_in_block = 0
+        if memtable:
+            blocks.append(zlib.compress(bytes(memtable), 6))
+        self._blocks[ts.tid] = blocks
+        self._dimension_width[ts.tid] = width
+        self._row_width[ts.tid] = (
+            struct.calcsize(_KEY_FORMAT) + _ROW_OVERHEAD_BYTES + width
+        )
+
+    def size_bytes(self) -> int:
+        return sum(
+            len(block) for blocks in self._blocks.values() for block in blocks
+        )
+
+    def _read_series(self, tid: int) -> tuple[np.ndarray, np.ndarray]:
+        width = self._row_width[tid]
+        dtype = np.dtype(
+            [
+                ("tid", "<u4"),
+                ("ts", "<i8"),
+                ("value", "<f4"),
+                ("overhead", f"V{_ROW_OVERHEAD_BYTES}"),
+                ("dims", f"V{self._dimension_width[tid]}"),
+            ]
+        )
+        assert dtype.itemsize == width
+        timestamps = []
+        values = []
+        for block in self._blocks.get(tid, ()):
+            rows = np.frombuffer(zlib.decompress(block), dtype=dtype)
+            timestamps.append(rows["ts"].astype(np.int64))
+            values.append(rows["value"].astype(np.float64))
+        if not timestamps:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        return np.concatenate(timestamps), np.concatenate(values)

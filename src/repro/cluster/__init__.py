@@ -1,0 +1,11 @@
+"""Master/worker cluster substrate (distribution without shuffling)."""
+
+from .cluster import ClusterIngestReport, ClusterQueryReport, ModelarCluster
+from .node import WorkerNode
+
+__all__ = [
+    "ClusterIngestReport",
+    "ClusterQueryReport",
+    "ModelarCluster",
+    "WorkerNode",
+]

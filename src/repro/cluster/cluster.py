@@ -1,0 +1,217 @@
+"""The master/worker cluster substrate.
+
+Reproduces the distribution properties the evaluation relies on:
+
+* the partitioner's groups are assigned whole to the least-loaded worker
+  (Section 3.1), so correlated series are always ingested on one node
+  and no data migrates afterwards;
+* queries are rewritten at the master and scattered to the workers that
+  own relevant groups; workers return mergeable partial aggregates which
+  the master merges and finalizes (Algorithm 5's distributed structure);
+* because groups are pinned, no shuffle is ever needed — the property
+  behind Fig. 20's linear scale-out.
+
+Workers execute sequentially in-process; the reports model parallel
+execution as ``max`` over per-worker elapsed times (plus the master's
+merge time for queries), which is what a real cluster's makespan would
+be with even assignment and no interference.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.config import Configuration
+from ..core.dimensions import DimensionSet
+from ..core.errors import QueryError
+from ..core.group import TimeSeriesGroup, singleton_groups
+from ..core.timeseries import TimeSeries
+from ..models.registry import ModelRegistry
+from ..partitioner.grouping import group_from_config
+from ..query.engine import PartialResult, merge_partial_results
+from ..query.sql import Condition, Query, parse
+from ..storage.interface import Storage
+from .node import WorkerNode
+
+
+@dataclass
+class ClusterIngestReport:
+    """Timing and volume of one cluster ingestion."""
+
+    worker_seconds: list[float]
+    data_points: int
+
+    @property
+    def makespan(self) -> float:
+        """Modelled parallel wall time: the slowest worker."""
+        return max(self.worker_seconds) if self.worker_seconds else 0.0
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.worker_seconds)
+
+    @property
+    def throughput(self) -> float:
+        """Data points per modelled parallel second."""
+        return self.data_points / self.makespan if self.makespan else 0.0
+
+
+@dataclass
+class ClusterQueryReport:
+    """Timing of one scattered query."""
+
+    worker_seconds: list[float] = field(default_factory=list)
+    merge_seconds: float = 0.0
+
+    @property
+    def makespan(self) -> float:
+        slowest = max(self.worker_seconds) if self.worker_seconds else 0.0
+        return slowest + self.merge_seconds
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.worker_seconds) + self.merge_seconds
+
+
+class ModelarCluster:
+    """A master plus N workers over in-process storage backends."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        config: Configuration | None = None,
+        dimensions: DimensionSet | None = None,
+        storage_factory: Callable[[int], Storage] | None = None,
+        group_compression: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise QueryError("a cluster needs at least one worker")
+        self.config = config if config is not None else Configuration()
+        self.dimensions = (
+            dimensions if dimensions is not None else DimensionSet()
+        )
+        self.registry = ModelRegistry()
+        self.group_compression = group_compression
+        self.workers = [
+            WorkerNode(
+                node_id,
+                self.config,
+                self.registry,
+                storage_factory(node_id) if storage_factory else None,
+            )
+            for node_id in range(n_workers)
+        ]
+        self._tid_to_worker: dict[int, WorkerNode] = {}
+
+    # ------------------------------------------------------------------
+    # Partitioning and ingestion
+    # ------------------------------------------------------------------
+    def partition(self, series: Sequence[TimeSeries]) -> list[TimeSeriesGroup]:
+        if not self.group_compression or not self.config.correlation:
+            return singleton_groups(series)
+        return group_from_config(
+            series, self.config.correlation, self.dimensions
+        )
+
+    def assign(self, groups: Sequence[TimeSeriesGroup]) -> None:
+        """Least-loaded assignment: biggest groups first, each to the
+        worker with the most available resources (Section 3.1)."""
+        ordered = sorted(
+            groups,
+            key=lambda group: sum(len(ts) for ts in group),
+            reverse=True,
+        )
+        for group in ordered:
+            worker = min(self.workers, key=lambda w: w.load)
+            worker.assign(group, self.dimensions or None)
+            for ts in group:
+                self._tid_to_worker[ts.tid] = worker
+
+    def ingest(self, series: Sequence[TimeSeries]) -> ClusterIngestReport:
+        """Partition, assign and ingest; returns the timing report."""
+        groups = self.partition(series)
+        self.assign(groups)
+        return self.ingest_assigned()
+
+    def ingest_assigned(self) -> ClusterIngestReport:
+        worker_seconds = []
+        data_points = 0
+        for worker in self.workers:
+            if not worker.groups:
+                worker_seconds.append(0.0)
+                continue
+            worker_seconds.append(worker.ingest_assigned())
+            data_points += worker.stats.data_points
+        return ClusterIngestReport(worker_seconds, data_points)
+
+    # ------------------------------------------------------------------
+    # Distributed queries
+    # ------------------------------------------------------------------
+    def sql(self, text: str) -> tuple[list[dict], ClusterQueryReport]:
+        """Execute a statement across the cluster.
+
+        The master routes by Tid where the query names series, scatters,
+        and merges worker partials; returns (rows, timing report).
+        """
+        return self.execute(parse(text))
+
+    def execute(self, query: Query) -> tuple[list[dict], ClusterQueryReport]:
+        report = ClusterQueryReport()
+        partials: list[PartialResult] = []
+        rows: list[dict] = []
+        for worker in self.workers:
+            if not worker.groups:
+                continue
+            worker_query = self._route(query, worker)
+            if worker_query is None:
+                continue
+            result, elapsed = worker.execute_partial(worker_query)
+            report.worker_seconds.append(elapsed)
+            if isinstance(result, PartialResult):
+                partials.append(result)
+            else:
+                rows.extend(result)
+        started = time.perf_counter()
+        if partials:
+            rows = merge_partial_results(partials)
+        report.merge_seconds = time.perf_counter() - started
+        return rows, report
+
+    def _route(self, query: Query, worker: WorkerNode) -> Query | None:
+        """Restrict a query's Tid predicates to the worker's series.
+
+        Returns None when the worker owns none of the requested series
+        (the master prunes that worker from the scatter)."""
+        requested: set[int] | None = None
+        for condition in query.where:
+            if condition.column.lower() != "tid":
+                continue
+            if condition.operator == "=":
+                values = {int(condition.value)}
+            elif condition.operator == "IN":
+                values = {int(v) for v in condition.value}
+            else:
+                raise QueryError(
+                    "cluster Tid predicates support '=' and 'IN' only"
+                )
+            requested = values if requested is None else requested & values
+        if requested is None:
+            return query
+        owned = requested & worker.tids
+        if not owned:
+            return None
+        where = tuple(
+            condition
+            for condition in query.where
+            if condition.column.lower() != "tid"
+        ) + (Condition("Tid", "IN", tuple(sorted(owned))),)
+        return Query(query.view, query.select, where, query.group_by)
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        return sum(worker.storage.size_bytes() for worker in self.workers)
+
+    def segment_count(self) -> int:
+        return sum(worker.storage.segment_count() for worker in self.workers)

@@ -1,0 +1,91 @@
+"""Cluster nodes: workers with co-located storage and query processing.
+
+Each worker owns the groups assigned to it — their segments never leave
+the node, which is what lets ModelarDB answer aggregate queries without
+shuffling (Section 7.3, Scale-out). The master holds only metadata: the
+Tid -> Gid -> worker mapping used to route queries.
+"""
+
+from __future__ import annotations
+
+import time
+from ..core.config import Configuration
+from ..core.group import TimeSeriesGroup
+from ..ingest.ingestor import Ingestor
+from ..ingest.stats import IngestStats
+from ..models.registry import ModelRegistry
+from ..query.engine import PartialResult, QueryEngine
+from ..query.sql import Query
+from ..storage.interface import Storage
+from ..storage.memory import MemoryStorage
+from ..storage.schema import records_for_groups
+
+
+class WorkerNode:
+    """One worker: local segment store, ingestion, query execution."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: Configuration,
+        registry: ModelRegistry,
+        storage: Storage | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.registry = registry
+        self.storage = storage if storage is not None else MemoryStorage()
+        self.groups: list[TimeSeriesGroup] = []
+        self.stats = IngestStats()
+        self._engine = QueryEngine(self.storage, self.registry)
+
+    # ------------------------------------------------------------------
+    @property
+    def load(self) -> int:
+        """Assignment load metric: total data points across groups."""
+        return sum(
+            len(ts) * 1 for group in self.groups for ts in group
+        )
+
+    @property
+    def tids(self) -> set[int]:
+        return {ts.tid for group in self.groups for ts in group}
+
+    @property
+    def gids(self) -> set[int]:
+        return {group.gid for group in self.groups}
+
+    def assign(self, group: TimeSeriesGroup, dimensions=None) -> None:
+        """Accept responsibility for a group (metadata written locally)."""
+        self.groups.append(group)
+        self.storage.insert_time_series(
+            records_for_groups([group], dimensions)
+        )
+        self.storage.insert_model_table(self.registry.model_table())
+
+    def ingest_assigned(self) -> float:
+        """Ingest all assigned groups; returns elapsed seconds.
+
+        The cluster driver runs workers one after another and uses the
+        per-worker elapsed times to model parallel execution.
+        """
+        started = time.perf_counter()
+        stats = Ingestor(self.config, self.registry, self.storage).ingest(
+            self.groups
+        )
+        elapsed = time.perf_counter() - started
+        self.stats.merge(stats)
+        self._engine.refresh_metadata()
+        return elapsed
+
+    def execute_partial(
+        self, query: Query
+    ) -> tuple[PartialResult | list[dict], float]:
+        """Run a query locally; returns (partial/rows, elapsed seconds)."""
+        started = time.perf_counter()
+        result = self._engine.execute_partial(query)
+        return result, time.perf_counter() - started
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine

@@ -1,0 +1,67 @@
+"""Core time series substrate: Definitions 1-9 of the paper."""
+
+from .config import (
+    DEFAULT_BULK_WRITE_SIZE,
+    DEFAULT_DYNAMIC_SPLIT_FRACTION,
+    DEFAULT_MODEL_LENGTH_LIMIT,
+    DEFAULT_MODELS,
+    Configuration,
+)
+from .dimensions import TOP, Dimension, DimensionSet, build_dimension
+from .errors import (
+    ConfigurationError,
+    DimensionError,
+    GroupError,
+    IngestionError,
+    ModelarError,
+    ModelError,
+    QueryError,
+    StorageError,
+    TimeSeriesError,
+    UnknownModelError,
+    UnsupportedQueryError,
+)
+from .group import TimeSeriesGroup, singleton_groups
+from .segment import (
+    GAP_TRIPLE_BYTES,
+    SEGMENT_OVERHEAD_BYTES,
+    SegmentGroup,
+    SegmentRow,
+    explode,
+)
+from .timeseries import GAP, DataPoint, Gap, TimeSeries, from_data_points
+
+__all__ = [
+    "DEFAULT_BULK_WRITE_SIZE",
+    "DEFAULT_DYNAMIC_SPLIT_FRACTION",
+    "DEFAULT_MODEL_LENGTH_LIMIT",
+    "DEFAULT_MODELS",
+    "Configuration",
+    "TOP",
+    "Dimension",
+    "DimensionSet",
+    "build_dimension",
+    "ConfigurationError",
+    "DimensionError",
+    "GroupError",
+    "IngestionError",
+    "ModelarError",
+    "ModelError",
+    "QueryError",
+    "StorageError",
+    "TimeSeriesError",
+    "UnknownModelError",
+    "UnsupportedQueryError",
+    "TimeSeriesGroup",
+    "singleton_groups",
+    "GAP_TRIPLE_BYTES",
+    "SEGMENT_OVERHEAD_BYTES",
+    "SegmentGroup",
+    "SegmentRow",
+    "explode",
+    "GAP",
+    "DataPoint",
+    "Gap",
+    "TimeSeries",
+    "from_data_points",
+]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ModelarError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ModelarError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ModelarError):
+    """A configuration value or correlation clause is invalid."""
+
+
+class TimeSeriesError(ModelarError):
+    """A time series violates a structural invariant (ordering, SI, ...)."""
+
+
+class GroupError(ModelarError):
+    """A time series group violates Definition 8 (SI or alignment)."""
+
+
+class DimensionError(ModelarError):
+    """A dimension violates Definition 7 or a member lookup failed."""
+
+
+class ModelError(ModelarError):
+    """A model was used incorrectly (e.g. parameters for an unfitted model)."""
+
+
+class UnknownModelError(ModelError):
+    """A model classpath was not found in the model registry."""
+
+
+class StorageError(ModelarError):
+    """The segment store rejected an operation or is corrupt."""
+
+
+class QueryError(ModelarError):
+    """A query is malformed or references unknown columns/functions."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The target system cannot execute this class of query.
+
+    Used by the baseline formats to reproduce capability gaps from the
+    paper's evaluation, e.g. InfluxDB's missing calendar-based rollups
+    (Figures 25-28) and missing distribution (Figure 19).
+    """
+
+
+class IngestionError(ModelarError):
+    """Ingestion received data that cannot be appended to a group."""

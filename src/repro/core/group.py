@@ -1,0 +1,102 @@
+"""Time series groups (Definition 8 of the paper).
+
+A group is a set of regular time series (possibly with gaps) that share a
+sampling interval and are aligned on it (``t1 mod SI`` equal for all
+members). Groups are the unit of ingestion: the segment generator fits one
+model to the values of all member series at each SI (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .errors import GroupError
+from .timeseries import TimeSeries
+
+
+class TimeSeriesGroup:
+    """A validated group of time series compressed together.
+
+    Member series are kept sorted by Tid; that order defines the column
+    order models use for the group's value vectors.
+    """
+
+    def __init__(self, gid: int, series: Iterable[TimeSeries]) -> None:
+        members = sorted(series, key=lambda ts: ts.tid)
+        if not members:
+            raise GroupError("a time series group cannot be empty")
+        tids = [ts.tid for ts in members]
+        if len(set(tids)) != len(tids):
+            raise GroupError(f"group {gid} has duplicate tids: {tids}")
+
+        si = members[0].sampling_interval
+        alignment = members[0].alignment if len(members[0]) else None
+        for ts in members[1:]:
+            if ts.sampling_interval != si:
+                raise GroupError(
+                    f"group {gid}: series {ts.tid} has SI "
+                    f"{ts.sampling_interval}, expected {si} (Definition 8)"
+                )
+            if len(ts) and alignment is not None and ts.alignment != alignment:
+                raise GroupError(
+                    f"group {gid}: series {ts.tid} is misaligned "
+                    f"({ts.alignment} mod SI != {alignment})"
+                )
+
+        self.gid = int(gid)
+        self._series: tuple[TimeSeries, ...] = tuple(members)
+
+    # ------------------------------------------------------------------
+    @property
+    def sampling_interval(self) -> int:
+        return self._series[0].sampling_interval
+
+    @property
+    def tids(self) -> tuple[int, ...]:
+        """Member Tids in column order."""
+        return tuple(ts.tid for ts in self._series)
+
+    @property
+    def series(self) -> tuple[TimeSeries, ...]:
+        return self._series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self) -> Iterator[TimeSeries]:
+        return iter(self._series)
+
+    def __contains__(self, tid: int) -> bool:
+        return any(ts.tid == tid for ts in self._series)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimeSeriesGroup(gid={self.gid}, tids={list(self.tids)})"
+
+    def get(self, tid: int) -> TimeSeries:
+        for ts in self._series:
+            if ts.tid == tid:
+                return ts
+        raise GroupError(f"group {self.gid} has no series with tid {tid}")
+
+    def column_of(self, tid: int) -> int:
+        """The model column index of a member series."""
+        for column, ts in enumerate(self._series):
+            if ts.tid == tid:
+                return column
+        raise GroupError(f"group {self.gid} has no series with tid {tid}")
+
+    def scalings(self) -> dict[int, float]:
+        """Per-Tid scaling constants (Fig. 6's Scaling column)."""
+        return {ts.tid: ts.scaling for ts in self._series}
+
+
+def singleton_groups(
+    series: Sequence[TimeSeries], first_gid: int = 1
+) -> list[TimeSeriesGroup]:
+    """One group per series — the ``createSingleTimeSeriesGroups`` of
+    Algorithm 1, and the configuration that makes the engine behave as
+    ModelarDB v1 (multi-model compression without group compression)."""
+    return [
+        TimeSeriesGroup(first_gid + offset, [ts])
+        for offset, ts in enumerate(series)
+    ]

@@ -1,0 +1,46 @@
+"""Synthetic data sets standing in for the paper's proprietary EP/EH."""
+
+from .eh import EH_LOWEST_DISTANCE, EH_SAMPLING_INTERVAL, EHDataset, generate_eh
+from .ep import (
+    EP_CORRELATION,
+    EP_SAMPLING_INTERVAL,
+    EPDataset,
+    generate_ep,
+    turbine_temperatures,
+)
+from .io import (
+    read_dimensions_csv,
+    read_series_csv,
+    write_dataset,
+    write_dimensions_csv,
+    write_series_csv,
+)
+from .synthetic import (
+    DEFAULT_START_MS,
+    inject_gaps,
+    quantize,
+    random_walk,
+    regime_signal,
+)
+
+__all__ = [
+    "EH_LOWEST_DISTANCE",
+    "EH_SAMPLING_INTERVAL",
+    "EHDataset",
+    "generate_eh",
+    "EP_CORRELATION",
+    "EP_SAMPLING_INTERVAL",
+    "EPDataset",
+    "generate_ep",
+    "turbine_temperatures",
+    "read_dimensions_csv",
+    "read_series_csv",
+    "write_dataset",
+    "write_dimensions_csv",
+    "write_series_csv",
+    "DEFAULT_START_MS",
+    "inject_gaps",
+    "quantize",
+    "random_walk",
+    "regime_signal",
+]

@@ -1,0 +1,125 @@
+"""CSV (optionally gzipped) round-trip for time series and dimensions.
+
+The paper ingests gzipped CSV files (one per series) plus a dimensions
+CSV; these helpers reproduce that input pipeline for the ingestion
+benchmark and the examples.
+
+File formats
+------------
+Series file (``<name>.csv`` or ``.csv.gz``): two columns, no header::
+
+    <timestamp_ms>,<value>
+
+Gap points are simply absent rows (the regular-with-gaps representation
+is reconstructed on load from the sampling interval).
+
+Dimensions file: header then one row per series::
+
+    tid,dimension,member1,member2,...
+
+where members are ordered most-detailed-first, matching
+:class:`~repro.core.dimensions.Dimension`.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import os
+from pathlib import Path
+from typing import Sequence
+
+from ..core.dimensions import Dimension, DimensionSet
+from ..core.errors import TimeSeriesError
+from ..core.timeseries import TimeSeries
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_series_csv(
+    ts: TimeSeries, directory: str | os.PathLike, compress: bool = True
+) -> Path:
+    """Write one series to ``<name or tid>.csv[.gz]``; returns the path."""
+    stem = ts.name or f"series_{ts.tid}"
+    stem = stem.removesuffix(".gz").removesuffix(".csv")
+    suffix = ".csv.gz" if compress else ".csv"
+    path = Path(directory) / f"{stem}{suffix}"
+    with _open_text(path, "w") as handle:
+        for point in ts:
+            if point.value is not None:
+                handle.write(f"{point.timestamp},{point.value!r}\n")
+    return path
+
+
+def read_series_csv(
+    path: str | os.PathLike, tid: int, sampling_interval: int
+) -> TimeSeries:
+    """Load one series file; gaps reappear from missing grid rows."""
+    path = Path(path)
+    timestamps: list[int] = []
+    values: list[float] = []
+    with _open_text(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            ts_text, _, value_text = line.partition(",")
+            timestamps.append(int(ts_text))
+            values.append(float(value_text))
+    if not timestamps:
+        raise TimeSeriesError(f"series file {path} is empty")
+    return TimeSeries(
+        tid, sampling_interval, timestamps, values, name=path.name
+    )
+
+
+def write_dimensions_csv(
+    dimensions: DimensionSet, directory: str | os.PathLike
+) -> Path:
+    """Write all dimension assignments to ``dimensions.csv``."""
+    path = Path(directory) / "dimensions.csv"
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["tid", "dimension", "members"])
+        for dimension in dimensions:
+            for tid in dimension.tids():
+                members = list(reversed(dimension.path(tid)))
+                writer.writerow([tid, dimension.name, *members])
+    return path
+
+
+def read_dimensions_csv(
+    path: str | os.PathLike, levels: dict[str, Sequence[str]]
+) -> DimensionSet:
+    """Load ``dimensions.csv``; ``levels`` gives each dimension's level
+    names (most-detailed-first), which the CSV does not carry."""
+    dimensions = {
+        name: Dimension(name, level_names)
+        for name, level_names in levels.items()
+    }
+    with open(path, encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        next(reader)  # header
+        for row in reader:
+            tid, dimension_name, *members = row
+            dimensions[dimension_name].assign(int(tid), members)
+    return DimensionSet(list(dimensions.values()))
+
+
+def write_dataset(
+    series: Sequence[TimeSeries],
+    dimensions: DimensionSet | None,
+    directory: str | os.PathLike,
+    compress: bool = True,
+) -> list[Path]:
+    """Write a whole data set (series files + dimensions.csv)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = [write_series_csv(ts, directory, compress) for ts in series]
+    if dimensions is not None and len(dimensions):
+        write_dimensions_csv(dimensions, directory)
+    return paths

@@ -1,0 +1,142 @@
+"""Shared machinery for the synthetic data sets.
+
+The real EP and EH data sets are proprietary (339 and 583 GiB of energy
+production data), so the generators in :mod:`repro.datasets.ep` and
+:mod:`repro.datasets.eh` synthesise scaled-down equivalents that
+reproduce the *structure* the experiments depend on — regime-switching
+signals (calm stretches a constant model captures, ramps a linear model
+captures, turbulent stretches only lossless compression captures),
+controllable cross-series correlation, gaps, and float32 values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 2016-01-04 00:00:00 UTC in milliseconds — a Monday, so day/month
+#: rollups produce stable calendar buckets across runs.
+DEFAULT_START_MS = 1_451_865_600_000
+
+
+def regime_signal(
+    rng: np.random.Generator,
+    n_points: int,
+    base: float = 500.0,
+    amplitude: float = 200.0,
+    daily_period: int | None = None,
+    hold_fraction: float = 0.45,
+    ramp_fraction: float = 0.35,
+    walk_scale: float = 1.0,
+) -> np.ndarray:
+    """A regime-switching signal: holds, ramps and random walks.
+
+    Piecewise segments of geometric length alternate between *hold*
+    (constant — PMC territory), *ramp* (linear — Swing territory) and
+    *walk* (turbulent — Gorilla territory), optionally on top of a daily
+    sinusoid. This is the qualitative structure of energy production
+    series the paper's model mix results (Figs. 16-17) reflect.
+    """
+    signal = np.empty(n_points)
+    level = base + rng.normal(0, amplitude / 4)
+    position = 0
+    while position < n_points:
+        length = min(int(rng.geometric(1.0 / 80)) + 5, n_points - position)
+        regime = rng.random()
+        if regime < hold_fraction:
+            chunk = np.full(length, level)
+        elif regime < hold_fraction + ramp_fraction:
+            slope = rng.normal(0, amplitude / 200)
+            chunk = level + slope * np.arange(length)
+            level = chunk[-1]
+        else:
+            steps = rng.normal(0, walk_scale, length)
+            chunk = level + np.cumsum(steps)
+            level = chunk[-1]
+        signal[position:position + length] = chunk
+        position += length
+        # Occasionally jump to a new operating level.
+        if rng.random() < 0.15:
+            level = base + rng.normal(0, amplitude / 2)
+    if daily_period:
+        phase = 2 * np.pi * np.arange(n_points) / daily_period
+        signal = signal + amplitude / 4 * np.sin(phase)
+    return signal
+
+
+def random_walk(
+    rng: np.random.Generator,
+    n_points: int,
+    base: float = 100.0,
+    step_scale: float = 0.5,
+) -> np.ndarray:
+    """A plain random walk (the weakly structured EH-style signal)."""
+    return base + np.cumsum(rng.normal(0, step_scale, n_points))
+
+
+def sample_and_hold_noise(
+    rng: np.random.Generator,
+    n_points: int,
+    sigma: float,
+    mean_duration: int = 200,
+) -> np.ndarray:
+    """Slowly varying measurement bias (sample-and-hold).
+
+    Real sensor error is dominated by calibration bias that drifts on a
+    scale of minutes-to-hours, not by per-sample white noise; modelling
+    it this way preserves the exact-repeat runs of the underlying signal
+    (white noise would break every run and make lossless constant models
+    useless, which real data shows they are not).
+    """
+    noise = np.empty(n_points)
+    position = 0
+    while position < n_points:
+        duration = min(
+            int(rng.geometric(1.0 / mean_duration)) + 1, n_points - position
+        )
+        noise[position:position + duration] = rng.normal(0, sigma)
+        position += duration
+    return noise
+
+
+def inject_gaps(
+    rng: np.random.Generator,
+    values: np.ndarray,
+    gap_probability: float,
+    mean_gap_length: int = 30,
+) -> list[float | None]:
+    """Replace random windows with gaps (``None`` values).
+
+    ``gap_probability`` is the per-point chance a new gap *starts*; the
+    gap then lasts a geometric number of points.
+    """
+    result: list[float | None] = [float(v) for v in values]
+    position = 1  # keep the first point so series alignment is stable
+    n = len(values)
+    while position < n - 1:
+        if rng.random() < gap_probability:
+            length = min(
+                int(rng.geometric(1.0 / mean_gap_length)) + 1, n - 1 - position
+            )
+            for index in range(position, position + length):
+                result[index] = None
+            position += length
+        position += 1
+    return result
+
+
+def quantize(values: np.ndarray) -> np.ndarray:
+    """Round to float32, the value type ModelarDB and the formats store."""
+    return np.float32(values).astype(np.float64)
+
+
+def sensor_resolution(values: np.ndarray, resolution: float) -> np.ndarray:
+    """Quantise values to a sensor's measurement resolution.
+
+    Real sensors report a limited number of significant digits, which is
+    why production time series contain long runs of *identical* values —
+    the property that lets PMC-Mean dominate at a 0 % error bound
+    (Fig. 16) and model-based storage reach its headline compression
+    ratios. Synthetic white noise has none of it, so the generators
+    apply this after adding noise.
+    """
+    return np.round(values / resolution) * resolution

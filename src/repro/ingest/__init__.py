@@ -1,0 +1,19 @@
+"""Ingestion: multi-model group compression of streaming data points."""
+
+from .generator import SegmentGenerator, SegmentSink
+from .ingestor import Ingestor, group_ticks
+from .splitter import GroupIngestor, within_double_bound
+from .stats import IngestStats, ModelUsage
+from .streaming import StreamingIngestor
+
+__all__ = [
+    "SegmentGenerator",
+    "SegmentSink",
+    "Ingestor",
+    "group_ticks",
+    "GroupIngestor",
+    "within_double_bound",
+    "IngestStats",
+    "ModelUsage",
+    "StreamingIngestor",
+]

@@ -1,0 +1,339 @@
+"""The segment generator: online multi-model group compression.
+
+Implements the four-step ingestion loop of Section 3.2 for one (sub)group
+of time series:
+
+1. at each sampling interval the values of all present series are
+   received and appended to a buffer;
+2. the current model tries to fit the new value vector;
+3. when it cannot, the next model in the cascade is initialised and the
+   buffered values are replayed into it; when the *last* model can fit no
+   more, the candidate with the best compression ratio is flushed as a
+   segment;
+4. the data points represented by the flushed model are removed from the
+   buffer and the process restarts from the first model.
+
+Gaps use the paper's second method (Fig. 5): whenever the set of present
+series changes, the open segment is closed and the next segment records
+the absent Tids in its ``gaps`` set, so every segment represents a static
+number of series.
+
+Values are cast to float32 on entry (ModelarDB stores float values), and
+each series' scaling constant is applied here so correlated series with
+different magnitudes compress together (Fig. 6's ``Scaling`` column).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Mapping, Sequence
+
+from ..core.config import Configuration
+from ..core.errors import IngestionError
+from ..core.segment import SegmentGroup
+from ..core.segment import SEGMENT_OVERHEAD_BYTES
+from ..models.base import RAW_POINT_BYTES, ModelFitter
+from ..models.registry import ModelRegistry
+from ..models.selection import select_best
+from .stats import IngestStats
+
+SegmentSink = Callable[[SegmentGroup], None]
+
+
+class _LazyFitter(ModelFitter):
+    """Count-only stand-in for an always-fitting model.
+
+    Accepts every vector up to the length limit without touching the
+    values (the generator's buffer already holds them); the real fitter
+    is built by :meth:`materialize` only if the model might win at flush
+    time. ``parameters``/``size_bytes`` are never called on the stand-in.
+    """
+
+    def __init__(
+        self,
+        model_type,
+        n_columns: int,
+        error_bound: float,
+        length_limit: int,
+    ) -> None:
+        super().__init__(n_columns, error_bound, length_limit)
+        self._model_type = model_type
+
+    def _try_append(self, values) -> bool:
+        return True
+
+    def best_possible_ratio(self) -> float | None:
+        """Exact upper bound on the compression ratio, if known."""
+        n_values = self.length * self.n_columns
+        minimum = self._model_type.minimum_size_bytes(n_values)
+        if minimum is None:
+            return None
+        raw = n_values * RAW_POINT_BYTES
+        return raw / (SEGMENT_OVERHEAD_BYTES + minimum)
+
+    def materialize(
+        self, buffer: list[tuple[int, tuple[float, ...]]]
+    ) -> ModelFitter:
+        """Fit the real model over the buffered prefix this covers."""
+        fitter = self._model_type.fitter(
+            self.n_columns, self.error_bound, self.length_limit
+        )
+        for _, vector in buffer[:self.length]:
+            if not fitter.append(vector):  # pragma: no cover - always fits
+                raise IngestionError(
+                    f"always-fitting model {self._model_type.name} "
+                    "rejected a buffered value"
+                )
+        return fitter
+
+    def parameters(self) -> bytes:  # pragma: no cover - never encoded
+        raise IngestionError("lazy fitters must be materialized first")
+
+
+class SegmentGenerator:
+    """Online segment construction for a fixed subset of a group's Tids.
+
+    Parameters
+    ----------
+    gid:
+        Group id recorded on emitted segments.
+    group_tids:
+        *All* Tids of the group in column order. Segments always list the
+        full group, with non-represented Tids in ``gaps`` — this is what
+        lets dynamically split sub-groups share a Gid without key
+        collisions (Section 3.3).
+    subset_tids:
+        The Tids this generator ingests (the whole group, or one side of
+        a dynamic split).
+    """
+
+    def __init__(
+        self,
+        gid: int,
+        group_tids: Sequence[int],
+        subset_tids: Sequence[int],
+        sampling_interval: int,
+        config: Configuration,
+        registry: ModelRegistry,
+        sink: SegmentSink,
+        scalings: Mapping[int, float] | None = None,
+        stats: IngestStats | None = None,
+    ) -> None:
+        subset = tuple(sorted(subset_tids))
+        if not set(subset) <= set(group_tids):
+            raise IngestionError("subset tids must belong to the group")
+        self.gid = gid
+        self.group_tids = tuple(group_tids)
+        self.subset_tids = subset
+        self.sampling_interval = sampling_interval
+        self._config = config
+        self._registry = registry
+        self._sink = sink
+        self._scalings = dict(scalings or {})
+        self.stats = stats if stats is not None else IngestStats()
+
+        self._present: tuple[int, ...] = ()
+        self._buffer: list[tuple[int, tuple[float, ...]]] = []
+        self._finished: list[tuple[int, ModelFitter]] = []
+        self._active: tuple[int, ModelFitter] | None = None
+        self._pending_models: list[str] = []
+        self._quantizer: struct.Struct | None = None
+        self.last_emitted_ratio: float | None = None
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def tick(self, timestamp: int, values: Mapping[int, float | None]) -> None:
+        """Ingest one sampling interval's values for the subset.
+
+        ``values`` maps Tid to a value; ``None`` or a missing key marks
+        the series as being in a gap at this timestamp.
+        """
+        present = tuple(
+            tid for tid in self.subset_tids if values.get(tid) is not None
+        )
+        if present != self._present:
+            self.close()
+            self._present = present
+            self._quantizer = struct.Struct(f"<{len(present)}f")
+        if not present:
+            return
+        scalings = self._scalings
+        raw = [values[tid] * scalings.get(tid, 1.0) for tid in present]
+        # One struct round trip quantizes the whole vector to float32
+        # (the value type ModelarDB stores) without numpy dispatch cost.
+        vector = self._quantizer.unpack(self._quantizer.pack(*raw))
+        self.stats.data_points += len(present)
+        self._ingest_vector(timestamp, vector)
+
+    def close(self) -> None:
+        """Flush everything buffered, ending the current segment run."""
+        while self._buffer:
+            self._flush_best()
+            if self._buffer:
+                self._seed_cascade()
+        self._reset_cascade()
+
+    def abandon(self) -> None:
+        """Drop buffered data without emitting (used when a dynamic split
+        replays the pending window into new sub-generators)."""
+        self._buffer.clear()
+        self._reset_cascade()
+
+    @property
+    def buffered_length(self) -> int:
+        """Number of pending (unflushed) timestamps."""
+        return len(self._buffer)
+
+    @property
+    def buffer_start_time(self) -> int | None:
+        return self._buffer[0][0] if self._buffer else None
+
+    # ------------------------------------------------------------------
+    # Cascade mechanics
+    # ------------------------------------------------------------------
+    def _ingest_vector(
+        self, timestamp: int, vector: tuple[float, ...]
+    ) -> None:
+        self._buffer.append((timestamp, vector))
+        if self._active is None:
+            self._seed_cascade()
+            return
+        _, fitter = self._active
+        if fitter.append(vector):
+            return
+        self._finished.append(self._active)
+        self._active = None
+        self._try_pending_models()
+
+    def _seed_cascade(self) -> None:
+        """(Re)start the model cascade over the whole buffer."""
+        self._pending_models = list(self._config.models)
+        self._finished = []
+        self._active = None
+        self._try_pending_models()
+
+    def _try_pending_models(self) -> None:
+        """Advance through the cascade until a model covers the buffer.
+
+        Each candidate model replays the buffered vectors from the start;
+        one that covers the entire buffer becomes the active model. When
+        every model has been tried, the best candidate is flushed and the
+        cascade restarts over the remaining buffer (step iv).
+
+        Always-fitting models (lossless fallbacks such as Gorilla) are
+        represented by a lazy stand-in that just counts timestamps: their
+        parameters are only needed if they win at flush time, so the
+        expensive encode is deferred until then (and skipped when the
+        model's exact best-case size cannot beat the other candidates).
+        """
+        while True:
+            while self._pending_models:
+                name = self._pending_models.pop(0)
+                mid = self._registry.mid_of(name)
+                model_type = self._registry.by_name(name)
+                if model_type.always_fits:
+                    fitter = _LazyFitter(
+                        model_type,
+                        len(self._present),
+                        self._config.error_bound,
+                        self._config.model_length_limit,
+                    )
+                else:
+                    fitter = model_type.fitter(
+                        len(self._present),
+                        self._config.error_bound,
+                        self._config.model_length_limit,
+                    )
+                covered_all = True
+                for _, vector in self._buffer:
+                    if not fitter.append(vector):
+                        covered_all = False
+                        break
+                if covered_all:
+                    self._active = (mid, fitter)
+                    return
+                if fitter.length > 0:
+                    self._finished.append((mid, fitter))
+            self._flush_best()
+            if not self._buffer:
+                self._reset_cascade()
+                return
+            self._pending_models = list(self._config.models)
+            self._finished = []
+
+    def _flush_best(self) -> None:
+        """Emit the candidate with the best compression ratio (step iii)."""
+        candidates = list(self._finished)
+        if self._active is not None:
+            candidates.append(self._active)
+        if not candidates:
+            raise IngestionError(
+                "no model could represent the buffered data points"
+            )
+        candidates = self._resolve_lazy(candidates)
+        mid, fitter = select_best(candidates)
+        length = fitter.length
+        start_time = self._buffer[0][0]
+        end_time = self._buffer[length - 1][0]
+        segment = SegmentGroup(
+            gid=self.gid,
+            start_time=start_time,
+            end_time=end_time,
+            sampling_interval=self.sampling_interval,
+            mid=mid,
+            parameters=fitter.parameters(),
+            gaps=frozenset(self.group_tids) - set(self._present),
+            group_tids=self.group_tids,
+        )
+        self._sink(segment)
+
+        data_points = length * len(self._present)
+        self.stats.record_segment(
+            self._registry.by_mid(mid).name, data_points, segment.storage_bytes()
+        )
+        self.last_emitted_ratio = (
+            data_points * RAW_POINT_BYTES / segment.storage_bytes()
+        )
+
+        del self._buffer[:length]
+        self._finished = []
+        self._active = None
+
+    def _resolve_lazy(
+        self, candidates: list[tuple[int, ModelFitter]]
+    ) -> list[tuple[int, ModelFitter]]:
+        """Materialise (or prune) lazy always-fitting candidates.
+
+        A lazy candidate is dropped without fitting when its best-case
+        compression ratio provably cannot beat an already-fitted
+        candidate; otherwise the real fitter is built by replaying the
+        buffered prefix it covers. Selection results are identical to
+        eagerly fitting every model.
+        """
+        best_real_ratio = max(
+            (
+                fitter.compression_ratio()
+                for _, fitter in candidates
+                if not isinstance(fitter, _LazyFitter) and fitter.length
+            ),
+            default=0.0,
+        )
+        resolved = []
+        for mid, fitter in candidates:
+            if not isinstance(fitter, _LazyFitter):
+                resolved.append((mid, fitter))
+                continue
+            if fitter.length == 0:
+                continue
+            upper = fitter.best_possible_ratio()
+            if upper is not None and upper <= best_real_ratio:
+                continue
+            real = fitter.materialize(self._buffer)
+            resolved.append((mid, real))
+        return resolved
+
+    def _reset_cascade(self) -> None:
+        self._finished = []
+        self._active = None
+        self._pending_models = []

@@ -1,0 +1,58 @@
+"""Ingestion statistics, including the model-usage mix of Figs. 16-17."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ModelUsage:
+    """Usage counters for one model type."""
+
+    segments: int = 0
+    data_points: int = 0
+    bytes: int = 0
+
+
+@dataclass
+class IngestStats:
+    """Counters accumulated while ingesting one or more groups."""
+
+    data_points: int = 0  # raw data points ingested (excluding gap points)
+    segments: int = 0
+    storage_bytes: int = 0
+    splits: int = 0
+    joins: int = 0
+    usage: dict[str, ModelUsage] = field(default_factory=dict)
+
+    def record_segment(
+        self, model_name: str, data_points: int, storage_bytes: int
+    ) -> None:
+        usage = self.usage.setdefault(model_name, ModelUsage())
+        usage.segments += 1
+        usage.data_points += data_points
+        usage.bytes += storage_bytes
+        self.segments += 1
+        self.storage_bytes += storage_bytes
+
+    def model_mix(self) -> dict[str, float]:
+        """Percentage of data points represented per model (Figs. 16-17)."""
+        total = sum(usage.data_points for usage in self.usage.values())
+        if total == 0:
+            return {}
+        return {
+            name: 100.0 * usage.data_points / total
+            for name, usage in self.usage.items()
+        }
+
+    def merge(self, other: "IngestStats") -> None:
+        self.data_points += other.data_points
+        self.segments += other.segments
+        self.storage_bytes += other.storage_bytes
+        self.splits += other.splits
+        self.joins += other.joins
+        for name, usage in other.usage.items():
+            mine = self.usage.setdefault(name, ModelUsage())
+            mine.segments += usage.segments
+            mine.data_points += usage.data_points
+            mine.bytes += usage.bytes

@@ -1,0 +1,142 @@
+"""The single-node ModelarDB facade.
+
+Ties the subsystems together behind the API most users want:
+
+    from repro import Configuration, ModelarDB
+
+    db = ModelarDB(Configuration(error_bound=5.0,
+                                 correlation=["Location 2"]),
+                   dimensions=my_dimensions)
+    db.ingest(my_time_series)
+    db.sql("SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2) "
+           "GROUP BY Tid")
+
+Construction with ``group_compression=False`` disables the partitioner
+(every series becomes its own group), which makes the engine behave as
+ModelarDB v1 — multi-model compression without group compression — the
+paper's main model-based baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .core.config import Configuration
+from .core.dimensions import DimensionSet
+from .core.group import TimeSeriesGroup, singleton_groups
+from .core.timeseries import TimeSeries
+from .ingest.ingestor import Ingestor
+from .ingest.stats import IngestStats
+from .models.base import ModelType
+from .models.registry import ModelRegistry
+from .partitioner.grouping import group_from_config
+from .query.engine import QueryEngine
+from .query.views import DataPointRow
+from .storage.interface import Storage
+from .storage.memory import MemoryStorage
+from .storage.schema import records_for_groups
+
+
+class ModelarDB:
+    """A single-node ModelarDB instance.
+
+    Parameters
+    ----------
+    config:
+        Runtime configuration (error bound, model cascade, correlation
+        clauses, ...). Defaults to a lossless single-model-per-series
+        setup with Table 1's parameters.
+    storage:
+        Segment store backend; defaults to :class:`MemoryStorage`. Pass a
+        :class:`~repro.storage.FileStorage` for persistence.
+    dimensions:
+        The data set's dimensions (Definition 7); required for
+        member-based correlation primitives and dimension queries.
+    extra_models:
+        User-defined model types registered in addition to PMC, Swing
+        and Gorilla (the extension API of Section 3.1).
+    group_compression:
+        When False the partitioner is bypassed and every time series is
+        ingested alone, reproducing ModelarDB v1.
+    """
+
+    def __init__(
+        self,
+        config: Configuration | None = None,
+        storage: Storage | None = None,
+        dimensions: DimensionSet | None = None,
+        extra_models: Iterable[ModelType] = (),
+        group_compression: bool = True,
+    ) -> None:
+        self.config = config if config is not None else Configuration()
+        self.storage = storage if storage is not None else MemoryStorage()
+        self.dimensions = (
+            dimensions if dimensions is not None else DimensionSet()
+        )
+        self.registry = ModelRegistry(extra_models)
+        self.group_compression = group_compression
+        self.stats = IngestStats()
+        self.groups: list[TimeSeriesGroup] = []
+        self._engine = QueryEngine(self.storage, self.registry)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def partition(self, series: Sequence[TimeSeries]) -> list[TimeSeriesGroup]:
+        """Partition series into groups using the configured hints."""
+        if not self.group_compression or not self.config.correlation:
+            return singleton_groups(series)
+        return group_from_config(
+            series, self.config.correlation, self.dimensions
+        )
+
+    def ingest(self, series: Sequence[TimeSeries]) -> IngestStats:
+        """Partition and ingest time series end to end."""
+        groups = self.partition(series)
+        return self.ingest_groups(groups)
+
+    def ingest_groups(
+        self, groups: Sequence[TimeSeriesGroup]
+    ) -> IngestStats:
+        """Ingest pre-partitioned groups."""
+        self.groups.extend(groups)
+        self.storage.insert_time_series(
+            records_for_groups(list(groups), self.dimensions or None)
+        )
+        self.storage.insert_model_table(self.registry.model_table())
+        stats = Ingestor(self.config, self.registry, self.storage).ingest(
+            groups
+        )
+        self.stats.merge(stats)
+        self._engine.refresh_metadata()
+        return stats
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sql(self, text: str) -> list[dict]:
+        """Execute a SQL statement against the views (Section 6.1)."""
+        return self._engine.sql(text)
+
+    def aggregate(self, function: str, **kwargs) -> list[dict]:
+        """Programmatic aggregate; see :meth:`QueryEngine.aggregate`."""
+        return self._engine.aggregate(function, **kwargs)
+
+    def points(self, **kwargs) -> Iterator[DataPointRow]:
+        """Programmatic Data Point View scan."""
+        return self._engine.points(**kwargs)
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Bytes used by the segment store."""
+        return self.storage.size_bytes()
+
+    def segment_count(self) -> int:
+        return self.storage.segment_count()
+
+    def close(self) -> None:
+        self.storage.close()

@@ -1,0 +1,242 @@
+"""The black-box model interface of Section 3.2.
+
+ModelarDB treats models as black boxes behind a common interface so users
+can plug in their own (Section 3.1). A model type provides two things:
+
+* an online :class:`ModelFitter` used during ingestion — it receives, at
+  each sampling interval, the vector of values from all series of a group
+  and either accepts it (staying within the error bound for *every* value)
+  or permanently rejects it, leaving its state unchanged; and
+* a :class:`FittedModel` decoded from stored parameters — it reconstructs
+  the represented values and, where the mathematics allow, answers
+  aggregate queries in constant time (Section 6.1).
+
+Error bounds are *relative* and expressed in percent (the uniform error
+norm over ``|v - mest(t)| <= bound/100 * |v|``), matching the evaluation's
+0/1/5/10 % settings; a bound of zero requests lossless representation.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import ModelError
+from ..core.segment import SEGMENT_OVERHEAD_BYTES
+
+#: Raw cost of one uncompressed data point: int64 timestamp + float32 value.
+RAW_POINT_BYTES = 12
+
+#: Relative spacing of float32 values (2^-23); an interval wider than two
+#: spacings is guaranteed to contain a float32 grid point.
+_FLOAT32_RELATIVE_STEP = 2 ** -23
+
+_FLOAT32_PACK = struct.Struct("<f")
+
+
+def value_interval(
+    values: Sequence[float], error_bound: float
+) -> tuple[float, float]:
+    """The representable interval shared by all values of one timestamp.
+
+    With a relative bound of ``p`` percent, each value ``v`` accepts any
+    estimate in ``[v - p|v|/100, v + p|v|/100]``; a single estimate for a
+    whole group must lie in the intersection of those intervals (the
+    min/max reduction of Section 5.2). Returns ``(lower, upper)`` with
+    ``lower > upper`` when the intersection is empty.
+
+    Implemented with plain Python arithmetic: group vectors are short
+    (one value per series), where scalar loops beat numpy dispatch — this
+    is the ingestion hot path.
+    """
+    scale = error_bound / 100.0
+    lower = -float("inf")
+    upper = float("inf")
+    for value in values:
+        deviation = abs(value) * scale
+        low = value - deviation
+        high = value + deviation
+        if low > lower:
+            lower = low
+        if high < upper:
+            upper = high
+    return lower, upper
+
+
+def to_float32(value: float) -> float:
+    """Round one value to float32 precision (cheap struct round trip)."""
+    return _FLOAT32_PACK.unpack(_FLOAT32_PACK.pack(value))[0]
+
+
+def float32_within(lower: float, upper: float) -> float | None:
+    """A float32-representable value inside ``[lower, upper]``, or None.
+
+    Model parameters are stored as float32 (as in the paper's schema), so
+    fitters must ensure a float32 representative exists before accepting a
+    data point — otherwise a value accepted under float64 arithmetic could
+    violate the bound after the round trip through storage.
+    """
+    if lower > upper:
+        return None
+    midpoint = (lower + upper) / 2.0
+    # Fast path: an interval at least two float32 steps wide always
+    # contains a float32, and the rounded midpoint stays inside it.
+    width = upper - lower
+    if width > 4.0 * _FLOAT32_RELATIVE_STEP * abs(midpoint) + 1e-37:
+        return to_float32(midpoint)
+    # Comparisons must happen in float64: NumPy's weak promotion would
+    # otherwise round the float64 bounds to float32 first and accept
+    # candidates that are actually outside the interval.
+    candidate = float(np.float32(midpoint))
+    if candidate < lower:
+        candidate = float(
+            np.nextafter(np.float32(candidate), np.float32(np.inf))
+        )
+    elif candidate > upper:
+        candidate = float(
+            np.nextafter(np.float32(candidate), np.float32(-np.inf))
+        )
+    if lower <= candidate <= upper:
+        return candidate
+    return None
+
+
+class ModelFitter(ABC):
+    """Online fitter for one model over an ``n_columns``-wide group.
+
+    Subclasses must leave their state unchanged when :meth:`append`
+    rejects a vector, so the ingestion loop can hand the same buffered
+    values to the next model type in the cascade.
+    """
+
+    def __init__(self, n_columns: int, error_bound: float, length_limit: int) -> None:
+        if n_columns < 1:
+            raise ModelError("a model must represent at least one series")
+        if error_bound < 0:
+            raise ModelError("error bound must be >= 0")
+        if length_limit < 1:
+            raise ModelError("length limit must be >= 1")
+        self.n_columns = n_columns
+        self.error_bound = error_bound
+        self.length_limit = length_limit
+        self.length = 0
+
+    def append(self, values: Sequence[float]) -> bool:
+        """Try to extend the model with the group's next value vector.
+
+        ``values`` is the group's value tuple for one timestamp (one
+        float per series, in column order). Returns True when the model
+        still represents every accepted value within the error bound;
+        False when it cannot (state unchanged).
+        """
+        if self.length >= self.length_limit:
+            return False
+        if len(values) != self.n_columns:
+            raise ModelError(
+                f"expected {self.n_columns} values, got {len(values)}"
+            )
+        if not self._try_append(values):
+            return False
+        self.length += 1
+        return True
+
+    @abstractmethod
+    def _try_append(self, values: Sequence[float]) -> bool:
+        """Model-specific accept/reject; must not mutate state on reject."""
+
+    @abstractmethod
+    def parameters(self) -> bytes:
+        """Encode the fitted model (requires ``length >= 1``)."""
+
+    def size_bytes(self) -> int:
+        """Current encoded size; used for compression-ratio selection."""
+        return len(self.parameters())
+
+    def compression_ratio(self) -> float:
+        """Raw bytes represented per stored byte if flushed now."""
+        if self.length == 0:
+            return 0.0
+        raw = self.length * self.n_columns * RAW_POINT_BYTES
+        return raw / (SEGMENT_OVERHEAD_BYTES + self.size_bytes())
+
+
+class FittedModel(ABC):
+    """A decoded model: reconstruction plus aggregate hooks.
+
+    Index-based: row ``i`` corresponds to timestamp ``start + i * SI`` of
+    the enclosing segment; columns follow the segment's member-Tid order.
+    All slice bounds are inclusive, mirroring the paper's inclusive
+    segment end times (disconnected segments, Fig. 12).
+    """
+
+    def __init__(self, n_columns: int, length: int) -> None:
+        self.n_columns = n_columns
+        self.length = length
+
+    @abstractmethod
+    def values(self) -> np.ndarray:
+        """Reconstruct all values as a ``(length, n_columns)`` array."""
+
+    def value_at(self, index: int, column: int) -> float:
+        """Reconstruct a single value (defaults to full reconstruction)."""
+        return float(self.values()[index, column])
+
+    def column_values(self, column: int) -> np.ndarray:
+        return self.values()[:, column]
+
+    # ------------------------------------------------------------------
+    # Aggregate hooks. The defaults reconstruct; models with closed forms
+    # (constant, linear) override them with O(1) implementations, which is
+    # what makes Segment View aggregates fast (Section 6.1).
+    # ------------------------------------------------------------------
+    @property
+    def constant_time_aggregates(self) -> bool:
+        """Whether sum/min/max over a slice avoid reconstruction."""
+        return False
+
+    def slice_sum(self, first: int, last: int, column: int) -> float:
+        return float(self.values()[first:last + 1, column].sum())
+
+    def slice_min(self, first: int, last: int, column: int) -> float:
+        return float(self.values()[first:last + 1, column].min())
+
+    def slice_max(self, first: int, last: int, column: int) -> float:
+        return float(self.values()[first:last + 1, column].max())
+
+
+class ModelType(ABC):
+    """A registered model implementation (one row of the Model table)."""
+
+    #: Classpath-style unique name, e.g. ``"PMC"`` or ``"acme.MyModel"``.
+    name: str = ""
+
+    #: Whether the model can represent *any* value sequence (lossless
+    #: fallbacks like Gorilla). The segment generator exploits this: an
+    #: always-fitting model need not be fed during ingestion — only its
+    #: size matters at flush time, so fitting is deferred (and skipped
+    #: entirely when :meth:`minimum_size_bytes` proves it cannot win).
+    always_fits: bool = False
+
+    def minimum_size_bytes(self, n_values: int) -> int | None:
+        """An exact lower bound on the encoded size for ``n_values``
+        values, or None when no useful bound exists. Used to prune
+        needless fitting of always-fitting models."""
+        return None
+
+    @abstractmethod
+    def fitter(
+        self, n_columns: int, error_bound: float, length_limit: int
+    ) -> ModelFitter:
+        """A fresh online fitter for a group of ``n_columns`` series."""
+
+    @abstractmethod
+    def decode(
+        self, parameters: bytes, n_columns: int, length: int
+    ) -> FittedModel:
+        """Decode stored parameters back into a queryable model."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,88 @@
+"""Bit-level reader/writer used by the Gorilla codec.
+
+Bits are written most-significant-first within each byte, matching the
+layout of the original Gorilla paper [28].
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError
+
+
+class BitWriter:
+    """Append-only bit buffer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._accumulator = 0
+        self._pending = 0  # bits currently in the accumulator
+
+    def write(self, value: int, bits: int) -> None:
+        """Write the ``bits`` least significant bits of ``value``."""
+        if bits < 0 or bits > 64:
+            raise ModelError(f"cannot write {bits} bits at once")
+        if bits == 0:
+            return
+        if value < 0 or value >> bits:
+            raise ModelError(f"value {value} does not fit in {bits} bits")
+        self._accumulator = (self._accumulator << bits) | value
+        self._pending += bits
+        while self._pending >= 8:
+            self._pending -= 8
+            self._bytes.append((self._accumulator >> self._pending) & 0xFF)
+        self._accumulator &= (1 << self._pending) - 1
+
+    def write_bit(self, bit: int) -> None:
+        self.write(bit & 1, 1)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._bytes) * 8 + self._pending
+
+    def byte_length(self) -> int:
+        """Length in whole bytes if flushed now."""
+        return len(self._bytes) + (1 if self._pending else 0)
+
+    def to_bytes(self) -> bytes:
+        """The written bits, zero-padded to a whole number of bytes."""
+        if not self._pending:
+            return bytes(self._bytes)
+        tail = (self._accumulator << (8 - self._pending)) & 0xFF
+        return bytes(self._bytes) + bytes([tail])
+
+
+class BitReader:
+    """Sequential reader over bytes produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # bit offset
+
+    def read(self, bits: int) -> int:
+        """Read ``bits`` bits as an unsigned integer."""
+        if bits == 0:
+            return 0
+        end = self._position + bits
+        if end > len(self._data) * 8:
+            raise ModelError("bit stream exhausted")
+        value = 0
+        position = self._position
+        remaining = bits
+        while remaining:
+            byte = self._data[position // 8]
+            offset = position % 8
+            available = 8 - offset
+            take = min(available, remaining)
+            chunk = (byte >> (available - take)) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            position += take
+            remaining -= take
+        self._position = end
+        return value
+
+    def read_bit(self) -> int:
+        return self.read(1)
+
+    @property
+    def remaining_bits(self) -> int:
+        return len(self._data) * 8 - self._position

@@ -1,0 +1,165 @@
+"""Gorilla: lossless XOR float compression [28], extended for groups.
+
+Gorilla encodes each float32 value by XOR-ing its bit pattern with the
+previous value's and storing only the meaningful (non-zero) bits. The
+group extension of Section 5.2 (Fig. 10) stores values in *time-ordered
+blocks*: at every sampling interval the values of all series in the group
+are appended in column order before moving to the next timestamp. For
+correlated series the values inside a block differ only slightly from
+their predecessor, so most encodings need just a few bits, exploiting
+temporal correlation *and* cross-series correlation at once.
+
+This is the 32-bit adaptation used by ModelarDB: a control bit, then for
+changed values either the previous meaningful-bit window (control ``10``)
+or an explicit window of 5 leading-zero bits + 5 bits of length (control
+``11``). The model is lossless with respect to float32 values and is the
+fallback that can always fit (only the model length limit stops it).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..core.errors import ModelError
+from .base import FittedModel, ModelFitter, ModelType
+from .bits import BitReader, BitWriter
+
+_BITS = 32
+_LEADING_BITS = 5  # encodes 0..31 leading zeros
+_LENGTH_BITS = 5  # encodes meaningful-bit count - 1 (1..32)
+
+_FLOAT = struct.Struct("<f")
+_UINT = struct.Struct("<I")
+
+
+def _float_to_bits(value: float) -> int:
+    return _UINT.unpack(_FLOAT.pack(value))[0]
+
+
+def _bits_to_float(pattern: int) -> float:
+    return _FLOAT.unpack(_UINT.pack(pattern))[0]
+
+
+def _leading_zeros(pattern: int) -> int:
+    return _BITS - pattern.bit_length()
+
+
+def _trailing_zeros(pattern: int) -> int:
+    if pattern == 0:
+        return _BITS
+    return (pattern & -pattern).bit_length() - 1
+
+
+class GorillaFitter(ModelFitter):
+    """Streaming Gorilla encoder over a group's flattened value stream."""
+
+    def __init__(self, n_columns: int, error_bound: float, length_limit: int) -> None:
+        super().__init__(n_columns, error_bound, length_limit)
+        self._writer = BitWriter()
+        self._previous: int | None = None
+        self._window_leading = -1
+        self._window_meaningful = 0
+
+    def _try_append(self, values) -> bool:
+        for value in values:
+            self._encode(_float_to_bits(value))
+        return True
+
+    def _encode(self, pattern: int) -> None:
+        if self._previous is None:
+            self._writer.write(pattern, _BITS)
+            self._previous = pattern
+            return
+
+        xor = self._previous ^ pattern
+        self._previous = pattern
+        if xor == 0:
+            self._writer.write_bit(0)
+            return
+
+        self._writer.write_bit(1)
+        leading = min(_leading_zeros(xor), (1 << _LEADING_BITS) - 1)
+        trailing = _trailing_zeros(xor)
+        meaningful = _BITS - leading - trailing
+        window_trailing = _BITS - self._window_leading - self._window_meaningful
+        fits_window = (
+            self._window_leading >= 0
+            and leading >= self._window_leading
+            and trailing >= window_trailing
+        )
+        if fits_window:
+            self._writer.write_bit(0)
+            self._writer.write(xor >> window_trailing, self._window_meaningful)
+        else:
+            self._writer.write_bit(1)
+            self._writer.write(leading, _LEADING_BITS)
+            self._writer.write(meaningful - 1, _LENGTH_BITS)
+            self._writer.write(xor >> trailing, meaningful)
+            self._window_leading = leading
+            self._window_meaningful = meaningful
+
+    def parameters(self) -> bytes:
+        if self.length == 0:
+            raise ModelError("cannot encode an empty Gorilla model")
+        return self._writer.to_bytes()
+
+    def size_bytes(self) -> int:
+        return self._writer.byte_length()
+
+
+class FittedGorilla(FittedModel):
+    """A decoded Gorilla model; reconstruction decodes the bit stream."""
+
+    def __init__(self, parameters: bytes, n_columns: int, length: int) -> None:
+        super().__init__(n_columns, length)
+        self._parameters = parameters
+        self._decoded: np.ndarray | None = None
+
+    def values(self) -> np.ndarray:
+        if self._decoded is None:
+            self._decoded = self._decode()
+        return self._decoded
+
+    def _decode(self) -> np.ndarray:
+        reader = BitReader(self._parameters)
+        count = self.length * self.n_columns
+        flat = np.empty(count, dtype=np.float64)
+        previous = 0
+        window_leading = -1
+        window_meaningful = 0
+        for i in range(count):
+            if i == 0:
+                previous = reader.read(_BITS)
+            elif reader.read_bit():
+                if reader.read_bit():
+                    window_leading = reader.read(_LEADING_BITS)
+                    window_meaningful = reader.read(_LENGTH_BITS) + 1
+                window_trailing = _BITS - window_leading - window_meaningful
+                xor = reader.read(window_meaningful) << window_trailing
+                previous ^= xor
+            flat[i] = _bits_to_float(previous)
+        return flat.reshape(self.length, self.n_columns)
+
+
+class Gorilla(ModelType):
+    """Model-table entry for Gorilla (classpath ``"Gorilla"``)."""
+
+    name = "Gorilla"
+    always_fits = True
+
+    def minimum_size_bytes(self, n_values: int) -> int:
+        # Best case: 32 bits for the first value, one control bit for
+        # every identical follower.
+        return (_BITS + (n_values - 1) + 7) // 8
+
+    def fitter(
+        self, n_columns: int, error_bound: float, length_limit: int
+    ) -> GorillaFitter:
+        return GorillaFitter(n_columns, error_bound, length_limit)
+
+    def decode(
+        self, parameters: bytes, n_columns: int, length: int
+    ) -> FittedGorilla:
+        return FittedGorilla(parameters, n_columns, length)

@@ -1,0 +1,92 @@
+"""The model extension API (Section 3.1).
+
+Models are registered under classpath-style names; the registry assigns
+the Mids recorded in the Model table (Fig. 6) and decodes stored segments
+back into queryable models. Users add models without touching the engine:
+
+    registry = ModelRegistry()
+    registry.register(MyModelType())
+    config = Configuration(models=("PMC", "acme.MyModel", "Gorilla"))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.errors import UnknownModelError
+from .base import FittedModel, ModelFitter, ModelType
+from .gorilla import Gorilla
+from .pmc_mean import PMCMean
+from .swing import Swing
+
+
+def default_model_types() -> list[ModelType]:
+    """The three models shipped with ModelarDB Core (Section 3.1)."""
+    return [PMCMean(), Swing(), Gorilla()]
+
+
+class ModelRegistry:
+    """Maps model classpaths to Mids and decodes stored parameters."""
+
+    def __init__(self, extra_types: Iterable[ModelType] = ()) -> None:
+        self._by_mid: dict[int, ModelType] = {}
+        self._by_name: dict[str, int] = {}
+        for model_type in default_model_types():
+            self.register(model_type)
+        for model_type in extra_types:
+            self.register(model_type)
+
+    def register(self, model_type: ModelType) -> int:
+        """Register a (possibly user-defined) model type; returns its Mid."""
+        if not model_type.name:
+            raise UnknownModelError("model types must define a name")
+        existing = self._by_name.get(model_type.name)
+        if existing is not None:
+            return existing
+        mid = len(self._by_mid) + 1
+        self._by_mid[mid] = model_type
+        self._by_name[model_type.name] = mid
+        return mid
+
+    def mid_of(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownModelError(f"unknown model classpath {name!r}") from None
+
+    def by_mid(self, mid: int) -> ModelType:
+        try:
+            return self._by_mid[mid]
+        except KeyError:
+            raise UnknownModelError(f"unknown model id {mid}") from None
+
+    def by_name(self, name: str) -> ModelType:
+        return self.by_mid(self.mid_of(name))
+
+    def names(self) -> list[str]:
+        return list(self._by_name)
+
+    def model_table(self) -> dict[int, str]:
+        """The Model table of Fig. 6: Mid -> classpath."""
+        return {mid: model.name for mid, model in self._by_mid.items()}
+
+    def fitters(
+        self,
+        names: Sequence[str],
+        n_columns: int,
+        error_bound: float,
+        length_limit: int,
+    ) -> list[tuple[int, ModelFitter]]:
+        """Fresh fitters for the configured model cascade, with Mids."""
+        return [
+            (
+                self.mid_of(name),
+                self.by_name(name).fitter(n_columns, error_bound, length_limit),
+            )
+            for name in names
+        ]
+
+    def decode(
+        self, mid: int, parameters: bytes, n_columns: int, length: int
+    ) -> FittedModel:
+        return self.by_mid(mid).decode(parameters, n_columns, length)

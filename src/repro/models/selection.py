@@ -1,0 +1,34 @@
+"""Best-compression model selection (ingestion step iii, Section 3.2).
+
+When the last model in the cascade can fit no more data points, the model
+providing the best compression ratio among all candidates is flushed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errors import ModelError
+from .base import ModelFitter
+
+
+def select_best(
+    candidates: Sequence[tuple[int, ModelFitter]]
+) -> tuple[int, ModelFitter]:
+    """Pick the (mid, fitter) pair with the best compression ratio.
+
+    Only fitters that accepted at least one timestamp are eligible. Ties
+    keep the earliest candidate (the cascade's preferred order).
+    """
+    best: tuple[int, ModelFitter] | None = None
+    best_ratio = -1.0
+    for mid, fitter in candidates:
+        if fitter.length == 0:
+            continue
+        ratio = fitter.compression_ratio()
+        if ratio > best_ratio:
+            best = (mid, fitter)
+            best_ratio = ratio
+    if best is None:
+        raise ModelError("no candidate model accepted any data points")
+    return best

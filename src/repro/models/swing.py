@@ -1,0 +1,149 @@
+"""Swing: the linear model [15], extended for group compression.
+
+The Swing filter fits a linear function anchored at the initial data
+point, maintaining the feasible slope interval online and shrinking it as
+each data point arrives. Two extensions from Section 5.2 (Fig. 10):
+
+* the anchor of the group model is derived from the *set* of values at
+  the first timestamp using the PMC reduction (a float32 within the
+  intersection of their acceptable intervals, preferring the average);
+* at every later timestamp only the intersection interval of the group's
+  values constrains the slope, so the update stays O(1) per timestamp
+  regardless of group size.
+
+Parameters are two float32 values — intercept (value at the segment's
+first timestamp) and per-step slope — 8 bytes total. Working with index
+steps rather than raw timestamps keeps the encoding independent of the
+sampling interval.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+from ..core.errors import ModelError
+from .base import (
+    FittedModel,
+    ModelFitter,
+    ModelType,
+    float32_within,
+    to_float32,
+    value_interval,
+)
+
+_FORMAT = "<ff"
+
+
+class SwingFitter(ModelFitter):
+    """Online linear-model fitter over a group of series."""
+
+    def __init__(self, n_columns: int, error_bound: float, length_limit: int) -> None:
+        super().__init__(n_columns, error_bound, length_limit)
+        self._anchor: float | None = None
+        self._slope_lower = -math.inf
+        self._slope_upper = math.inf
+
+    def _try_append(self, values) -> bool:
+        lower, upper = value_interval(values, self.error_bound)
+        if lower > upper:
+            return False
+        if self._anchor is None:
+            return self._fit_anchor(values, lower, upper)
+
+        step = self.length  # index of the incoming timestamp
+        slope_lower = max(self._slope_lower, (lower - self._anchor) / step)
+        slope_upper = min(self._slope_upper, (upper - self._anchor) / step)
+        if float32_within(slope_lower, slope_upper) is None:
+            return False
+        self._slope_lower = slope_lower
+        self._slope_upper = slope_upper
+        return True
+
+    def _fit_anchor(self, values, lower: float, upper: float) -> bool:
+        """Pin the line's initial point using the PMC reduction."""
+        average = sum(values) / len(values)
+        clamped = min(max(average, lower), upper)
+        candidate = to_float32(clamped)
+        if not lower <= candidate <= upper:
+            feasible = float32_within(lower, upper)
+            if feasible is None:
+                return False
+            candidate = feasible
+        self._anchor = candidate
+        return True
+
+    def _slope(self) -> float:
+        if self.length <= 1:
+            return 0.0
+        slope = float32_within(self._slope_lower, self._slope_upper)
+        if slope is None:  # pragma: no cover - _try_append guarantees it
+            raise ModelError("no float32 slope exists")
+        return slope
+
+    def parameters(self) -> bytes:
+        if self._anchor is None:
+            raise ModelError("cannot encode an empty Swing model")
+        return struct.pack(_FORMAT, self._anchor, self._slope())
+
+    def size_bytes(self) -> int:
+        return struct.calcsize(_FORMAT)
+
+
+class FittedSwing(FittedModel):
+    """A decoded linear model; aggregates use closed forms (Fig. 11)."""
+
+    def __init__(
+        self, intercept: float, slope: float, n_columns: int, length: int
+    ) -> None:
+        super().__init__(n_columns, length)
+        self.intercept = intercept
+        self.slope = slope
+
+    @property
+    def constant_time_aggregates(self) -> bool:
+        return True
+
+    def values(self) -> np.ndarray:
+        line = self.intercept + self.slope * np.arange(self.length)
+        return np.repeat(line[:, np.newaxis], self.n_columns, axis=1)
+
+    def value_at(self, index: int, column: int) -> float:
+        return self.intercept + self.slope * index
+
+    def slice_sum(self, first: int, last: int, column: int) -> float:
+        # Arithmetic series: n * (first value + last value) / 2.
+        count = last - first + 1
+        first_value = self.intercept + self.slope * first
+        last_value = self.intercept + self.slope * last
+        return count * (first_value + last_value) / 2.0
+
+    def slice_min(self, first: int, last: int, column: int) -> float:
+        return min(self.value_at(first, column), self.value_at(last, column))
+
+    def slice_max(self, first: int, last: int, column: int) -> float:
+        return max(self.value_at(first, column), self.value_at(last, column))
+
+
+class Swing(ModelType):
+    """Model-table entry for Swing (classpath ``"Swing"``)."""
+
+    name = "Swing"
+
+    def fitter(
+        self, n_columns: int, error_bound: float, length_limit: int
+    ) -> SwingFitter:
+        return SwingFitter(n_columns, error_bound, length_limit)
+
+    def decode(
+        self, parameters: bytes, n_columns: int, length: int
+    ) -> FittedSwing:
+        if len(parameters) != struct.calcsize(_FORMAT):
+            raise ModelError(
+                f"Swing expects {struct.calcsize(_FORMAT)} parameter bytes, "
+                f"got {len(parameters)}"
+            )
+        intercept, slope = struct.unpack(_FORMAT, parameters)
+        return FittedSwing(intercept, slope, n_columns, length)

@@ -1,0 +1,33 @@
+"""Partitioning of correlated time series (Section 4)."""
+
+from .grouping import group_from_config, group_time_series
+from .parser import parse_clause, parse_correlation
+from .primitives import (
+    Clause,
+    CorrelationPrimitive,
+    CorrelationSpec,
+    Distance,
+    GroupingContext,
+    LCALevel,
+    MemberEquality,
+    MemberScaling,
+    TimeSeriesSet,
+    lowest_distance,
+)
+
+__all__ = [
+    "group_from_config",
+    "group_time_series",
+    "parse_clause",
+    "parse_correlation",
+    "Clause",
+    "CorrelationPrimitive",
+    "CorrelationSpec",
+    "Distance",
+    "GroupingContext",
+    "LCALevel",
+    "MemberEquality",
+    "MemberScaling",
+    "TimeSeriesSet",
+    "lowest_distance",
+]

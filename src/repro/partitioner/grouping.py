@@ -1,0 +1,90 @@
+"""Grouping of correlated time series (Algorithm 1, Section 4.1).
+
+Starting from one group per series, groups are merged until a fixpoint:
+two groups merge when any configured clause declares them correlated.
+Merging is transitive by construction — once two groups combine, later
+comparisons treat their union as one candidate — which matches the
+algorithm's iterate-until-no-change structure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dimensions import DimensionSet
+from ..core.group import TimeSeriesGroup
+from ..core.timeseries import TimeSeries
+from .parser import parse_correlation
+from .primitives import CorrelationSpec, GroupingContext
+
+
+def group_time_series(
+    series: Sequence[TimeSeries],
+    spec: CorrelationSpec,
+    dimensions: DimensionSet,
+) -> list[TimeSeriesGroup]:
+    """Partition time series into groups of correlated series.
+
+    Implements Algorithm 1. Series that cannot share a group under
+    Definition 8 (different SI or misaligned start) are never merged even
+    when the user hints say they correlate, since one model cannot
+    represent them at a shared sequence of timestamps.
+    """
+    context = GroupingContext(
+        dimensions=dimensions,
+        names={ts.tid: ts.name for ts in series},
+    )
+    spec.apply_scalings(series, context)
+
+    by_tid = {ts.tid: ts for ts in series}
+    groups: list[list[int]] = [[ts.tid] for ts in series]
+
+    modified = True
+    while modified:
+        modified = False
+        merged: list[list[int]] = []
+        while groups:
+            current = groups.pop()
+            absorbed = []
+            for other in groups:
+                if not _compatible(current, other, by_tid):
+                    continue
+                if spec.correlated(current, other, context):
+                    absorbed.append(other)
+            for other in absorbed:
+                groups.remove(other)
+                current = current + other
+                modified = True
+            merged.append(sorted(current))
+        groups = merged
+
+    groups.sort(key=lambda tids: tids[0])
+    return [
+        TimeSeriesGroup(gid, [by_tid[tid] for tid in tids])
+        for gid, tids in enumerate(groups, start=1)
+    ]
+
+
+def group_from_config(
+    series: Sequence[TimeSeries],
+    correlation_clauses: Sequence[str],
+    dimensions: DimensionSet,
+) -> list[TimeSeriesGroup]:
+    """Parse clause strings and group (the configuration entry point)."""
+    spec = parse_correlation(correlation_clauses, dimensions)
+    return group_time_series(series, spec, dimensions)
+
+
+def _compatible(
+    group_a: Sequence[int],
+    group_b: Sequence[int],
+    by_tid: dict[int, TimeSeries],
+) -> bool:
+    """Definition 8 guard: same SI, aligned start timestamps."""
+    first = by_tid[group_a[0]]
+    second = by_tid[group_b[0]]
+    if first.sampling_interval != second.sampling_interval:
+        return False
+    if len(first) == 0 or len(second) == 0:
+        return True
+    return first.alignment == second.alignment

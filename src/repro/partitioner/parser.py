@@ -1,0 +1,154 @@
+"""Parser for ``modelardb.correlation`` clauses (Section 4.1).
+
+Each configuration entry is one clause; primitives inside a clause are
+separated by ``,`` and are ANDed, while separate entries are ORed. The
+positional grammar follows the paper's examples:
+
+=====================================  =====================================
+Clause text                            Primitive
+=====================================  =====================================
+``Measure 1 Temperature``              member triple (dimension level member)
+``Location 2``                         LCA pair (dimension lca-level)
+``Production 0, Measure 1 X``          AND of the two primitives
+``0.25``                               distance threshold
+``0.25 Production 2.0``                distance with a dimension weight
+``Measure 1 Temperature 4.75``         scaling 4-tuple (not a test)
+``a.gz b.gz``                          explicit time series set
+``a.gz*2.0 b.gz``                      ... with a per-series scaling
+``auto``                               distance at the lowest-distance
+                                       rule of thumb
+=====================================  =====================================
+
+Dimension names disambiguate the forms, so the parser needs the data
+set's :class:`~repro.core.dimensions.DimensionSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dimensions import DimensionSet
+from ..core.errors import ConfigurationError
+from .primitives import (
+    Clause,
+    CorrelationSpec,
+    Distance,
+    LCALevel,
+    MemberEquality,
+    MemberScaling,
+    TimeSeriesSet,
+    lowest_distance,
+)
+
+
+def parse_correlation(
+    clauses: Sequence[str], dimensions: DimensionSet
+) -> CorrelationSpec:
+    """Parse all configured clauses into a :class:`CorrelationSpec`."""
+    return CorrelationSpec(
+        parse_clause(clause, dimensions) for clause in clauses
+    )
+
+
+def parse_clause(text: str, dimensions: DimensionSet) -> Clause:
+    """Parse one comma-separated AND-clause."""
+    primitives = []
+    scalings = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        parsed = _parse_primitive(part, dimensions)
+        if isinstance(parsed, MemberScaling):
+            scalings.append(parsed)
+        else:
+            primitives.append(parsed)
+    if not primitives and not scalings:
+        raise ConfigurationError(f"empty correlation clause: {text!r}")
+    return Clause(tuple(primitives), tuple(scalings))
+
+
+def _parse_primitive(text: str, dimensions: DimensionSet):
+    tokens = text.split()
+    dimension_names = set(dimensions.names())
+
+    if tokens[0] == "auto":
+        if len(tokens) != 1:
+            raise ConfigurationError(f"'auto' takes no arguments: {text!r}")
+        return Distance(lowest_distance(dimensions))
+
+    if tokens[0] in dimension_names:
+        return _parse_dimension_primitive(tokens, text)
+
+    if _is_float(tokens[0]):
+        return _parse_distance(tokens, dimension_names, text)
+
+    return _parse_series_set(tokens)
+
+
+def _parse_dimension_primitive(tokens: list[str], text: str):
+    dimension = tokens[0]
+    if len(tokens) < 2 or not _is_int(tokens[1]):
+        raise ConfigurationError(
+            f"expected a level after dimension {dimension!r}: {text!r}"
+        )
+    level = int(tokens[1])
+    if len(tokens) == 2:
+        return LCALevel(dimension, level)
+    if len(tokens) == 3:
+        return MemberEquality(dimension, level, tokens[2])
+    if len(tokens) == 4 and _is_float(tokens[3]):
+        return MemberScaling(dimension, level, tokens[2], float(tokens[3]))
+    raise ConfigurationError(f"malformed dimension primitive: {text!r}")
+
+
+def _parse_distance(tokens: list[str], dimension_names: set[str], text: str):
+    threshold = float(tokens[0])
+    weights = {}
+    rest = tokens[1:]
+    if len(rest) % 2 != 0:
+        raise ConfigurationError(
+            f"distance weights must be (dimension, weight) pairs: {text!r}"
+        )
+    for name, weight in zip(rest[::2], rest[1::2]):
+        if name not in dimension_names:
+            raise ConfigurationError(
+                f"unknown dimension {name!r} in distance weights: {text!r}"
+            )
+        if not _is_float(weight):
+            raise ConfigurationError(
+                f"weight for dimension {name!r} is not a number: {text!r}"
+            )
+        weights[name] = float(weight)
+    return Distance(threshold, weights)
+
+
+def _parse_series_set(tokens: list[str]) -> TimeSeriesSet:
+    names = []
+    scalings = {}
+    for token in tokens:
+        name, star, scale = token.partition("*")
+        names.append(name)
+        if star:
+            if not _is_float(scale):
+                raise ConfigurationError(
+                    f"malformed per-series scaling: {token!r}"
+                )
+            scalings[name] = float(scale)
+    return TimeSeriesSet(frozenset(names), scalings)
+
+
+def _is_int(token: str) -> bool:
+    try:
+        int(token)
+    except ValueError:
+        return False
+    return True
+
+
+def _is_float(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True

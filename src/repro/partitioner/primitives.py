@@ -1,0 +1,221 @@
+"""Correlation primitives (Section 4.1).
+
+Computing pairwise correlation from historical data is infeasible for
+large fleets (50,000 series already yield ~1.25 × 10⁹ pairs), so the user
+describes correlation with cheap metadata-only primitives instead:
+
+* an explicit set of time series sources, optionally with per-series
+  scaling constants — precise but only practical for few series;
+* a (dimension, level, member) triple — series sharing that member are
+  correlated;
+* a (dimension, LCA level) pair — series whose lowest common ancestor in
+  that dimension is at least that deep are correlated (0 means all levels
+  must match, a negative ``-k`` means all but the ``k`` most detailed
+  levels must match);
+* a (dimension, level, member, scaling) 4-tuple assigning a scaling
+  constant to every series with that member; and
+* a distance threshold in ``[0, 1]`` over *all* dimensions with optional
+  per-dimension weights (Algorithm 2) — for data sets with many series
+  and many dimensions.
+
+Primitives inside one clause combine with AND; clauses combine with OR.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..core.dimensions import DimensionSet
+from ..core.errors import ConfigurationError
+from ..core.timeseries import TimeSeries
+
+
+@dataclass
+class GroupingContext:
+    """Everything a primitive may consult when comparing two groups."""
+
+    dimensions: DimensionSet
+    #: Tid -> source name, for the explicit time-series-set primitive.
+    names: Mapping[int, str] = field(default_factory=dict)
+
+
+class CorrelationPrimitive(ABC):
+    """One user hint; decides whether two groups should be merged."""
+
+    @abstractmethod
+    def correlated(
+        self,
+        group_a: Sequence[int],
+        group_b: Sequence[int],
+        context: GroupingContext,
+    ) -> bool:
+        """Whether all series of both groups are correlated per this hint."""
+
+
+@dataclass(frozen=True)
+class TimeSeriesSet(CorrelationPrimitive):
+    """An explicit set of correlated sources, e.g. two gzipped CSV files.
+
+    ``scalings`` optionally maps a source name to the scaling constant to
+    apply to that series before compression.
+    """
+
+    names: frozenset[str]
+    scalings: Mapping[str, float] = field(default_factory=dict, hash=False)
+
+    def correlated(self, group_a, group_b, context) -> bool:
+        return all(
+            context.names.get(tid) in self.names
+            for tid in (*group_a, *group_b)
+        )
+
+
+@dataclass(frozen=True)
+class MemberEquality(CorrelationPrimitive):
+    """The (dimension, level, member) triple, e.g. ``Measure 1 Temperature``."""
+
+    dimension: str
+    level: int | str
+    member: str
+
+    def correlated(self, group_a, group_b, context) -> bool:
+        dimension = context.dimensions[self.dimension]
+        matching = dimension.tids_with_member(self.level, self.member)
+        return all(tid in matching for tid in (*group_a, *group_b))
+
+
+@dataclass(frozen=True)
+class LCALevel(CorrelationPrimitive):
+    """The (dimension, LCA level) pair, e.g. ``Location 2``.
+
+    ``level >= 1`` requires the LCA to be at least that deep; ``0``
+    requires all levels to be equal; ``-k`` requires all but the ``k``
+    most detailed levels to be equal (Section 4.1).
+    """
+
+    dimension: str
+    level: int
+
+    def required_level(self, depth: int) -> int:
+        if self.level > 0:
+            return self.level
+        if self.level == 0:
+            return depth
+        return max(depth + self.level, 0)  # self.level is negative
+
+    def correlated(self, group_a, group_b, context) -> bool:
+        dimension = context.dimensions[self.dimension]
+        required = self.required_level(dimension.depth)
+        return dimension.lca_level(group_a, group_b) >= required
+
+
+@dataclass(frozen=True)
+class MemberScaling:
+    """The (dimension, level, member, scaling) 4-tuple.
+
+    Not a correlation test: applied before grouping to set the scaling
+    constant of every series with the given member.
+    """
+
+    dimension: str
+    level: int | str
+    member: str
+    scaling: float
+
+    def matching_tids(self, context: GroupingContext) -> set[int]:
+        dimension = context.dimensions[self.dimension]
+        return dimension.tids_with_member(self.level, self.member)
+
+
+@dataclass(frozen=True)
+class Distance(CorrelationPrimitive):
+    """Distance-based correlation over all dimensions (Algorithm 2).
+
+    The distance of one dimension is ``(height - lca) / height`` scaled by
+    a user weight (default 1.0); the total is the weight-scaled sum
+    normalised by the number of dimensions, clamped to ``[0, 1]``. Two
+    groups are correlated when the total is at or below ``threshold``.
+    """
+
+    threshold: float
+    weights: Mapping[str, float] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ConfigurationError(
+                f"distance threshold must be in [0, 1], got {self.threshold}"
+            )
+
+    def distance(self, group_a, group_b, context: GroupingContext) -> float:
+        dimensions = list(context.dimensions)
+        if not dimensions:
+            raise ConfigurationError(
+                "distance-based correlation requires at least one dimension"
+            )
+        total = 0.0
+        for dimension in dimensions:
+            ancestor = dimension.lca_level(group_a, group_b)
+            height = dimension.depth
+            weight = self.weights.get(dimension.name, 1.0)
+            total += weight * (height - ancestor) / height
+        normalized = total / len(dimensions)
+        return min(normalized, 1.0)
+
+    def correlated(self, group_a, group_b, context) -> bool:
+        return self.distance(group_a, group_b, context) <= self.threshold
+
+
+@dataclass(frozen=True)
+class Clause:
+    """AND-combination of primitives (one ``modelardb.correlation`` entry)."""
+
+    primitives: tuple[CorrelationPrimitive, ...]
+    scalings: tuple[MemberScaling, ...] = ()
+
+    def correlated(self, group_a, group_b, context) -> bool:
+        return all(
+            primitive.correlated(group_a, group_b, context)
+            for primitive in self.primitives
+        )
+
+
+class CorrelationSpec:
+    """OR-combination of clauses; the full user hint set."""
+
+    def __init__(self, clauses: Iterable[Clause]) -> None:
+        self.clauses = tuple(clauses)
+
+    def correlated(self, group_a, group_b, context) -> bool:
+        return any(
+            clause.primitives
+            and clause.correlated(group_a, group_b, context)
+            for clause in self.clauses
+        )
+
+    def apply_scalings(
+        self, series: Sequence[TimeSeries], context: GroupingContext
+    ) -> None:
+        """Set scaling constants from 4-tuples and explicit series sets."""
+        for clause in self.clauses:
+            for scaling in clause.scalings:
+                matching = scaling.matching_tids(context)
+                for ts in series:
+                    if ts.tid in matching:
+                        ts.scaling = scaling.scaling
+            for primitive in clause.primitives:
+                if isinstance(primitive, TimeSeriesSet):
+                    for ts in series:
+                        name = context.names.get(ts.tid)
+                        if name in primitive.scalings:
+                            ts.scaling = primitive.scalings[name]
+
+
+def lowest_distance(dimensions: DimensionSet) -> float:
+    """The rule-of-thumb starting distance of Section 4.1:
+    ``(1 / max(levels)) / |dimensions|``."""
+    depths = [dimension.depth for dimension in dimensions]
+    if not depths:
+        raise ConfigurationError("no dimensions defined")
+    return (1.0 / max(depths)) / len(depths)

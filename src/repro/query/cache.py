@@ -1,0 +1,47 @@
+"""Main-memory segment cache (Fig. 4).
+
+Caches decoded models so repeated queries over the same segments skip
+parameter decoding — which matters most for Gorilla, whose decode walks
+the bit stream. A small LRU keyed by the segment's identity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..models.base import FittedModel
+from ..models.registry import ModelRegistry
+
+_DEFAULT_CAPACITY = 4096
+
+
+class SegmentCache:
+    """LRU cache from segment identity to decoded model."""
+
+    def __init__(
+        self, registry: ModelRegistry, capacity: int = _DEFAULT_CAPACITY
+    ) -> None:
+        self._registry = registry
+        self._capacity = max(capacity, 1)
+        self._entries: OrderedDict[tuple, FittedModel] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def decode(
+        self, mid: int, parameters: bytes, n_columns: int, length: int
+    ) -> FittedModel:
+        key = (mid, parameters, n_columns, length)
+        model = self._entries.get(key)
+        if model is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return model
+        self.misses += 1
+        model = self._registry.decode(mid, parameters, n_columns, length)
+        self._entries[key] = model
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return model
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,796 @@
+"""The query engine (Algorithms 5 and 6).
+
+Executes the supported SQL subset — or the equivalent programmatic calls —
+against a segment store:
+
+1. *Rewriting*: Tid and dimension-member predicates become Gids
+   (Section 6.2) so the store scans only relevant partitions.
+2. *Initialize/iterate*: aggregates fold decoded models over the clipped
+   index range of every Segment View row; time rollups walk calendar
+   boundaries per segment (Algorithm 6); Data Point View queries
+   reconstruct values first.
+3. *Finalize*: algebraic functions compute their final value, results are
+   shaped into rows.
+
+All aggregate results are divided by each series' scaling constant
+during iterate, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.errors import QueryError
+from ..models.registry import ModelRegistry
+from ..storage.interface import Storage
+from .aggregates import Aggregate, aggregate_by_name
+from .cache import SegmentCache
+from .metadata import MetadataCache
+from .rewriter import Predicates, RewrittenQuery, rewrite
+from .rollup import format_bucket, parse_cube_function, rollup_segment
+from .sql import Call, Column, Condition, Query, Star, parse
+from .views import DataPointRow, DataPointView, SegmentView
+
+_NUMPY_LEVEL_UNIT = {
+    "MINUTE": "m",
+    "HOUR": "h",
+    "DAY": "D",
+    "MONTH": "M",
+    "YEAR": "Y",
+}
+
+
+def parse_timestamp(value: object) -> int:
+    """A TS literal: epoch milliseconds, or an ISO-ish UTC date string."""
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return int(value)
+    if isinstance(value, str):
+        for pattern in ("%Y-%m-%d %H:%M:%S", "%Y-%m-%d %H:%M", "%Y-%m-%d"):
+            try:
+                moment = dt.datetime.strptime(value, pattern)
+            except ValueError:
+                continue
+            moment = moment.replace(tzinfo=dt.timezone.utc)
+            return int(moment.timestamp() * 1000)
+    raise QueryError(f"cannot interpret {value!r} as a timestamp")
+
+
+class QueryEngine:
+    """SQL and programmatic query execution over one segment store."""
+
+    def __init__(
+        self,
+        storage: Storage,
+        registry: ModelRegistry,
+        cache_capacity: int = 4096,
+    ) -> None:
+        self._storage = storage
+        self._registry = registry
+        self._segment_cache = SegmentCache(registry, cache_capacity)
+        self._metadata: MetadataCache | None = None
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def sql(self, text: str) -> list[dict]:
+        """Parse and execute one SQL statement."""
+        return self.execute(parse(text))
+
+    def refresh_metadata(self) -> None:
+        """Reload the metadata cache after new time series were added."""
+        self._metadata = MetadataCache(self._storage)
+
+    def aggregate(
+        self,
+        function: str,
+        tids: Iterable[int] | None = None,
+        members: Sequence[tuple[str, str]] = (),
+        start_time: int | None = None,
+        end_time: int | None = None,
+        group_by: Sequence[str] = (),
+        view: str = "segment",
+    ) -> list[dict]:
+        """Programmatic aggregate, e.g. ``aggregate("SUM_S", tids=[1])``."""
+        query = Query(
+            view=view,
+            select=tuple(
+                Column(name) for name in group_by
+            ) + (Call(function.upper(), "*"),),
+            where=_conditions_for(tids, members, start_time, end_time),
+            group_by=tuple(group_by),
+        )
+        return self.execute(query)
+
+    def points(
+        self,
+        tids: Iterable[int] | None = None,
+        members: Sequence[tuple[str, str]] = (),
+        start_time: int | None = None,
+        end_time: int | None = None,
+    ) -> Iterator[DataPointRow]:
+        """Programmatic Data Point View scan."""
+        predicates = Predicates(
+            tids=frozenset(tids) if tids is not None else None,
+            members=tuple(members),
+            start_time=start_time,
+            end_time=end_time,
+        )
+        plan = rewrite(predicates, self.metadata)
+        return self._data_point_view().rows(plan)
+
+    @property
+    def metadata(self) -> MetadataCache:
+        if self._metadata is None:
+            self._metadata = MetadataCache(self._storage)
+        return self._metadata
+
+    @property
+    def cache_stats(self) -> tuple[int, int]:
+        """(hits, misses) of the segment cache."""
+        return self._segment_cache.hits, self._segment_cache.misses
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query: Query) -> list[dict]:
+        plan, row_predicates = self._plan(query)
+        if query.is_aggregate:
+            _validate_aggregate_select(query)
+            if query.view == "segment":
+                partial = self._accumulate_segment(query, plan)
+            else:
+                partial = self._accumulate_point(query, plan, row_predicates)
+            return partial.finalize()
+        if query.view == "datapoint":
+            return self._execute_point_selection(query, plan, row_predicates)
+        return self._execute_segment_selection(query, plan)
+
+    def execute_partial(self, query: Query) -> "PartialResult | list[dict]":
+        """Worker-side execution: aggregate queries return mergeable
+        partial states (the distributed step of Algorithm 5); selections
+        return their rows directly."""
+        plan, row_predicates = self._plan(query)
+        if not query.is_aggregate:
+            if query.view == "datapoint":
+                return self._execute_point_selection(
+                    query, plan, row_predicates
+                )
+            return self._execute_segment_selection(query, plan)
+        _validate_aggregate_select(query)
+        if query.view == "segment":
+            return self._accumulate_segment(query, plan)
+        return self._accumulate_point(query, plan, row_predicates)
+
+    def _plan(self, query: Query) -> tuple[RewrittenQuery, list[Condition]]:
+        tids: frozenset[int] | None = None
+        members: list[tuple[str, str]] = []
+        start: int | None = None
+        end: int | None = None
+        point_conditions: list[Condition] = []
+        for condition in query.where:
+            column = condition.column
+            name = column.lower()
+            if name == "tid":
+                tids = _intersect(tids, _tid_values(condition))
+            elif name in ("ts", "timestamp"):
+                start, end = _narrow_interval(start, end, condition)
+                point_conditions.append(condition)
+            elif name in ("starttime", "endtime"):
+                start, end = _narrow_interval(start, end, condition)
+            elif name == "value":
+                point_conditions.append(condition)
+            else:
+                if condition.operator != "=":
+                    raise QueryError(
+                        "dimension predicates support '=' only, got "
+                        f"{condition.operator!r} on {column!r}"
+                    )
+                members.append((column, str(condition.value)))
+        predicates = Predicates(
+            tids=tids,
+            members=tuple(members),
+            start_time=start,
+            end_time=end,
+        )
+        return rewrite(predicates, self.metadata), point_conditions
+
+    # -- Segment View aggregates ------------------------------------------
+    def _accumulate_segment(
+        self, query: Query, plan: RewrittenQuery
+    ) -> "PartialResult":
+        """Algorithm 5/6 over stored segments, without materialising
+        per-series view rows.
+
+        A group segment is visited once: its model is decoded once and,
+        for constant-time models (constant/linear), slice aggregates are
+        column-independent, so they are memoised and *shared* across the
+        group's member series — aggregate work per segment is O(1) in
+        the group size, which is exactly the benefit of executing
+        queries on models representing multiple time series.
+        """
+        calls = _calls(query)
+        group_columns = _validated_group_by(query, self.metadata)
+        simple: dict[tuple, list] = {}
+        cubes: dict[tuple, list] = {}
+        specs = [_CallSpec.from_call(call) for call in calls]
+
+        metadata = self.metadata
+        scalings = metadata.scalings()
+        dimension_rows = metadata.dimension_rows()
+        tids = set(plan.tids)
+        cache = self._segment_cache
+        from .views import _clip
+
+        for segment in self._storage.segments(
+            gids=plan.gids,
+            start_time=plan.start_time,
+            end_time=plan.end_time,
+        ):
+            clipped = _clip(segment, plan.start_time, plan.end_time)
+            if clipped is None:
+                continue
+            first, last = clipped
+            model = None
+            for column, tid in enumerate(segment.member_tids):
+                if tid not in tids:
+                    continue
+                if model is None:
+                    model = cache.decode(
+                        segment.mid,
+                        segment.parameters,
+                        segment.n_columns,
+                        segment.length,
+                    )
+                    if model.constant_time_aggregates:
+                        model = _ColumnSharedModel(model)
+                key = _group_key(
+                    tid, dimension_rows.get(tid, {}), group_columns
+                )
+                scaling = scalings.get(tid, 1.0)
+                for index, spec in enumerate(specs):
+                    if spec.level is None:
+                        states = simple.get(key)
+                        if states is None:
+                            states = [
+                                s.aggregate.initialize() for s in specs
+                            ]
+                            simple[key] = states
+                        states[index] = spec.aggregate.iterate(
+                            states[index], model, first, last, column,
+                            scaling,
+                        )
+                    else:
+                        buckets = cubes.get(key)
+                        if buckets is None:
+                            buckets = [{} for _ in specs]
+                            cubes[key] = buckets
+                        rollup_segment(
+                            buckets[index],
+                            spec.aggregate,
+                            model,
+                            segment.start_time,
+                            segment.sampling_interval,
+                            first,
+                            last,
+                            column,
+                            scaling,
+                            spec.level,
+                        )
+        return PartialResult(specs, group_columns, simple, cubes)
+
+    # -- Data Point View aggregates ----------------------------------------
+    def _accumulate_point(
+        self,
+        query: Query,
+        plan: RewrittenQuery,
+        point_conditions: list[Condition],
+    ) -> "PartialResult":
+        calls = _calls(query)
+        group_columns = _validated_group_by(query, self.metadata)
+        specs = [_CallSpec.from_call(call) for call in calls]
+        simple: dict[tuple, list] = {}
+        cubes: dict[tuple, list] = {}
+
+        for row, timestamps, values in self._data_point_view().arrays(plan):
+            mask = _point_mask(timestamps, values, point_conditions)
+            if mask is not None:
+                timestamps = timestamps[mask]
+                values = values[mask]
+            if len(values) == 0:
+                continue
+            key = _group_key(row.tid, row.dimensions, group_columns)
+            for index, spec in enumerate(specs):
+                if spec.level is None:
+                    states = simple.setdefault(
+                        key, [spec.aggregate.initialize() for spec in specs]
+                    )
+                    states[index] = spec.aggregate.merge(
+                        states[index], _numpy_state(spec.aggregate, values)
+                    )
+                else:
+                    buckets = cubes.setdefault(key, [{} for _ in specs])
+                    _numpy_rollup(
+                        buckets[index], spec, timestamps, values
+                    )
+        return PartialResult(specs, group_columns, simple, cubes)
+
+    # -- Selections ---------------------------------------------------------
+    def _execute_point_selection(
+        self,
+        query: Query,
+        plan: RewrittenQuery,
+        point_conditions: list[Condition],
+    ) -> list[dict]:
+        columns = _selection_columns(
+            query, ["Tid", "TS", "Value"], self.metadata
+        )
+        results = []
+        for point in self._data_point_view().rows(plan):
+            if not _point_matches(point, point_conditions):
+                continue
+            row = {}
+            for column in columns:
+                name = column.lower()
+                if name == "tid":
+                    row[column] = point.tid
+                elif name == "ts":
+                    row[column] = point.timestamp
+                elif name == "value":
+                    row[column] = point.value
+                else:
+                    row[column] = point.dimensions.get(column)
+            results.append(row)
+        return results
+
+    def _execute_segment_selection(
+        self, query: Query, plan: RewrittenQuery
+    ) -> list[dict]:
+        columns = _selection_columns(
+            query,
+            ["Tid", "StartTime", "EndTime", "SI", "Mid"],
+            self.metadata,
+        )
+        results = []
+        for view_row in self._segment_view().rows(plan):
+            row = view_row.row
+            values = {
+                "tid": row.tid,
+                "starttime": row.start_time,
+                "endtime": row.end_time,
+                "si": row.sampling_interval,
+                "mid": row.mid,
+            }
+            shaped = {}
+            for column in columns:
+                name = column.lower()
+                if name in values:
+                    shaped[column] = values[name]
+                else:
+                    shaped[column] = row.dimensions.get(column)
+            results.append(shaped)
+        return results
+
+    # ------------------------------------------------------------------
+    def _segment_view(self) -> SegmentView:
+        return SegmentView(self._storage, self._segment_cache, self.metadata)
+
+    def _data_point_view(self) -> DataPointView:
+        return DataPointView(
+            self._storage, self._segment_cache, self.metadata
+        )
+
+
+class _ColumnSharedModel:
+    """Memoising proxy for constant-time models within one segment.
+
+    Constant and linear group models produce the same estimate for every
+    member series at a timestamp, so slice aggregates do not depend on
+    the column — computing them once per segment and sharing the result
+    across the group's series makes aggregate cost O(1) in group size.
+    """
+
+    __slots__ = ("_model", "_memo")
+
+    constant_time_aggregates = True
+
+    def __init__(self, model) -> None:
+        self._model = model
+        self._memo: dict[tuple, float] = {}
+
+    @property
+    def length(self) -> int:
+        return self._model.length
+
+    @property
+    def n_columns(self) -> int:
+        return self._model.n_columns
+
+    def values(self):
+        return self._model.values()
+
+    def value_at(self, index: int, column: int) -> float:
+        return self._model.value_at(index, 0)
+
+    def column_values(self, column: int):
+        return self._model.column_values(column)
+
+    def slice_sum(self, first: int, last: int, column: int) -> float:
+        key = ("sum", first, last)
+        value = self._memo.get(key)
+        if value is None:
+            value = self._model.slice_sum(first, last, 0)
+            self._memo[key] = value
+        return value
+
+    def slice_min(self, first: int, last: int, column: int) -> float:
+        key = ("min", first, last)
+        value = self._memo.get(key)
+        if value is None:
+            value = self._model.slice_min(first, last, 0)
+            self._memo[key] = value
+        return value
+
+    def slice_max(self, first: int, last: int, column: int) -> float:
+        key = ("max", first, last)
+        value = self._memo.get(key)
+        if value is None:
+            value = self._model.slice_max(first, last, 0)
+            self._memo[key] = value
+        return value
+
+
+# ----------------------------------------------------------------------
+# Partial results (distributed merge step of Algorithm 5)
+# ----------------------------------------------------------------------
+class PartialResult:
+    """Mergeable per-worker aggregate state."""
+
+    def __init__(
+        self,
+        specs: list["_CallSpec"],
+        group_columns: tuple[str, ...],
+        simple: dict[tuple, list],
+        cubes: dict[tuple, list],
+    ) -> None:
+        self.specs = specs
+        self.group_columns = group_columns
+        self.simple = simple
+        self.cubes = cubes
+
+    def merge(self, other: "PartialResult") -> None:
+        """Fold another worker's partial state into this one in place."""
+        if [s.label for s in other.specs] != [s.label for s in self.specs]:
+            raise QueryError("cannot merge partials of different queries")
+        for key, states in other.simple.items():
+            mine = self.simple.get(key)
+            if mine is None:
+                self.simple[key] = list(states)
+                continue
+            for index, spec in enumerate(self.specs):
+                mine[index] = spec.aggregate.merge(mine[index], states[index])
+        for key, buckets_per_spec in other.cubes.items():
+            mine = self.cubes.setdefault(key, [{} for _ in self.specs])
+            for index, spec in enumerate(self.specs):
+                if spec.level is None:
+                    continue
+                for bucket, state in buckets_per_spec[index].items():
+                    existing = mine[index].get(bucket)
+                    if existing is None:
+                        mine[index][bucket] = state
+                    else:
+                        mine[index][bucket] = spec.aggregate.merge(
+                            existing, state
+                        )
+
+    def finalize(self) -> list[dict]:
+        return _shape_results(
+            self.specs, self.group_columns, self.simple, self.cubes
+        )
+
+
+def merge_partial_results(partials: list[PartialResult]) -> list[dict]:
+    """The master's mergeResults + finalize over worker partials."""
+    if not partials:
+        return []
+    combined = partials[0]
+    for partial in partials[1:]:
+        combined.merge(partial)
+    return combined.finalize()
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+class _CallSpec:
+    """A resolved select-list aggregate call."""
+
+    def __init__(self, label: str, aggregate: Aggregate, level: str | None):
+        self.label = label
+        self.aggregate = aggregate
+        self.level = level
+
+    @classmethod
+    def from_call(cls, call: Call) -> "_CallSpec":
+        label = f"{call.function}({call.argument})"
+        if call.function.startswith("CUBE_"):
+            aggregate_name, level = parse_cube_function(call.function)
+            return cls(label, aggregate_by_name(aggregate_name), level)
+        return cls(label, aggregate_by_name(call.function), None)
+
+
+def _calls(query: Query) -> list[Call]:
+    return [item for item in query.select if isinstance(item, Call)]
+
+
+def _conditions_for(
+    tids: Iterable[int] | None,
+    members: Sequence[tuple[str, str]],
+    start_time: int | None,
+    end_time: int | None,
+) -> tuple[Condition, ...]:
+    conditions: list[Condition] = []
+    if tids is not None:
+        conditions.append(Condition("Tid", "IN", tuple(tids)))
+    for column, member in members:
+        conditions.append(Condition(column, "=", member))
+    if start_time is not None:
+        conditions.append(Condition("TS", ">=", start_time))
+    if end_time is not None:
+        conditions.append(Condition("TS", "<=", end_time))
+    return tuple(conditions)
+
+
+def _tid_values(condition: Condition) -> frozenset[int]:
+    if condition.operator == "=":
+        return frozenset({int(condition.value)})
+    if condition.operator == "IN":
+        return frozenset(int(v) for v in condition.value)
+    raise QueryError(
+        f"Tid predicates support '=' and 'IN', got {condition.operator!r}"
+    )
+
+
+def _intersect(
+    current: frozenset[int] | None, new: frozenset[int]
+) -> frozenset[int]:
+    return new if current is None else current & new
+
+
+def _narrow_interval(
+    start: int | None, end: int | None, condition: Condition
+) -> tuple[int | None, int | None]:
+    value = parse_timestamp(condition.value)
+    operator = condition.operator
+    if operator == ">=":
+        start = value if start is None else max(start, value)
+    elif operator == ">":
+        start = value + 1 if start is None else max(start, value + 1)
+    elif operator == "<=":
+        end = value if end is None else min(end, value)
+    elif operator == "<":
+        end = value - 1 if end is None else min(end, value - 1)
+    elif operator == "=":
+        start = value if start is None else max(start, value)
+        end = value if end is None else min(end, value)
+    else:
+        raise QueryError(f"unsupported TS operator {operator!r}")
+    return start, end
+
+
+def _validate_aggregate_select(query: Query) -> None:
+    """Plain columns in an aggregate select list must be grouped on."""
+    for item in query.select:
+        if isinstance(item, Star):
+            raise QueryError("cannot mix '*' with aggregate functions")
+        if isinstance(item, Column) and item.name not in query.group_by:
+            raise QueryError(
+                f"column {item.name!r} must appear in GROUP BY when "
+                "aggregates are selected"
+            )
+
+
+def _validated_group_by(
+    query: Query, metadata: MetadataCache
+) -> tuple[str, ...]:
+    dimension_columns = set(metadata.dimension_columns())
+    for column in query.group_by:
+        if column.lower() != "tid" and column not in dimension_columns:
+            raise QueryError(f"cannot GROUP BY unknown column {column!r}")
+    return query.group_by
+
+
+def _group_key(
+    tid: int, dimensions: dict[str, str], group_columns: tuple[str, ...]
+) -> tuple:
+    key = []
+    for column in group_columns:
+        if column.lower() == "tid":
+            key.append(tid)
+        else:
+            key.append(dimensions.get(column))
+    return tuple(key)
+
+
+def _selection_columns(
+    query: Query, default: list[str], metadata: MetadataCache
+) -> list[str]:
+    if any(isinstance(item, Star) for item in query.select):
+        return default + metadata.dimension_columns()
+    known = {name.lower() for name in default}
+    known |= {name.lower() for name in metadata.dimension_columns()}
+    columns = []
+    for item in query.select:
+        if isinstance(item, Column):
+            if item.name.lower() not in known:
+                raise QueryError(f"unknown column {item.name!r}")
+            columns.append(item.name)
+        else:
+            raise QueryError("cannot mix aggregates and plain columns")
+    return columns
+
+
+def _shape_results(
+    specs: list[_CallSpec],
+    group_columns: tuple[str, ...],
+    simple: dict[tuple, list],
+    cubes: dict[tuple, list],
+) -> list[dict]:
+    results = []
+    keys = sorted(
+        set(simple) | set(cubes), key=lambda key: tuple(map(str, key))
+    )
+    has_cube = any(spec.level is not None for spec in specs)
+    if not keys and not group_columns and not has_cube:
+        # SQL semantics: an ungrouped aggregate over no rows still yields
+        # one row (COUNT 0, the others NULL).
+        return [
+            {
+                spec.label: spec.aggregate.finalize(spec.aggregate.initialize())
+                for spec in specs
+            }
+        ]
+    for key in keys:
+        base = dict(zip(group_columns, key))
+        if not has_cube:
+            states = simple.get(key)
+            row = dict(base)
+            for index, spec in enumerate(specs):
+                state = (
+                    states[index]
+                    if states is not None
+                    else spec.aggregate.initialize()
+                )
+                row[spec.label] = spec.aggregate.finalize(state)
+            results.append(row)
+            continue
+        # With cube calls, emit one row per (group key, bucket).
+        buckets_per_spec = cubes.get(key, [{} for _ in specs])
+        all_buckets = sorted(
+            {
+                bucket
+                for index, spec in enumerate(specs)
+                if spec.level is not None
+                for bucket in buckets_per_spec[index]
+            }
+        )
+        simple_states = simple.get(key)
+        for bucket in all_buckets:
+            row = dict(base)
+            for index, spec in enumerate(specs):
+                if spec.level is None:
+                    state = (
+                        simple_states[index]
+                        if simple_states is not None
+                        else spec.aggregate.initialize()
+                    )
+                    row[spec.label] = spec.aggregate.finalize(state)
+                else:
+                    state = buckets_per_spec[index].get(bucket)
+                    if state is None:
+                        continue
+                    row[spec.level] = format_bucket(bucket, spec.level)
+                    row[spec.label] = spec.aggregate.finalize(state)
+            results.append(row)
+    return results
+
+
+def _point_mask(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    conditions: list[Condition],
+) -> np.ndarray | None:
+    mask = None
+    for condition in conditions:
+        name = condition.column.lower()
+        if name in ("ts", "timestamp"):
+            target = timestamps
+            literal = parse_timestamp(condition.value)
+        else:
+            target = values
+            literal = float(condition.value)
+        current = _compare(target, condition.operator, literal)
+        mask = current if mask is None else (mask & current)
+    return mask
+
+
+def _compare(array: np.ndarray, operator: str, literal) -> np.ndarray:
+    if operator == "=":
+        return array == literal
+    if operator == "<":
+        return array < literal
+    if operator == "<=":
+        return array <= literal
+    if operator == ">":
+        return array > literal
+    if operator == ">=":
+        return array >= literal
+    raise QueryError(f"unsupported operator {operator!r}")
+
+
+def _point_matches(point: DataPointRow, conditions: list[Condition]) -> bool:
+    for condition in conditions:
+        name = condition.column.lower()
+        if name in ("ts", "timestamp"):
+            actual = point.timestamp
+            literal = parse_timestamp(condition.value)
+        else:
+            actual = point.value
+            literal = float(condition.value)
+        array = np.array([actual])
+        if not bool(_compare(array, condition.operator, literal)[0]):
+            return False
+    return True
+
+
+def _numpy_state(aggregate: Aggregate, values: np.ndarray):
+    """Partial state for one reconstructed slice (Data Point View path)."""
+    name = aggregate.name
+    if name == "COUNT":
+        return int(len(values))
+    if name == "SUM":
+        return float(values.sum())
+    if name == "MIN":
+        return float(values.min())
+    if name == "MAX":
+        return float(values.max())
+    if name == "AVG":
+        return (float(values.sum()), int(len(values)))
+    raise QueryError(f"aggregate {name!r} not supported on the Data Point View")
+
+
+def _numpy_rollup(
+    buckets: dict[int, object],
+    spec: _CallSpec,
+    timestamps: np.ndarray,
+    values: np.ndarray,
+) -> None:
+    """Vectorised calendar bucketing for Data Point View rollups."""
+    from .rollup import DATEPART_LEVELS, datepart_of
+
+    part_level = DATEPART_LEVELS.get(spec.level)
+    unit = _NUMPY_LEVEL_UNIT[part_level if part_level else spec.level]
+    moments = timestamps.astype("datetime64[ms]")
+    starts = (
+        moments.astype(f"datetime64[{unit}]")
+        .astype("datetime64[ms]")
+        .astype(np.int64)
+    )
+    unique, inverse = np.unique(starts, return_inverse=True)
+    for position, bucket in enumerate(unique):
+        slice_values = values[inverse == position]
+        state = _numpy_state(spec.aggregate, slice_values)
+        key = (
+            int(bucket)
+            if part_level is None
+            else datepart_of(int(bucket), spec.level)
+        )
+        existing = buckets.get(key)
+        if existing is None:
+            buckets[key] = state
+        else:
+            buckets[key] = spec.aggregate.merge(existing, state)

@@ -1,0 +1,58 @@
+"""Query rewriting: Tids and members to Gids (Section 6.2).
+
+User queries reference time series (Tids) and dimension members; segments
+are stored per group (Gid). Before hitting storage, the WHERE clause's
+Tid and member predicates are rewritten to the Gids of the groups that
+contain matching series — that is all the segment store has to index —
+and the original Tid set is kept to filter the exploded per-series rows
+afterwards (Figs. 11 and 12's *Rewriting* step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metadata import MetadataCache
+
+
+@dataclass(frozen=True)
+class Predicates:
+    """The WHERE-clause facts the rewriter understands.
+
+    ``tids`` — an explicit Tid restriction (None means all);
+    ``members`` — equality predicates on denormalised dimension columns;
+    ``start_time``/``end_time`` — the closed time interval restriction.
+    """
+
+    tids: frozenset[int] | None = None
+    members: tuple[tuple[str, str], ...] = ()
+    start_time: int | None = None
+    end_time: int | None = None
+
+
+@dataclass(frozen=True)
+class RewrittenQuery:
+    """Storage-level plan: which partitions to scan, which rows to keep."""
+
+    gids: frozenset[int]
+    tids: frozenset[int]
+    start_time: int | None
+    end_time: int | None
+
+
+def rewrite(predicates: Predicates, cache: MetadataCache) -> RewrittenQuery:
+    """Rewrite Tid/member predicates into a Gid scan plus a Tid filter."""
+    tids = (
+        set(predicates.tids)
+        if predicates.tids is not None
+        else cache.all_tids()
+    )
+    for column, member in predicates.members:
+        tids &= cache.tids_with_member(column, member)
+    gids = cache.gids_of(tids)
+    return RewrittenQuery(
+        gids=frozenset(gids),
+        tids=frozenset(tids),
+        start_time=predicates.start_time,
+        end_time=predicates.end_time,
+    )

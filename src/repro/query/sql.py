@@ -1,0 +1,222 @@
+"""A small SQL dialect covering the paper's query classes (Section 7.2).
+
+Supported statements::
+
+    SELECT SUM_S(*) FROM Segment WHERE Tid IN (1, 2, 3) GROUP BY Tid
+    SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid = 1 GROUP BY Tid
+    SELECT Category, CUBE_AVG_MONTH(*) FROM Segment
+        WHERE Category = 'Production' GROUP BY Category
+    SELECT TS, Value FROM DataPoint WHERE Tid = 2 AND TS >= 1000 AND TS <= 2000
+    SELECT COUNT(*) FROM DataPoint WHERE Tid = 1
+
+Conditions are AND-combined equality/range predicates over ``Tid``,
+``TS`` and denormalised dimension columns, plus ``Tid IN (...)``. This is
+deliberately the subset the evaluation workloads exercise — S-AGG, L-AGG,
+M-AGG and P/R all parse with it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..core.errors import QueryError
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        '(?:[^']*)'            # single-quoted string
+      | "(?:[^"]*)"            # double-quoted string
+      | [A-Za-z_][\w.]*        # identifier (dots allow Dimension.Level)
+      | -?\d+\.\d+             # float
+      | -?\d+                  # int
+      | <=|>=|<>|!=|[(),*=<>]  # symbols
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Star:
+    """The ``*`` select item."""
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+
+
+@dataclass(frozen=True)
+class Call:
+    function: str
+    argument: str  # "*" or a column name
+
+
+SelectItem = Star | Column | Call
+
+
+@dataclass(frozen=True)
+class Condition:
+    column: str
+    operator: str  # '=', '<', '<=', '>', '>=', 'IN'
+    value: object  # literal, or tuple of literals for IN
+
+
+@dataclass(frozen=True)
+class Query:
+    view: str  # 'segment' or 'datapoint'
+    select: tuple[SelectItem, ...]
+    where: tuple[Condition, ...] = ()
+    group_by: tuple[str, ...] = ()
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(isinstance(item, Call) for item in self.select)
+
+
+def tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            if text[position:].strip():
+                raise QueryError(
+                    f"cannot tokenize query near {text[position:position+20]!r}"
+                )
+            break
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> str | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.next()
+        if token.upper() != keyword:
+            raise QueryError(f"expected {keyword}, got {token!r}")
+
+    def at_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return token is not None and token.upper() == keyword
+
+    # ------------------------------------------------------------------
+    def parse(self) -> Query:
+        self.expect_keyword("SELECT")
+        select = self._parse_select_list()
+        self.expect_keyword("FROM")
+        view = self.next().lower()
+        if view not in ("segment", "datapoint"):
+            raise QueryError(
+                f"unknown view {view!r}; expected Segment or DataPoint"
+            )
+        where: tuple[Condition, ...] = ()
+        group_by: tuple[str, ...] = ()
+        if self.at_keyword("WHERE"):
+            self.next()
+            where = self._parse_conditions()
+        if self.at_keyword("GROUP"):
+            self.next()
+            self.expect_keyword("BY")
+            group_by = self._parse_identifier_list()
+        if self.peek() is not None:
+            raise QueryError(f"unexpected trailing token {self.peek()!r}")
+        return Query(view, select, where, group_by)
+
+    def _parse_select_list(self) -> tuple[SelectItem, ...]:
+        items: list[SelectItem] = [self._parse_select_item()]
+        while self.peek() == ",":
+            self.next()
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self.next()
+        if token == "*":
+            return Star()
+        if not _is_identifier(token):
+            raise QueryError(f"invalid select item {token!r}")
+        if self.peek() == "(":
+            self.next()
+            argument = self.next()
+            if argument != "*" and not _is_identifier(argument):
+                raise QueryError(f"invalid aggregate argument {argument!r}")
+            if self.next() != ")":
+                raise QueryError("expected ')' after aggregate argument")
+            return Call(token.upper(), argument)
+        return Column(token)
+
+    def _parse_conditions(self) -> tuple[Condition, ...]:
+        conditions = [self._parse_condition()]
+        while self.at_keyword("AND"):
+            self.next()
+            conditions.append(self._parse_condition())
+        return tuple(conditions)
+
+    def _parse_condition(self) -> Condition:
+        column = self.next()
+        if not _is_identifier(column):
+            raise QueryError(f"invalid column name {column!r}")
+        operator = self.next()
+        if operator.upper() == "IN":
+            if self.next() != "(":
+                raise QueryError("expected '(' after IN")
+            values = [self._parse_literal()]
+            while self.peek() == ",":
+                self.next()
+                values.append(self._parse_literal())
+            if self.next() != ")":
+                raise QueryError("expected ')' to close IN list")
+            return Condition(column, "IN", tuple(values))
+        if operator not in ("=", "<", "<=", ">", ">="):
+            raise QueryError(f"unsupported operator {operator!r}")
+        return Condition(column, operator, self._parse_literal())
+
+    def _parse_identifier_list(self) -> tuple[str, ...]:
+        names = [self.next()]
+        while self.peek() == ",":
+            self.next()
+            names.append(self.next())
+        for name in names:
+            if not _is_identifier(name):
+                raise QueryError(f"invalid GROUP BY column {name!r}")
+        return tuple(names)
+
+    def _parse_literal(self):
+        token = self.next()
+        if token.startswith(("'", '"')):
+            return token[1:-1]
+        try:
+            return int(token)
+        except ValueError:
+            pass
+        try:
+            return float(token)
+        except ValueError:
+            raise QueryError(f"invalid literal {token!r}") from None
+
+
+def _is_identifier(token: str) -> bool:
+    return bool(re.fullmatch(r"[A-Za-z_][\w.]*", token))
+
+
+def parse(text: str) -> Query:
+    """Parse one SQL statement into a :class:`Query`."""
+    return _Parser(tokenize(text)).parse()

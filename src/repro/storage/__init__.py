@@ -1,0 +1,24 @@
+"""Segment storage: the three tables of Fig. 6 behind a uniform interface."""
+
+from .filestore import FileStorage
+from .interface import Storage
+from .memory import MemoryStorage
+from .schema import TimeSeriesRecord, records_for_groups
+from .serialization import (
+    HEADER_BYTES,
+    decode_segment,
+    encode_segment,
+    encoded_size,
+)
+
+__all__ = [
+    "FileStorage",
+    "Storage",
+    "MemoryStorage",
+    "TimeSeriesRecord",
+    "records_for_groups",
+    "HEADER_BYTES",
+    "decode_segment",
+    "encode_segment",
+    "encoded_size",
+]

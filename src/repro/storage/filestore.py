@@ -1,0 +1,182 @@
+"""Persistent log-structured segment store (the Cassandra substitute).
+
+Reproduces the storage properties the paper relies on:
+
+* segments are partitioned by Gid — one append-only log per group — so a
+  Gid predicate prunes whole partitions (the primary-key layout
+  ``(Gid, EndTime, Gaps)`` of Section 3.3);
+* rows carry the paper's 24-byte header with StartTime stored as the
+  segment size (see :mod:`repro.storage.serialization`);
+* metadata (Time Series and Model tables) lives in a small JSON sidecar,
+  loaded into the in-memory metadata cache on open.
+
+Within a partition, segments are appended in ingestion order, which for
+streaming ingestion means non-decreasing end time — time-interval
+predicates are still evaluated per row, as Cassandra would with a
+clustering-key slice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from ..core.errors import StorageError
+from ..core.segment import SegmentGroup
+from .interface import Storage
+from .schema import TimeSeriesRecord
+from .serialization import HEADER_BYTES, decode_segment, encode_segment
+
+_METADATA_FILE = "metadata.json"
+_PARTITION_PREFIX = "segments_gid_"
+_PARTITION_SUFFIX = ".bin"
+
+
+class FileStorage(Storage):
+    """Durable segment store rooted at a directory."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self._root = Path(directory)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._time_series: dict[int, TimeSeriesRecord] = {}
+        self._models: dict[int, str] = {}
+        self._groups: dict[int, tuple[tuple[int, ...], int]] = {}
+        self._counts: dict[int, int] = {}
+        self._load_metadata()
+
+    # ------------------------------------------------------------------
+    # Metadata tables
+    # ------------------------------------------------------------------
+    def insert_time_series(self, records: Iterable[TimeSeriesRecord]) -> None:
+        for record in records:
+            self._time_series[record.tid] = record
+        self._rebuild_group_cache()
+        self._save_metadata()
+
+    def time_series(self) -> list[TimeSeriesRecord]:
+        return [self._time_series[tid] for tid in sorted(self._time_series)]
+
+    def insert_model_table(self, models: Mapping[int, str]) -> None:
+        self._models.update(models)
+        self._save_metadata()
+
+    def model_table(self) -> dict[int, str]:
+        return dict(self._models)
+
+    # ------------------------------------------------------------------
+    # Segment table
+    # ------------------------------------------------------------------
+    def insert_segments(self, segments: Iterable[SegmentGroup]) -> None:
+        by_gid: dict[int, list[bytes]] = {}
+        counts: dict[int, int] = {}
+        for segment in segments:
+            if segment.gid not in self._groups:
+                raise StorageError(
+                    f"segment references unknown group {segment.gid}; insert "
+                    "the Time Series table rows first"
+                )
+            by_gid.setdefault(segment.gid, []).append(encode_segment(segment))
+            counts[segment.gid] = counts.get(segment.gid, 0) + 1
+        for gid, rows in by_gid.items():
+            with open(self._partition_path(gid), "ab") as handle:
+                handle.write(b"".join(rows))
+            self._counts[gid] = self._counts.get(gid, 0) + counts[gid]
+        self._save_metadata()
+
+    def segments(
+        self,
+        gids: Iterable[int] | None = None,
+        start_time: int | None = None,
+        end_time: int | None = None,
+    ) -> Iterator[SegmentGroup]:
+        partitions = (
+            sorted(self._groups) if gids is None else sorted(set(gids))
+        )
+        for gid in partitions:
+            yield from self._scan_partition(gid, start_time, end_time)
+
+    def segment_count(self) -> int:
+        return sum(self._counts.values())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._root.glob(f"{_PARTITION_PREFIX}*{_PARTITION_SUFFIX}"):
+            total += path.stat().st_size
+        return total
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _scan_partition(
+        self, gid: int, start_time: int | None, end_time: int | None
+    ) -> Iterator[SegmentGroup]:
+        metadata = self._groups.get(gid)
+        if metadata is None:
+            return
+        group_tids, sampling_interval = metadata
+        path = self._partition_path(gid)
+        if not path.exists():
+            return
+        data = path.read_bytes()
+        offset = 0
+        while offset + HEADER_BYTES <= len(data):
+            segment, offset = decode_segment(
+                data, offset, sampling_interval, group_tids
+            )
+            if segment.overlaps(start_time, end_time):
+                yield segment
+
+    def _partition_path(self, gid: int) -> Path:
+        return self._root / f"{_PARTITION_PREFIX}{gid}{_PARTITION_SUFFIX}"
+
+    def _rebuild_group_cache(self) -> None:
+        self._groups = self.group_metadata()
+
+    def _metadata_path(self) -> Path:
+        return self._root / _METADATA_FILE
+
+    def _save_metadata(self) -> None:
+        payload = {
+            "time_series": [
+                {
+                    "tid": record.tid,
+                    "si": record.sampling_interval,
+                    "gid": record.gid,
+                    "scaling": record.scaling,
+                    "name": record.name,
+                    "dimensions": record.dimensions,
+                }
+                for record in self.time_series()
+            ],
+            "models": {str(mid): name for mid, name in self._models.items()},
+            "counts": {str(gid): count for gid, count in self._counts.items()},
+        }
+        self._metadata_path().write_text(json.dumps(payload))
+
+    def _load_metadata(self) -> None:
+        path = self._metadata_path()
+        if not path.exists():
+            return
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"corrupt metadata file: {exc}") from exc
+        for row in payload.get("time_series", []):
+            record = TimeSeriesRecord(
+                tid=row["tid"],
+                sampling_interval=row["si"],
+                gid=row["gid"],
+                scaling=row.get("scaling", 1.0),
+                name=row.get("name", ""),
+                dimensions=row.get("dimensions", {}),
+            )
+            self._time_series[record.tid] = record
+        self._models = {
+            int(mid): name for mid, name in payload.get("models", {}).items()
+        }
+        self._counts = {
+            int(gid): count for gid, count in payload.get("counts", {}).items()
+        }
+        self._rebuild_group_cache()

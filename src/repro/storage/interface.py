@@ -1,0 +1,90 @@
+"""The uniform storage interface with predicate push-down (Fig. 4).
+
+The engine is storage-agnostic: any backend implementing
+:class:`Storage` can hold the three tables of Fig. 6. Predicate
+push-down happens at :meth:`Storage.segments`: the query processor hands
+down the Gids (after Tid/member rewriting) and the time interval, so
+backends skip irrelevant partitions instead of filtering in the engine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Mapping
+
+from ..core.errors import StorageError
+from ..core.segment import SegmentGroup
+from .schema import TimeSeriesRecord
+
+
+class Storage(ABC):
+    """Abstract segment group store (Time Series + Model + Segment)."""
+
+    # -- Time Series table -------------------------------------------------
+    @abstractmethod
+    def insert_time_series(self, records: Iterable[TimeSeriesRecord]) -> None:
+        """Store (or replace) Time Series table rows."""
+
+    @abstractmethod
+    def time_series(self) -> list[TimeSeriesRecord]:
+        """All Time Series table rows, ordered by Tid."""
+
+    # -- Model table -------------------------------------------------------
+    @abstractmethod
+    def insert_model_table(self, models: Mapping[int, str]) -> None:
+        """Store the Mid -> classpath mapping."""
+
+    @abstractmethod
+    def model_table(self) -> dict[int, str]:
+        """The stored Mid -> classpath mapping."""
+
+    # -- Segment table -----------------------------------------------------
+    @abstractmethod
+    def insert_segments(self, segments: Iterable[SegmentGroup]) -> None:
+        """Append segment rows (bulk write)."""
+
+    @abstractmethod
+    def segments(
+        self,
+        gids: Iterable[int] | None = None,
+        start_time: int | None = None,
+        end_time: int | None = None,
+    ) -> Iterator[SegmentGroup]:
+        """Scan segments with predicate push-down.
+
+        ``gids`` restricts to those partitions; ``start_time``/``end_time``
+        keep only segments overlapping the closed interval.
+        """
+
+    @abstractmethod
+    def segment_count(self) -> int:
+        """Total number of stored segments."""
+
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Bytes used by the Segment table (the storage experiments'
+        measurement; metadata tables are negligible and excluded, as the
+        paper's `du` of the data directory is dominated by segments)."""
+
+    def close(self) -> None:
+        """Release resources; default is a no-op."""
+
+    # -- Shared helpers ----------------------------------------------------
+    def group_metadata(self) -> dict[int, tuple[tuple[int, ...], int]]:
+        """Gid -> (group tids in column order, sampling interval).
+
+        Derived from the Time Series table; used to decode segment rows.
+        """
+        groups: dict[int, list[int]] = {}
+        intervals: dict[int, int] = {}
+        for record in self.time_series():
+            groups.setdefault(record.gid, []).append(record.tid)
+            existing = intervals.setdefault(record.gid, record.sampling_interval)
+            if existing != record.sampling_interval:
+                raise StorageError(
+                    f"group {record.gid} mixes sampling intervals"
+                )
+        return {
+            gid: (tuple(sorted(tids)), intervals[gid])
+            for gid, tids in groups.items()
+        }

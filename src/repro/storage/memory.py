@@ -1,0 +1,66 @@
+"""In-memory segment store.
+
+Used by tests, as the main-memory segment cache tier of the architecture
+(Fig. 4), and wherever persistence is not needed. Sizes are accounted with
+the same binary codec as the file store so storage experiments can run
+against either backend.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..core.segment import SegmentGroup
+from .interface import Storage
+from .schema import TimeSeriesRecord
+from .serialization import encoded_size
+
+
+class MemoryStorage(Storage):
+    """Segment store keeping everything in process memory."""
+
+    def __init__(self) -> None:
+        self._time_series: dict[int, TimeSeriesRecord] = {}
+        self._models: dict[int, str] = {}
+        self._segments: dict[int, list[SegmentGroup]] = {}
+        self._bytes = 0
+        self._count = 0
+
+    def insert_time_series(self, records: Iterable[TimeSeriesRecord]) -> None:
+        for record in records:
+            self._time_series[record.tid] = record
+
+    def time_series(self) -> list[TimeSeriesRecord]:
+        return [self._time_series[tid] for tid in sorted(self._time_series)]
+
+    def insert_model_table(self, models: Mapping[int, str]) -> None:
+        self._models.update(models)
+
+    def model_table(self) -> dict[int, str]:
+        return dict(self._models)
+
+    def insert_segments(self, segments: Iterable[SegmentGroup]) -> None:
+        for segment in segments:
+            self._segments.setdefault(segment.gid, []).append(segment)
+            self._bytes += encoded_size(segment)
+            self._count += 1
+
+    def segments(
+        self,
+        gids: Iterable[int] | None = None,
+        start_time: int | None = None,
+        end_time: int | None = None,
+    ) -> Iterator[SegmentGroup]:
+        partitions = (
+            sorted(self._segments) if gids is None else sorted(set(gids))
+        )
+        for gid in partitions:
+            for segment in self._segments.get(gid, ()):
+                if segment.overlaps(start_time, end_time):
+                    yield segment
+
+    def segment_count(self) -> int:
+        return self._count
+
+    def size_bytes(self) -> int:
+        return self._bytes

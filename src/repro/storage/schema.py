@@ -1,0 +1,58 @@
+"""The storage schema of Fig. 6.
+
+Three tables support MMGC:
+
+* **Time Series** — per-Tid metadata: the only required field is the
+  sampling interval; Gid records the group the partitioner assigned,
+  Scaling the ingest/query scaling constant, and the user-defined
+  dimensions are stored denormalised alongside.
+* **Model** — Mid to model classpath, so stored segments can be decoded
+  by any node (and by user-defined models loaded via the registry).
+* **Segment** — the fact table: one row per emitted segment group.
+
+Segment rows are represented by :class:`~repro.core.segment.SegmentGroup`;
+this module defines the two metadata record types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.dimensions import DimensionSet
+from ..core.group import TimeSeriesGroup
+
+
+@dataclass(frozen=True)
+class TimeSeriesRecord:
+    """One row of the Time Series table."""
+
+    tid: int
+    sampling_interval: int
+    gid: int
+    scaling: float = 1.0
+    name: str = ""
+    #: Denormalised dimension members, column name -> member.
+    dimensions: dict[str, str] = field(default_factory=dict)
+
+
+def records_for_groups(
+    groups: list[TimeSeriesGroup],
+    dimensions: DimensionSet | None = None,
+) -> list[TimeSeriesRecord]:
+    """Build Time Series table rows for partitioned groups."""
+    records = []
+    for group in groups:
+        for ts in group:
+            row = dimensions.row(ts.tid) if dimensions is not None else {}
+            records.append(
+                TimeSeriesRecord(
+                    tid=ts.tid,
+                    sampling_interval=ts.sampling_interval,
+                    gid=group.gid,
+                    scaling=ts.scaling,
+                    name=ts.name,
+                    dimensions=row,
+                )
+            )
+    records.sort(key=lambda record: record.tid)
+    return records

@@ -1,0 +1,22 @@
+"""Evaluation workloads (S-AGG, L-AGG, M-AGG, P/R) and metrics."""
+
+from .metrics import (
+    actual_average_error,
+    compression_ratio,
+    max_relative_error,
+    reconstruction_errors,
+)
+from .queries import QuerySet, QuerySpec, l_agg, m_agg, p_r, s_agg
+
+__all__ = [
+    "actual_average_error",
+    "compression_ratio",
+    "max_relative_error",
+    "reconstruction_errors",
+    "QuerySet",
+    "QuerySpec",
+    "l_agg",
+    "m_agg",
+    "p_r",
+    "s_agg",
+]

@@ -1,0 +1,83 @@
+"""Evaluation metrics (Section 7.3).
+
+The paper reports the *actual average error* of lossy ingestion as
+
+    (Σ |rvₙ - avₙ| / Σ |rvₙ|) × 100
+
+over all ingested data points, where ``rv`` are the real and ``av`` the
+approximated values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.timeseries import TimeSeries
+from ..modelardb import ModelarDB
+
+
+def actual_average_error(db: ModelarDB, series: Sequence[TimeSeries]) -> float:
+    """The actual average error in percent of a lossy ingestion."""
+    absolute_error = 0.0
+    absolute_real = 0.0
+    for ts in series:
+        reconstructed = {
+            point.timestamp: point.value for point in db.points(tids=[ts.tid])
+        }
+        for point in ts:
+            if point.value is None:
+                continue
+            approximated = reconstructed.get(point.timestamp)
+            if approximated is None:
+                raise ValueError(
+                    f"data point ({ts.tid}, {point.timestamp}) was lost"
+                )
+            absolute_error += abs(point.value - approximated)
+            absolute_real += abs(point.value)
+    if absolute_real == 0.0:
+        return 0.0
+    return 100.0 * absolute_error / absolute_real
+
+
+def max_relative_error(db: ModelarDB, series: Sequence[TimeSeries]) -> float:
+    """The worst per-point relative error in percent (bound check)."""
+    worst = 0.0
+    for ts in series:
+        reconstructed = {
+            point.timestamp: point.value for point in db.points(tids=[ts.tid])
+        }
+        for point in ts:
+            if point.value is None:
+                continue
+            approximated = reconstructed[point.timestamp]
+            denominator = abs(point.value)
+            if denominator == 0.0:
+                error = abs(approximated)
+            else:
+                error = abs(point.value - approximated) / denominator
+            worst = max(worst, error)
+    return 100.0 * worst
+
+
+def compression_ratio(raw_points: int, stored_bytes: int) -> float:
+    """Raw bytes (12 per point: int64 ts + float32 value) per stored byte."""
+    if stored_bytes == 0:
+        return float("inf")
+    return raw_points * 12 / stored_bytes
+
+
+def reconstruction_errors(
+    db: ModelarDB, ts: TimeSeries
+) -> np.ndarray:
+    """Per-point absolute errors for one series (property tests)."""
+    reconstructed = {
+        point.timestamp: point.value for point in db.points(tids=[ts.tid])
+    }
+    errors = []
+    for point in ts:
+        if point.value is None:
+            continue
+        errors.append(abs(point.value - reconstructed[point.timestamp]))
+    return np.array(errors)

@@ -1,0 +1,186 @@
+"""The evaluation's query workloads (Section 7.2).
+
+Four query sets, expressed as backend-neutral specs executable against
+any :class:`~repro.baselines.base.StorageFormat`:
+
+* **S-AGG** — small simple aggregates for interactive analysis: half on
+  one time series, half GROUP BY Tid over five series.
+* **L-AGG** — large-scale aggregates over the full data set, half with
+  GROUP BY Tid.
+* **M-AGG** — multi-dimensional aggregates: WHERE restricted to the
+  member indicating energy production, GROUP BY month and a dimension
+  (variant One) or additionally by Tid (variant Two).
+* **P/R** — point and range queries restricted by TS, or Tid and TS.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines.base import StorageFormat
+
+_SIMPLE_FUNCTIONS = ("SUM", "MIN", "MAX", "AVG", "COUNT")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One backend-neutral query."""
+
+    kind: str  # 'simple' | 'point' | 'range' | 'rollup'
+    function: str = "SUM"
+    tids: tuple[int, ...] | None = None
+    group_by_tid: bool = False
+    timestamp: int | None = None
+    start: int | None = None
+    end: int | None = None
+    level: str = "MONTH"
+    member: tuple[str, str] | None = None
+    group_by: str | None = None
+
+    def run(self, target: StorageFormat):
+        if self.kind == "simple":
+            return target.simple_aggregate(
+                self.function,
+                tids=list(self.tids) if self.tids else None,
+                group_by_tid=self.group_by_tid,
+                start=self.start,
+                end=self.end,
+            )
+        if self.kind == "point":
+            return target.point_query(self.tids[0], self.timestamp)
+        if self.kind == "range":
+            return target.range_query(self.tids[0], self.start, self.end)
+        if self.kind == "rollup":
+            return target.rollup(
+                self.function,
+                self.level,
+                member=self.member,
+                group_by=self.group_by,
+                per_tid=self.group_by_tid,
+                tids=list(self.tids) if self.tids else None,
+            )
+        raise ValueError(f"unknown query kind {self.kind!r}")
+
+
+@dataclass
+class QuerySet:
+    name: str
+    queries: list[QuerySpec] = field(default_factory=list)
+
+    def run(self, target: StorageFormat) -> float:
+        """Execute all queries; returns elapsed seconds."""
+        started = time.perf_counter()
+        for query in self.queries:
+            query.run(target)
+        return time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Workload generators
+# ----------------------------------------------------------------------
+def s_agg(
+    tids: Sequence[int], seed: int = 0, count: int = 10
+) -> QuerySet:
+    """Small aggregates: half single-series, half GROUP BY over five."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for index in range(count):
+        function = _SIMPLE_FUNCTIONS[index % len(_SIMPLE_FUNCTIONS)]
+        if index % 2 == 0:
+            target = (int(rng.choice(tids)),)
+            queries.append(
+                QuerySpec("simple", function=function, tids=target)
+            )
+        else:
+            chosen = rng.choice(tids, size=min(5, len(tids)), replace=False)
+            queries.append(
+                QuerySpec(
+                    "simple",
+                    function=function,
+                    tids=tuple(int(t) for t in chosen),
+                    group_by_tid=True,
+                )
+            )
+    return QuerySet("S-AGG", queries)
+
+
+def l_agg(count: int = 4) -> QuerySet:
+    """Full-data-set aggregates, half GROUP BY Tid."""
+    queries = []
+    for index in range(count):
+        function = _SIMPLE_FUNCTIONS[index % len(_SIMPLE_FUNCTIONS)]
+        queries.append(
+            QuerySpec(
+                "simple",
+                function=function,
+                tids=None,
+                group_by_tid=index % 2 == 1,
+            )
+        )
+    return QuerySet("L-AGG", queries)
+
+
+def m_agg(
+    member: tuple[str, str],
+    group_by: str,
+    per_tid: bool = False,
+    count: int = 4,
+    level: str = "MONTH",
+) -> QuerySet:
+    """Multi-dimensional aggregates by month and a dimension column.
+
+    ``per_tid=False`` is M-AGG-One (GROUP BY month + dimension);
+    ``per_tid=True`` is M-AGG-Two (drill down to month + dimension + Tid).
+    """
+    queries = []
+    for index in range(count):
+        function = ("SUM", "AVG")[index % 2]
+        queries.append(
+            QuerySpec(
+                "rollup",
+                function=function,
+                level=level,
+                member=member,
+                group_by=group_by,
+                group_by_tid=per_tid,
+            )
+        )
+    name = "M-AGG-Two" if per_tid else "M-AGG-One"
+    return QuerySet(name, queries)
+
+
+def p_r(
+    tids: Sequence[int],
+    start_time: int,
+    end_time: int,
+    sampling_interval: int,
+    seed: int = 0,
+    count: int = 10,
+    range_fraction: float = 0.02,
+) -> QuerySet:
+    """Point and range queries (half each)."""
+    rng = np.random.default_rng(seed)
+    span = end_time - start_time
+    queries = []
+    for index in range(count):
+        tid = int(rng.choice(tids))
+        if index % 2 == 0:
+            offset = int(rng.integers(0, span // sampling_interval))
+            timestamp = start_time + offset * sampling_interval
+            queries.append(
+                QuerySpec("point", tids=(tid,), timestamp=timestamp)
+            )
+        else:
+            length = max(int(span * range_fraction), sampling_interval)
+            offset = int(rng.integers(0, max(span - length, 1)))
+            begin = start_time + offset
+            queries.append(
+                QuerySpec(
+                    "range", tids=(tid,), start=begin, end=begin + length
+                )
+            )
+    return QuerySet("P/R", queries)

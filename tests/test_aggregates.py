@@ -1,0 +1,113 @@
+"""The UDAF framework: initialize / iterate / merge / finalize."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.models.pmc_mean import FittedPMCMean
+from repro.models.swing import FittedSwing
+from repro.query.aggregates import aggregate_by_name, aggregate_names
+
+
+@pytest.fixture
+def constant_model():
+    return FittedPMCMean(10.0, n_columns=1, length=8)
+
+
+@pytest.fixture
+def linear_model():
+    # 0, 1, 2, ..., 9
+    return FittedSwing(0.0, 1.0, n_columns=1, length=10)
+
+
+class TestLookup:
+    def test_names(self):
+        assert aggregate_names() == ["AVG", "COUNT", "MAX", "MIN", "SUM"]
+
+    def test_suffixed_lookup(self):
+        assert aggregate_by_name("SUM_S").name == "SUM"
+        assert aggregate_by_name("sum_s").name == "SUM"
+        assert aggregate_by_name("MIN").name == "MIN"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            aggregate_by_name("MEDIAN_S")
+
+
+class TestIterate:
+    def test_count(self, constant_model):
+        agg = aggregate_by_name("COUNT")
+        state = agg.iterate(agg.initialize(), constant_model, 0, 7, 0, 1.0)
+        assert agg.finalize(state) == 8
+
+    def test_sum(self, constant_model):
+        agg = aggregate_by_name("SUM")
+        state = agg.iterate(agg.initialize(), constant_model, 2, 5, 0, 1.0)
+        assert agg.finalize(state) == 40.0
+
+    def test_min_max(self, linear_model):
+        low = aggregate_by_name("MIN")
+        high = aggregate_by_name("MAX")
+        state = low.iterate(low.initialize(), linear_model, 3, 7, 0, 1.0)
+        assert low.finalize(state) == 3.0
+        state = high.iterate(high.initialize(), linear_model, 3, 7, 0, 1.0)
+        assert high.finalize(state) == 7.0
+
+    def test_avg(self, linear_model):
+        agg = aggregate_by_name("AVG")
+        state = agg.iterate(agg.initialize(), linear_model, 0, 9, 0, 1.0)
+        assert agg.finalize(state) == pytest.approx(4.5)
+
+    def test_scaling_divides_results(self, constant_model):
+        # Section 6.1: aggregates divide by the scaling constant.
+        agg = aggregate_by_name("SUM")
+        state = agg.iterate(agg.initialize(), constant_model, 0, 7, 0, 2.0)
+        assert agg.finalize(state) == 40.0
+        low = aggregate_by_name("MIN")
+        state = low.iterate(low.initialize(), constant_model, 0, 7, 0, 2.0)
+        assert low.finalize(state) == 5.0
+
+    def test_empty_states_finalize(self):
+        assert aggregate_by_name("MIN").finalize(
+            aggregate_by_name("MIN").initialize()
+        ) is None
+        assert aggregate_by_name("AVG").finalize(
+            aggregate_by_name("AVG").initialize()
+        ) is None
+        assert aggregate_by_name("COUNT").finalize(
+            aggregate_by_name("COUNT").initialize()
+        ) == 0
+
+
+class TestMerge:
+    """Distributive/algebraic merging for the cluster's master step."""
+
+    def test_sum_merge(self, constant_model):
+        agg = aggregate_by_name("SUM")
+        a = agg.iterate(agg.initialize(), constant_model, 0, 3, 0, 1.0)
+        b = agg.iterate(agg.initialize(), constant_model, 4, 7, 0, 1.0)
+        assert agg.finalize(agg.merge(a, b)) == 80.0
+
+    def test_min_merge_with_empty(self, linear_model):
+        agg = aggregate_by_name("MIN")
+        state = agg.iterate(agg.initialize(), linear_model, 2, 4, 0, 1.0)
+        assert agg.finalize(agg.merge(state, agg.initialize())) == 2.0
+        assert agg.finalize(agg.merge(agg.initialize(), state)) == 2.0
+
+    def test_max_merge(self, linear_model):
+        agg = aggregate_by_name("MAX")
+        a = agg.iterate(agg.initialize(), linear_model, 0, 4, 0, 1.0)
+        b = agg.iterate(agg.initialize(), linear_model, 5, 9, 0, 1.0)
+        assert agg.finalize(agg.merge(a, b)) == 9.0
+
+    def test_avg_merge_is_algebraic(self, linear_model):
+        # AVG merges (sum, count) pairs, not averages of averages.
+        agg = aggregate_by_name("AVG")
+        a = agg.iterate(agg.initialize(), linear_model, 0, 1, 0, 1.0)  # 0,1
+        b = agg.iterate(agg.initialize(), linear_model, 2, 9, 0, 1.0)
+        assert agg.finalize(agg.merge(a, b)) == pytest.approx(4.5)
+
+    def test_count_merge(self, constant_model):
+        agg = aggregate_by_name("COUNT")
+        a = agg.iterate(agg.initialize(), constant_model, 0, 2, 0, 1.0)
+        b = agg.iterate(agg.initialize(), constant_model, 0, 0, 0, 1.0)
+        assert agg.finalize(agg.merge(a, b)) == 4

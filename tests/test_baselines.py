@@ -1,0 +1,224 @@
+"""The comparison systems behind the StorageFormat interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CassandraLike,
+    InfluxLike,
+    ModelarV1Format,
+    ModelarV2Format,
+    ORCLike,
+    ParquetLike,
+)
+from repro.core import Configuration, Dimension, DimensionSet, TimeSeries
+from repro.core.errors import UnsupportedQueryError
+from repro.datasets.synthetic import DEFAULT_START_MS
+
+SI = 60_000
+N = 500
+
+ALL_FORMATS = [
+    CassandraLike,
+    InfluxLike,
+    ParquetLike,
+    ORCLike,
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(6)
+    location = Dimension("Location", ["Entity", "Park"])
+    dimensions = DimensionSet([location])
+    series = []
+    truth = {}
+    base = 100 + np.cumsum(rng.normal(0, 0.3, N))
+    for tid in (1, 2, 3):
+        values = np.float32(base + rng.normal(0, 0.1, N))
+        truth[tid] = values.astype(np.float64)
+        timestamps = DEFAULT_START_MS + np.arange(N) * SI
+        series.append(TimeSeries(tid, SI, timestamps, values))
+        location.assign(tid, (f"e{tid}", "park0" if tid < 3 else "park1"))
+    return series, dimensions, truth
+
+
+def build(format_cls, dataset):
+    series, dimensions, _ = dataset
+    fmt = format_cls()
+    fmt.ingest(series, dimensions)
+    return fmt
+
+
+@pytest.fixture(scope="module", params=ALL_FORMATS, ids=lambda c: c.__name__)
+def fmt(request, dataset):
+    return build(request.param, dataset)
+
+
+class TestQueriesMatchTruth:
+    def test_sum(self, fmt, dataset):
+        _, _, truth = dataset
+        rows = fmt.simple_aggregate("SUM", tids=[1])
+        assert rows[0]["SUM"] == pytest.approx(truth[1].sum(), rel=1e-9)
+
+    def test_group_by_tid(self, fmt, dataset):
+        _, _, truth = dataset
+        rows = fmt.simple_aggregate("AVG", tids=[1, 2], group_by_tid=True)
+        by_tid = {row["Tid"]: row["AVG"] for row in rows}
+        assert by_tid[2] == pytest.approx(truth[2].mean(), rel=1e-9)
+
+    def test_min_max_over_all(self, fmt, dataset):
+        _, _, truth = dataset
+        rows = fmt.simple_aggregate("MIN")
+        expected = min(values.min() for values in truth.values())
+        assert rows[0]["MIN"] == pytest.approx(expected)
+
+    def test_count(self, fmt, dataset):
+        rows = fmt.simple_aggregate("COUNT")
+        assert rows[0]["COUNT"] == 3 * N
+
+    def test_point_query(self, fmt, dataset):
+        _, _, truth = dataset
+        ts = DEFAULT_START_MS + 123 * SI
+        assert fmt.point_query(2, ts) == pytest.approx(truth[2][123])
+
+    def test_point_query_miss(self, fmt):
+        assert fmt.point_query(1, DEFAULT_START_MS - SI) is None
+
+    def test_range_query(self, fmt, dataset):
+        _, _, truth = dataset
+        start = DEFAULT_START_MS + 10 * SI
+        end = DEFAULT_START_MS + 29 * SI
+        timestamps, values = fmt.range_query(3, start, end)
+        assert len(values) == 20
+        assert values == pytest.approx(truth[3][10:30])
+        assert timestamps[0] == start
+
+    def test_time_restricted_aggregate(self, fmt, dataset):
+        _, _, truth = dataset
+        start = DEFAULT_START_MS + 100 * SI
+        end = DEFAULT_START_MS + 199 * SI
+        rows = fmt.simple_aggregate("SUM", tids=[1], start=start, end=end)
+        assert rows[0]["SUM"] == pytest.approx(truth[1][100:200].sum())
+
+
+class TestRollups:
+    def test_rollup_matches_truth(self, fmt, dataset):
+        _, _, truth = dataset
+        if not fmt.supports_calendar_rollup:
+            pytest.skip("format has no calendar rollups")
+        rows = fmt.rollup("SUM", "HOUR", tids=[1])
+        total = sum(row["SUM"] for row in rows)
+        assert total == pytest.approx(truth[1].sum(), rel=1e-9)
+
+    def test_rollup_group_by_dimension(self, fmt, dataset):
+        if not fmt.supports_calendar_rollup:
+            pytest.skip("format has no calendar rollups")
+        rows = fmt.rollup("SUM", "DAY", group_by="Park")
+        assert {row["Park"] for row in rows} == {"park0", "park1"}
+
+    def test_member_filter(self, fmt, dataset):
+        if not fmt.supports_calendar_rollup:
+            pytest.skip("format has no calendar rollups")
+        rows = fmt.rollup("COUNT", "DAY", member=("Park", "nowhere"))
+        assert rows == []
+
+
+class TestCapabilities:
+    def test_influx_rejects_calendar_rollups(self, dataset):
+        fmt = build(InfluxLike, dataset)
+        # The paper's M-AGG queries cannot run on InfluxDB (Figs. 25-28).
+        with pytest.raises(UnsupportedQueryError):
+            fmt.rollup("SUM", "MONTH")
+
+    def test_influx_is_single_node(self, dataset):
+        fmt = build(InfluxLike, dataset)
+        assert not fmt.supports_distribution
+
+    def test_influx_capacity_guard(self, dataset):
+        fmt = build(InfluxLike, dataset)
+        fmt.check_single_node_capacity()  # small data: fine
+        fmt._total_points = 10 ** 9
+        with pytest.raises(UnsupportedQueryError):
+            fmt.check_single_node_capacity()
+
+    def test_files_not_queryable_during_ingest(self):
+        assert not ParquetLike.supports_online_analytics
+        assert not ORCLike.supports_online_analytics
+        assert InfluxLike.supports_online_analytics
+        assert CassandraLike.supports_online_analytics
+
+    def test_unknown_aggregate_rejected(self, fmt):
+        with pytest.raises(UnsupportedQueryError):
+            fmt.simple_aggregate("MEDIAN")
+
+
+class TestStorageShape:
+    def test_cassandra_is_largest(self, dataset):
+        """Row-per-point with denormalised dimensions costs the most."""
+        sizes = {
+            cls.__name__: build(cls, dataset).size_bytes()
+            for cls in ALL_FORMATS
+        }
+        assert sizes["CassandraLike"] == max(sizes.values())
+
+    def test_modelar_v2_smallest(self, dataset):
+        series, dimensions, _ = dataset
+        config = Configuration(error_bound=5.0, correlation=["Location 1"])
+        v2 = ModelarV2Format(config)
+        v2.ingest(series, dimensions)
+        others = min(build(cls, dataset).size_bytes() for cls in ALL_FORMATS)
+        assert v2.size_bytes() < others
+
+    def test_v2_beats_v1_on_correlated_data(self, dataset):
+        series, dimensions, _ = dataset
+        config = Configuration(error_bound=5.0, correlation=["Location 1"])
+        v2 = ModelarV2Format(config)
+        v2.ingest(series, dimensions)
+        v1 = ModelarV1Format(config)
+        v1.ingest(series, dimensions)
+        assert v2.size_bytes() < v1.size_bytes()
+
+
+class TestModelarAdapters:
+    @pytest.fixture(scope="class")
+    def v2(self, dataset):
+        series, dimensions, _ = dataset
+        config = Configuration(error_bound=0.0, correlation=["Location 1"])
+        fmt = ModelarV2Format(config)
+        fmt.ingest(series, dimensions)
+        return fmt
+
+    def test_lossless_sum_matches_truth(self, v2, dataset):
+        _, _, truth = dataset
+        rows = v2.simple_aggregate("SUM", tids=[1])
+        assert rows[0]["SUM"] == pytest.approx(truth[1].sum(), rel=1e-9)
+
+    def test_data_point_view_adapter(self, dataset):
+        series, dimensions, truth = dataset
+        config = Configuration(error_bound=0.0, correlation=["Location 1"])
+        dpv = ModelarV2Format(config, view="datapoint")
+        dpv.ingest(series, dimensions)
+        rows = dpv.simple_aggregate("SUM", tids=[1])
+        assert rows[0]["SUM"] == pytest.approx(truth[1].sum(), rel=1e-9)
+
+    def test_rollup_adapter(self, v2, dataset):
+        _, _, truth = dataset
+        rows = v2.rollup("SUM", "HOUR", tids=[2])
+        total = sum(row["SUM"] for row in rows)
+        assert total == pytest.approx(truth[2].sum(), rel=1e-9)
+
+    def test_point_and_range_adapter(self, v2, dataset):
+        _, _, truth = dataset
+        ts = DEFAULT_START_MS + 7 * SI
+        assert v2.point_query(1, ts) == pytest.approx(truth[1][7])
+        _, values = v2.range_query(1, ts, ts + 4 * SI)
+        assert values == pytest.approx(truth[1][7:12])
+
+    def test_names(self, dataset):
+        assert ModelarV2Format().name == "ModelarDBv2-SV"
+        assert ModelarV1Format(view="datapoint").name == "ModelarDBv1-DPV"
+
+    def test_queries_before_ingest_rejected(self):
+        with pytest.raises(RuntimeError):
+            ModelarV2Format().simple_aggregate("SUM")

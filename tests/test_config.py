@@ -1,0 +1,66 @@
+"""Configuration validation and the Table 1 defaults."""
+
+import pytest
+
+from repro.core import Configuration
+from repro.core.config import (
+    DEFAULT_BULK_WRITE_SIZE,
+    DEFAULT_DYNAMIC_SPLIT_FRACTION,
+    DEFAULT_MODEL_LENGTH_LIMIT,
+    DEFAULT_MODELS,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_table1_model_length_limit(self):
+        assert DEFAULT_MODEL_LENGTH_LIMIT == 50
+
+    def test_table1_dynamic_split_fraction(self):
+        assert DEFAULT_DYNAMIC_SPLIT_FRACTION == 10
+
+    def test_table1_bulk_write_size(self):
+        assert DEFAULT_BULK_WRITE_SIZE == 50_000
+
+    def test_default_models_are_the_three_core_models(self):
+        assert DEFAULT_MODELS == ("PMC", "Swing", "Gorilla")
+
+    def test_default_error_bound_is_lossless(self):
+        assert Configuration().error_bound == 0.0
+
+    def test_defaults_applied(self):
+        config = Configuration()
+        assert config.model_length_limit == DEFAULT_MODEL_LENGTH_LIMIT
+        assert config.dynamic_split_fraction == DEFAULT_DYNAMIC_SPLIT_FRACTION
+        assert config.bulk_write_size == DEFAULT_BULK_WRITE_SIZE
+
+
+class TestValidation:
+    def test_negative_error_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(error_bound=-1.0)
+
+    def test_zero_length_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(model_length_limit=0)
+
+    def test_negative_split_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(dynamic_split_fraction=-1)
+
+    def test_zero_bulk_write_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(bulk_write_size=0)
+
+    def test_empty_model_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(models=())
+
+    def test_zero_split_fraction_disables_splitting(self):
+        assert not Configuration(dynamic_split_fraction=0).splitting_enabled
+        assert Configuration(dynamic_split_fraction=10).splitting_enabled
+
+    def test_evaluated_error_bounds_accepted(self):
+        # The evaluation uses 0, 1, 5 and 10 percent.
+        for bound in (0.0, 1.0, 5.0, 10.0):
+            assert Configuration(error_bound=bound).error_bound == bound

@@ -1,0 +1,162 @@
+"""Synthetic EP/EH data sets and CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration
+from repro.datasets import (
+    EH_LOWEST_DISTANCE,
+    generate_eh,
+    generate_ep,
+    read_dimensions_csv,
+    read_series_csv,
+    turbine_temperatures,
+    write_dataset,
+    write_series_csv,
+)
+from repro.datasets.ep import EP_CORRELATION, EP_SAMPLING_INTERVAL
+from repro.partitioner import group_from_config
+
+
+class TestEP:
+    def test_determinism(self):
+        a = generate_ep(n_entities=2, measures_per_entity=2, n_points=100, seed=3)
+        b = generate_ep(n_entities=2, measures_per_entity=2, n_points=100, seed=3)
+        for sa, sb in zip(a.series, b.series):
+            assert np.array_equal(sa.values, sb.values, equal_nan=True)
+
+    def test_shape(self):
+        ep = generate_ep(n_entities=3, measures_per_entity=4, n_points=50)
+        # 4 production + 1 temperature per entity.
+        assert len(ep.series) == 15
+        assert len(ep.production_tids) == 12
+        assert all(ts.sampling_interval == EP_SAMPLING_INTERVAL for ts in ep.series)
+
+    def test_dimensions_assigned(self):
+        ep = generate_ep(n_entities=2, measures_per_entity=2, n_points=50)
+        production = ep.dimensions["Production"]
+        measure = ep.dimensions["Measure"]
+        for ts in ep.series:
+            assert production.member(ts.tid, "Entity")
+            assert measure.member(ts.tid, "Category") in (
+                "ProductionMWh",
+                "Temperature",
+            )
+
+    def test_paper_correlation_clause_groups_by_entity(self):
+        ep = generate_ep(n_entities=3, measures_per_entity=3, n_points=50)
+        groups = group_from_config(ep.series, EP_CORRELATION, ep.dimensions)
+        sizes = sorted(len(group) for group in groups)
+        # Three production groups of 3 plus three temperature singletons.
+        assert sizes == [1, 1, 1, 3, 3, 3]
+
+    def test_gaps_injected(self):
+        ep = generate_ep(
+            n_entities=2, measures_per_entity=2, n_points=2000,
+            gap_probability=0.01, seed=1,
+        )
+        assert any(ts.gap_count() > 0 for ts in ep.series)
+
+    def test_values_are_float32_representable(self):
+        ep = generate_ep(n_entities=1, measures_per_entity=1, n_points=100)
+        for ts in ep.series:
+            values = ts.values[~np.isnan(ts.values)]
+            assert np.array_equal(values, np.float32(values).astype(np.float64))
+
+    def test_production_measures_strongly_correlated(self):
+        ep = generate_ep(
+            n_entities=1, measures_per_entity=2, n_points=500,
+            include_temperature=False, gap_probability=0.0,
+        )
+        a, b = (ts.values for ts in ep.series)
+        correlation = np.corrcoef(a, b)[0, 1]
+        assert correlation > 0.99
+
+    def test_turbine_temperatures(self):
+        series = turbine_temperatures(n_points=200)
+        assert len(series) == 3
+        values = np.array([ts.values for ts in series])
+        assert np.corrcoef(values[0], values[1])[0, 1] > 0.95
+
+
+class TestEH:
+    def test_shape(self):
+        eh = generate_eh(
+            n_parks=2, entities_per_park=3,
+            measures=("ActivePower",), n_points=100,
+        )
+        assert len(eh.series) == 6
+        assert all(ts.sampling_interval == 100 for ts in eh.series)
+
+    def test_lowest_distance_rule_of_thumb(self):
+        # (1 / 3 levels) / 2 dimensions — the paper's 0.16666667.
+        assert EH_LOWEST_DISTANCE == pytest.approx(0.16666667, abs=1e-7)
+
+    def test_distance_grouping_by_park_and_measure(self):
+        eh = generate_eh(
+            n_parks=2, entities_per_park=3,
+            measures=("ActivePower", "WindSpeed"), n_points=50,
+        )
+        groups = group_from_config(
+            eh.series, eh.correlation(), eh.dimensions
+        )
+        # One group per (park, measure): 4 groups of 3 series.
+        assert sorted(len(g) for g in groups) == [3, 3, 3, 3]
+
+    def test_weak_correlation(self):
+        eh = generate_eh(
+            n_parks=1, entities_per_park=2, measures=("ActivePower",),
+            n_points=2000, gap_probability=0.0,
+        )
+        a, b = (ts.values for ts in eh.series)
+        correlation = abs(np.corrcoef(a, b)[0, 1])
+        # Correlated, but far from the EP regime.
+        assert correlation < 0.95
+
+    def test_determinism(self):
+        a = generate_eh(n_points=100, seed=9)
+        b = generate_eh(n_points=100, seed=9)
+        for sa, sb in zip(a.series, b.series):
+            assert np.array_equal(sa.values, sb.values, equal_nan=True)
+
+
+class TestIO:
+    def test_series_round_trip(self, tmp_path):
+        ep = generate_ep(
+            n_entities=1, measures_per_entity=1, n_points=300,
+            gap_probability=0.01, seed=2,
+        )
+        original = ep.series[0]
+        path = write_series_csv(original, tmp_path)
+        assert path.suffix == ".gz"
+        loaded = read_series_csv(path, original.tid, original.sampling_interval)
+        assert np.array_equal(
+            loaded.values, original.values, equal_nan=True
+        )
+        assert loaded.gap_count() == original.gap_count()
+
+    def test_uncompressed_round_trip(self, tmp_path):
+        ep = generate_ep(n_entities=1, measures_per_entity=1, n_points=50)
+        path = write_series_csv(ep.series[0], tmp_path, compress=False)
+        assert path.suffix == ".csv"
+        loaded = read_series_csv(path, 1, ep.sampling_interval)
+        assert len(loaded) == 50
+
+    def test_dimensions_round_trip(self, tmp_path):
+        ep = generate_ep(n_entities=2, measures_per_entity=1, n_points=10)
+        write_dataset(ep.series, ep.dimensions, tmp_path)
+        loaded = read_dimensions_csv(
+            tmp_path / "dimensions.csv",
+            {
+                "Production": ("Entity", "Type"),
+                "Measure": ("Concrete", "Category"),
+            },
+        )
+        for ts in ep.series:
+            assert loaded.row(ts.tid) == ep.dimensions.row(ts.tid)
+
+    def test_write_dataset_creates_all_files(self, tmp_path):
+        ep = generate_ep(n_entities=1, measures_per_entity=2, n_points=10)
+        paths = write_dataset(ep.series, ep.dimensions, tmp_path / "out")
+        assert len(paths) == len(ep.series)
+        assert (tmp_path / "out" / "dimensions.csv").exists()

@@ -1,0 +1,98 @@
+"""DatePart rollups: aggregates over calendar components.
+
+The paper points out (Section 7.3) that ModelarDB supports aggregates
+over, e.g., the days of months, which InfluxDB cannot express. These
+tests cover the ``CUBE_<AGG>_<PART>`` functions on both views.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import Configuration, ModelarDB, TimeSeries
+from repro.core.errors import QueryError
+from repro.query.rollup import (
+    DATEPART_LEVELS,
+    datepart_of,
+    format_bucket,
+    is_datepart,
+    parse_cube_function,
+)
+
+
+def ms(*args):
+    return int(
+        dt.datetime(*args, tzinfo=dt.timezone.utc).timestamp() * 1000
+    )
+
+
+@pytest.fixture(scope="module")
+def db():
+    """One week of hourly data starting Monday 2016-01-04, value = 1."""
+    si = 3_600_000
+    n = 24 * 7
+    start = ms(2016, 1, 4)
+    series = [
+        TimeSeries(1, si, start + np.arange(n) * si, np.ones(n, np.float32))
+    ]
+    instance = ModelarDB(Configuration(error_bound=0.0))
+    instance.ingest(series)
+    return instance
+
+
+class TestPrimitives:
+    def test_is_datepart(self):
+        assert is_datepart("DAYOFWEEK")
+        assert not is_datepart("DAY")
+
+    def test_datepart_of(self):
+        monday = ms(2016, 1, 4)
+        assert datepart_of(monday, "DAYOFWEEK") == 0
+        assert datepart_of(monday, "DAYOFMONTH") == 4
+        assert datepart_of(monday, "MONTHOFYEAR") == 1
+        assert datepart_of(ms(2016, 1, 4, 13), "HOUROFDAY") == 13
+
+    def test_unknown_part_rejected(self):
+        with pytest.raises(QueryError):
+            datepart_of(0, "WEEKOFYEAR")
+
+    def test_parse_cube_accepts_parts(self):
+        assert parse_cube_function("CUBE_SUM_DAYOFWEEK") == (
+            "SUM", "DAYOFWEEK",
+        )
+
+    def test_format_bucket_for_parts(self):
+        assert format_bucket(0, "DAYOFWEEK") == "Mon"
+        assert format_bucket(6, "DAYOFWEEK") == "Sun"
+        assert format_bucket(13, "HOUROFDAY") == "13"
+
+
+class TestQueries:
+    def test_day_of_week_counts(self, db):
+        rows = db.sql("SELECT CUBE_COUNT_DAYOFWEEK(*) FROM Segment")
+        assert len(rows) == 7
+        assert all(row["CUBE_COUNT_DAYOFWEEK(*)"] == 24 for row in rows)
+        assert [row["DAYOFWEEK"] for row in rows] == [
+            "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun",
+        ]
+
+    def test_hour_of_day_sums(self, db):
+        rows = db.sql("SELECT CUBE_SUM_HOUROFDAY(*) FROM Segment")
+        assert len(rows) == 24
+        # Every hour of day occurs once per day over seven days.
+        assert all(row["CUBE_SUM_HOUROFDAY(*)"] == 7.0 for row in rows)
+
+    def test_views_agree(self, db):
+        sv = db.sql("SELECT CUBE_SUM_DAYOFMONTH(*) FROM Segment")
+        dpv = db.sql("SELECT CUBE_SUM_DAYOFMONTH(*) FROM DataPoint")
+        assert sv == pytest.approx(dpv)
+
+    def test_total_is_preserved(self, db):
+        rows = db.sql("SELECT CUBE_SUM_MONTHOFYEAR(*) FROM Segment")
+        assert sum(row["CUBE_SUM_MONTHOFYEAR(*)"] for row in rows) == 24 * 7
+
+    def test_all_parts_parse_and_run(self, db):
+        for part in DATEPART_LEVELS:
+            rows = db.sql(f"SELECT CUBE_AVG_{part}(*) FROM Segment")
+            assert rows, part

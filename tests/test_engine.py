@@ -1,0 +1,245 @@
+"""End-to-end query engine tests against numpy ground truth."""
+
+import numpy as np
+import pytest
+
+from repro import Configuration, Dimension, DimensionSet, ModelarDB, TimeSeries
+from repro.core.errors import QueryError
+from repro.datasets.synthetic import DEFAULT_START_MS
+
+SI = 60_000
+N = 720  # 12 hours of minutes
+
+
+@pytest.fixture(scope="module")
+def db_and_truth():
+    """Four series in two parks with lossless ingestion for exact sums."""
+    rng = np.random.default_rng(9)
+    location = Dimension("Location", ["Entity", "Park"])
+    measure = Dimension("Measure", ["Concrete", "Category"])
+    dimensions = DimensionSet([location, measure])
+    truth = {}
+    series = []
+    base = np.float32(100 + np.cumsum(rng.normal(0, 0.5, N)))
+    for tid in range(1, 5):
+        values = np.float32(base + np.float32(rng.normal(0, 0.1, N)))
+        truth[tid] = values.astype(np.float64)
+        timestamps = DEFAULT_START_MS + np.arange(N) * SI
+        series.append(TimeSeries(tid, SI, timestamps, values))
+        park = "north" if tid <= 2 else "south"
+        location.assign(tid, (f"e{tid}", park))
+        measure.assign(tid, (f"m{tid}", "Power"))
+    config = Configuration(error_bound=0.0, correlation=["Location 1"])
+    db = ModelarDB(config, dimensions=dimensions)
+    db.ingest(series)
+    return db, truth
+
+
+class TestSimpleAggregates:
+    def test_sum_single_series(self, db_and_truth):
+        db, truth = db_and_truth
+        rows = db.sql("SELECT SUM_S(*) FROM Segment WHERE Tid = 1")
+        assert rows[0]["SUM_S(*)"] == pytest.approx(truth[1].sum(), rel=1e-9)
+
+    def test_group_by_tid(self, db_and_truth):
+        db, truth = db_and_truth
+        rows = db.sql(
+            "SELECT Tid, AVG_S(*) FROM Segment WHERE Tid IN (1, 3) "
+            "GROUP BY Tid"
+        )
+        assert len(rows) == 2
+        by_tid = {row["Tid"]: row["AVG_S(*)"] for row in rows}
+        assert by_tid[1] == pytest.approx(truth[1].mean(), rel=1e-9)
+        assert by_tid[3] == pytest.approx(truth[3].mean(), rel=1e-9)
+
+    def test_min_max_count(self, db_and_truth):
+        db, truth = db_and_truth
+        rows = db.sql(
+            "SELECT MIN_S(*), MAX_S(*), COUNT_S(*) FROM Segment WHERE Tid = 2"
+        )
+        assert rows[0]["MIN_S(*)"] == pytest.approx(truth[2].min())
+        assert rows[0]["MAX_S(*)"] == pytest.approx(truth[2].max())
+        assert rows[0]["COUNT_S(*)"] == N
+
+    def test_aggregate_over_all_series(self, db_and_truth):
+        db, truth = db_and_truth
+        rows = db.sql("SELECT SUM_S(*) FROM Segment")
+        expected = sum(values.sum() for values in truth.values())
+        assert rows[0]["SUM_S(*)"] == pytest.approx(expected, rel=1e-9)
+
+    def test_time_restricted_aggregate(self, db_and_truth):
+        db, truth = db_and_truth
+        start = DEFAULT_START_MS + 100 * SI
+        end = DEFAULT_START_MS + 199 * SI
+        rows = db.sql(
+            f"SELECT SUM_S(*) FROM Segment WHERE Tid = 1 AND TS >= {start} "
+            f"AND TS <= {end}"
+        )
+        assert rows[0]["SUM_S(*)"] == pytest.approx(
+            truth[1][100:200].sum(), rel=1e-9
+        )
+
+    def test_segment_and_point_views_agree(self, db_and_truth):
+        db, truth = db_and_truth
+        sv = db.sql("SELECT SUM_S(*) FROM Segment WHERE Tid = 4")
+        dpv = db.sql("SELECT SUM(*) FROM DataPoint WHERE Tid = 4")
+        assert sv[0]["SUM_S(*)"] == pytest.approx(
+            dpv[0]["SUM(*)"], rel=1e-12
+        )
+
+
+class TestDimensionQueries:
+    def test_member_predicate_rewrites_to_gids(self, db_and_truth):
+        db, truth = db_and_truth
+        rows = db.sql(
+            "SELECT SUM_S(*) FROM Segment WHERE Park = 'north'"
+        )
+        expected = truth[1].sum() + truth[2].sum()
+        assert rows[0]["SUM_S(*)"] == pytest.approx(expected, rel=1e-9)
+
+    def test_group_by_dimension(self, db_and_truth):
+        db, truth = db_and_truth
+        rows = db.sql("SELECT Park, SUM_S(*) FROM Segment GROUP BY Park")
+        by_park = {row["Park"]: row["SUM_S(*)"] for row in rows}
+        assert by_park["north"] == pytest.approx(
+            truth[1].sum() + truth[2].sum(), rel=1e-9
+        )
+        assert by_park["south"] == pytest.approx(
+            truth[3].sum() + truth[4].sum(), rel=1e-9
+        )
+
+    def test_member_and_tid_combined(self, db_and_truth):
+        db, _ = db_and_truth
+        rows = db.sql(
+            "SELECT COUNT_S(*) FROM Segment WHERE Park = 'north' AND Tid = 3"
+        )
+        assert rows[0]["COUNT_S(*)"] == 0
+
+    def test_unknown_member_returns_empty(self, db_and_truth):
+        db, _ = db_and_truth
+        rows = db.sql("SELECT COUNT_S(*) FROM Segment WHERE Park = 'mars'")
+        assert rows[0]["COUNT_S(*)"] == 0
+
+    def test_unknown_column_rejected(self, db_and_truth):
+        db, _ = db_and_truth
+        with pytest.raises(QueryError):
+            db.sql("SELECT COUNT_S(*) FROM Segment WHERE Planet = 'mars'")
+
+    def test_group_by_unknown_column_rejected(self, db_and_truth):
+        db, _ = db_and_truth
+        with pytest.raises(QueryError):
+            db.sql("SELECT SUM_S(*) FROM Segment GROUP BY Planet")
+
+
+class TestTimeRollups:
+    def test_cube_sum_hour_matches_truth(self, db_and_truth):
+        db, truth = db_and_truth
+        rows = db.sql(
+            "SELECT CUBE_SUM_HOUR(*) FROM Segment WHERE Tid = 1"
+        )
+        assert len(rows) == 12
+        for hour, row in enumerate(rows):
+            expected = truth[1][hour * 60:(hour + 1) * 60].sum()
+            assert row["CUBE_SUM_HOUR(*)"] == pytest.approx(
+                expected, rel=1e-9
+            ), f"hour {hour}"
+
+    def test_cube_rollup_views_agree(self, db_and_truth):
+        db, _ = db_and_truth
+        sv = db.sql("SELECT CUBE_AVG_HOUR(*) FROM Segment WHERE Tid = 2")
+        dpv = db.sql("SELECT CUBE_AVG_HOUR(*) FROM DataPoint WHERE Tid = 2")
+        assert len(sv) == len(dpv)
+        for sv_row, dpv_row in zip(sv, dpv):
+            assert sv_row["HOUR"] == dpv_row["HOUR"]
+            assert sv_row["CUBE_AVG_HOUR(*)"] == pytest.approx(
+                dpv_row["CUBE_AVG_HOUR(*)"], rel=1e-9
+            )
+
+    def test_cube_grouped_by_dimension(self, db_and_truth):
+        db, truth = db_and_truth
+        rows = db.sql(
+            "SELECT Park, CUBE_SUM_HOUR(*) FROM Segment "
+            "WHERE Park = 'south' GROUP BY Park"
+        )
+        assert all(row["Park"] == "south" for row in rows)
+        first_hour = rows[0]["CUBE_SUM_HOUR(*)"]
+        expected = truth[3][:60].sum() + truth[4][:60].sum()
+        assert first_hour == pytest.approx(expected, rel=1e-9)
+
+
+class TestPointQueries:
+    def test_point_query(self, db_and_truth):
+        db, truth = db_and_truth
+        ts = DEFAULT_START_MS + 42 * SI
+        rows = db.sql(
+            f"SELECT TS, Value FROM DataPoint WHERE Tid = 1 AND TS = {ts}"
+        )
+        assert rows == [{"TS": ts, "Value": pytest.approx(truth[1][42])}]
+
+    def test_range_query(self, db_and_truth):
+        db, truth = db_and_truth
+        start = DEFAULT_START_MS + 10 * SI
+        end = DEFAULT_START_MS + 19 * SI
+        rows = db.sql(
+            f"SELECT Value FROM DataPoint WHERE Tid = 2 AND TS >= {start} "
+            f"AND TS <= {end}"
+        )
+        assert [row["Value"] for row in rows] == pytest.approx(
+            list(truth[2][10:20])
+        )
+
+    def test_star_selection_includes_dimensions(self, db_and_truth):
+        db, _ = db_and_truth
+        ts = DEFAULT_START_MS
+        rows = db.sql(
+            f"SELECT * FROM DataPoint WHERE Tid = 3 AND TS = {ts}"
+        )
+        assert rows[0]["Park"] == "south"
+        assert rows[0]["Tid"] == 3
+
+    def test_value_predicate(self, db_and_truth):
+        db, truth = db_and_truth
+        threshold = float(np.median(truth[1]))
+        rows = db.sql(
+            f"SELECT Value FROM DataPoint WHERE Tid = 1 AND "
+            f"Value > {threshold}"
+        )
+        assert len(rows) == int((truth[1] > threshold).sum())
+
+    def test_segment_view_selection(self, db_and_truth):
+        db, _ = db_and_truth
+        rows = db.sql("SELECT Tid, StartTime, EndTime FROM Segment WHERE Tid = 1")
+        assert all(row["Tid"] == 1 for row in rows)
+        assert rows[0]["StartTime"] == DEFAULT_START_MS
+        assert rows[-1]["EndTime"] == DEFAULT_START_MS + (N - 1) * SI
+
+
+class TestEngineInternals:
+    def test_segment_cache_hits_on_repeat(self, db_and_truth):
+        db, _ = db_and_truth
+        db.sql("SELECT SUM_S(*) FROM Segment WHERE Tid = 1")
+        hits_before, _ = db.engine.cache_stats
+        db.sql("SELECT SUM_S(*) FROM Segment WHERE Tid = 1")
+        hits_after, _ = db.engine.cache_stats
+        assert hits_after > hits_before
+
+    def test_timestamp_string_literals(self, db_and_truth):
+        db, truth = db_and_truth
+        rows = db.sql(
+            "SELECT COUNT_S(*) FROM Segment WHERE Tid = 1 AND "
+            "TS >= '2016-01-04' AND TS <= '2016-01-05'"
+        )
+        assert rows[0]["COUNT_S(*)"] == N  # everything is on 2016-01-04
+
+    def test_programmatic_aggregate(self, db_and_truth):
+        db, truth = db_and_truth
+        rows = db.aggregate("SUM_S", tids=[1])
+        assert rows[0]["SUM_S(*)"] == pytest.approx(truth[1].sum(), rel=1e-9)
+
+    def test_programmatic_points(self, db_and_truth):
+        db, truth = db_and_truth
+        points = list(
+            db.points(tids=[1], start_time=DEFAULT_START_MS,
+                      end_time=DEFAULT_START_MS + 4 * SI)
+        )
+        assert [p.value for p in points] == pytest.approx(list(truth[1][:5]))

@@ -1,0 +1,82 @@
+"""Time series groups (Definition 8)."""
+
+import pytest
+
+from repro.core import TimeSeriesGroup, singleton_groups
+from repro.core.errors import GroupError
+
+from .conftest import make_series
+
+
+class TestValidation:
+    def test_same_si_required(self):
+        a = make_series(1, [1.0], si=100)
+        b = make_series(2, [1.0], si=200)
+        with pytest.raises(GroupError):
+            TimeSeriesGroup(1, [a, b])
+
+    def test_alignment_required(self):
+        # t1 mod SI must agree (Definition 8).
+        a = make_series(1, [1.0, 2.0], si=100, start=0)
+        b = make_series(2, [1.0, 2.0], si=100, start=50)
+        with pytest.raises(GroupError):
+            TimeSeriesGroup(1, [a, b])
+
+    def test_shifted_but_aligned_allowed(self):
+        a = make_series(1, [1.0, 2.0], si=100, start=0)
+        b = make_series(2, [1.0, 2.0], si=100, start=300)
+        group = TimeSeriesGroup(1, [a, b])
+        assert group.tids == (1, 2)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(GroupError):
+            TimeSeriesGroup(1, [])
+
+    def test_duplicate_tids_rejected(self):
+        a = make_series(1, [1.0])
+        b = make_series(1, [2.0])
+        with pytest.raises(GroupError):
+            TimeSeriesGroup(1, [a, b])
+
+
+class TestAccess:
+    def test_members_sorted_by_tid(self):
+        series = [make_series(tid, [1.0]) for tid in (3, 1, 2)]
+        group = TimeSeriesGroup(1, series)
+        assert group.tids == (1, 2, 3)
+
+    def test_column_of(self):
+        series = [make_series(tid, [1.0]) for tid in (5, 2, 9)]
+        group = TimeSeriesGroup(1, series)
+        assert group.column_of(2) == 0
+        assert group.column_of(5) == 1
+        assert group.column_of(9) == 2
+
+    def test_column_of_unknown_rejected(self):
+        group = TimeSeriesGroup(1, [make_series(1, [1.0])])
+        with pytest.raises(GroupError):
+            group.column_of(99)
+
+    def test_get_and_contains(self):
+        group = TimeSeriesGroup(1, [make_series(4, [1.0])])
+        assert group.get(4).tid == 4
+        assert 4 in group
+        assert 5 not in group
+        with pytest.raises(GroupError):
+            group.get(5)
+
+    def test_scalings(self):
+        a = make_series(1, [1.0], scaling=2.0)
+        b = make_series(2, [1.0], scaling=4.75)
+        group = TimeSeriesGroup(1, [a, b])
+        assert group.scalings() == {1: 2.0, 2: 4.75}
+
+    def test_singleton_groups(self):
+        series = [make_series(tid, [1.0]) for tid in (1, 2, 3)]
+        groups = singleton_groups(series)
+        assert [g.gid for g in groups] == [1, 2, 3]
+        assert all(len(g) == 1 for g in groups)
+
+    def test_singleton_groups_custom_first_gid(self):
+        groups = singleton_groups([make_series(1, [1.0])], first_gid=7)
+        assert groups[0].gid == 7

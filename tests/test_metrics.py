@@ -1,0 +1,71 @@
+"""Evaluation metrics (actual average error, compression ratio)."""
+
+import numpy as np
+import pytest
+
+from repro import Configuration, ModelarDB, TimeSeries
+from repro.workloads import (
+    actual_average_error,
+    compression_ratio,
+    max_relative_error,
+    reconstruction_errors,
+)
+
+from .conftest import make_series
+
+
+def ingest(series, error_bound):
+    db = ModelarDB(Configuration(error_bound=error_bound))
+    db.ingest(series)
+    return db
+
+
+class TestErrors:
+    def test_lossless_has_zero_error(self):
+        values = [float(np.float32(v)) for v in np.random.default_rng(0).normal(50, 5, 200)]
+        series = [make_series(1, values)]
+        db = ingest(series, 0.0)
+        assert actual_average_error(db, series) == 0.0
+        assert max_relative_error(db, series) == 0.0
+
+    def test_lossy_error_within_bound(self):
+        rng = np.random.default_rng(1)
+        values = [float(np.float32(v)) for v in 100 + np.cumsum(rng.normal(0, 0.5, 300))]
+        series = [make_series(1, values)]
+        db = ingest(series, 5.0)
+        average = actual_average_error(db, series)
+        worst = max_relative_error(db, series)
+        assert 0.0 <= average <= worst
+        assert worst <= 5.0 + 1e-6
+
+    def test_average_error_grows_with_bound(self):
+        rng = np.random.default_rng(2)
+        values = [float(np.float32(v)) for v in 100 + np.cumsum(rng.normal(0, 0.5, 400))]
+        series = [make_series(1, values)]
+        errors = [
+            actual_average_error(ingest(series, bound), series)
+            for bound in (0.0, 1.0, 10.0)
+        ]
+        assert errors[0] <= errors[1] <= errors[2]
+
+    def test_gap_points_excluded(self):
+        values = [1.0, None, None, 1.0, 1.0]
+        series = [make_series(1, values)]
+        db = ingest(series, 0.0)
+        assert actual_average_error(db, series) == 0.0
+
+    def test_reconstruction_errors_per_point(self):
+        values = [float(np.float32(v)) for v in (1.0, 2.0, 3.0)]
+        series = [make_series(1, values)]
+        db = ingest(series, 0.0)
+        errors = reconstruction_errors(db, series[0])
+        assert len(errors) == 3
+        assert errors.max() == 0.0
+
+
+class TestCompressionRatio:
+    def test_ratio(self):
+        assert compression_ratio(100, 300) == pytest.approx(4.0)
+
+    def test_zero_bytes_is_infinite(self):
+        assert compression_ratio(100, 0) == float("inf")

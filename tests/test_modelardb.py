@@ -1,0 +1,142 @@
+"""The ModelarDB facade: partitioning, persistence, v1 mode."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Configuration,
+    Dimension,
+    DimensionSet,
+    FileStorage,
+    ModelarDB,
+    TimeSeries,
+)
+from repro.models.pmc_mean import PMCMean
+
+
+def build_dataset(n_points=400, seed=8):
+    rng = np.random.default_rng(seed)
+    location = Dimension("Location", ["Entity", "Park"])
+    dimensions = DimensionSet([location])
+    series = []
+    base = 10 + np.cumsum(rng.normal(0, 0.05, n_points))
+    for tid in (1, 2, 3, 4):
+        values = np.float32(base + rng.normal(0, 0.02, n_points))
+        series.append(TimeSeries(tid, 100, np.arange(n_points) * 100, values))
+        location.assign(tid, (f"e{tid}", "p0" if tid <= 2 else "p1"))
+    return series, dimensions
+
+
+class TestFacade:
+    def test_partition_uses_hints(self):
+        series, dimensions = build_dataset()
+        db = ModelarDB(
+            Configuration(correlation=["Location 1"]), dimensions=dimensions
+        )
+        groups = db.partition(series)
+        assert [g.tids for g in groups] == [(1, 2), (3, 4)]
+
+    def test_v1_mode_disables_grouping(self):
+        series, dimensions = build_dataset()
+        db = ModelarDB(
+            Configuration(correlation=["Location 1"]),
+            dimensions=dimensions,
+            group_compression=False,
+        )
+        groups = db.partition(series)
+        assert all(len(g) == 1 for g in groups)
+
+    def test_ingest_and_query(self):
+        series, dimensions = build_dataset()
+        db = ModelarDB(
+            Configuration(error_bound=1.0, correlation=["Location 1"]),
+            dimensions=dimensions,
+        )
+        stats = db.ingest(series)
+        assert stats.data_points == 4 * 400
+        assert db.segment_count() > 0
+        assert db.size_bytes() == stats.storage_bytes
+        rows = db.sql("SELECT COUNT_S(*) FROM Segment")
+        assert rows[0]["COUNT_S(*)"] == 1600
+
+    def test_incremental_ingest_refreshes_metadata(self):
+        series, dimensions = build_dataset()
+        db = ModelarDB(
+            Configuration(error_bound=1.0), dimensions=dimensions
+        )
+        db.ingest(series[:2])
+        assert db.sql("SELECT COUNT_S(*) FROM Segment")[0]["COUNT_S(*)"] == 800
+        db.ingest(series[2:])
+        assert db.sql("SELECT COUNT_S(*) FROM Segment")[0]["COUNT_S(*)"] == 1600
+
+    def test_extra_models_registered(self):
+        class Custom(PMCMean):
+            name = "acme.Custom"
+
+        db = ModelarDB(extra_models=[Custom()])
+        assert db.registry.mid_of("acme.Custom") == 4
+
+    def test_stats_model_mix(self):
+        series, dimensions = build_dataset()
+        db = ModelarDB(
+            Configuration(error_bound=5.0, correlation=["Location 1"]),
+            dimensions=dimensions,
+        )
+        db.ingest(series)
+        mix = db.stats.model_mix()
+        assert sum(mix.values()) == pytest.approx(100.0)
+
+
+class TestPersistence:
+    def test_file_storage_survives_reopen(self, tmp_path):
+        series, dimensions = build_dataset()
+        config = Configuration(error_bound=1.0, correlation=["Location 1"])
+        db = ModelarDB(
+            config, storage=FileStorage(tmp_path / "db"), dimensions=dimensions
+        )
+        db.ingest(series)
+        expected = db.sql("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid")
+        db.close()
+
+        reopened = ModelarDB(config, storage=FileStorage(tmp_path / "db"))
+        rows = reopened.sql("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid")
+        assert rows == pytest.approx(expected)
+
+    def test_reopened_store_preserves_dimensions(self, tmp_path):
+        series, dimensions = build_dataset()
+        config = Configuration(error_bound=1.0, correlation=["Location 1"])
+        db = ModelarDB(
+            config, storage=FileStorage(tmp_path / "db"), dimensions=dimensions
+        )
+        db.ingest(series)
+        db.close()
+
+        reopened = ModelarDB(config, storage=FileStorage(tmp_path / "db"))
+        rows = reopened.sql(
+            "SELECT Park, COUNT_S(*) FROM Segment GROUP BY Park"
+        )
+        by_park = {row["Park"]: row["COUNT_S(*)"] for row in rows}
+        assert by_park == {"p0": 800, "p1": 800}
+
+
+class TestCompressionBehaviour:
+    def test_higher_error_bound_never_larger(self):
+        series, dimensions = build_dataset()
+        sizes = []
+        for bound in (0.0, 1.0, 5.0, 10.0):
+            db = ModelarDB(
+                Configuration(error_bound=bound, correlation=["Location 1"]),
+                dimensions=dimensions,
+            )
+            db.ingest(series)
+            sizes.append(db.size_bytes())
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_v2_smaller_than_v1_on_correlated_data(self):
+        series, dimensions = build_dataset()
+        config = Configuration(error_bound=5.0, correlation=["Location 1"])
+        v2 = ModelarDB(config, dimensions=dimensions)
+        v2.ingest(series)
+        v1 = ModelarDB(config, dimensions=dimensions, group_compression=False)
+        v1.ingest(series)
+        assert v2.size_bytes() < v1.size_bytes()

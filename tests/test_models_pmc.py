@@ -1,0 +1,117 @@
+"""PMC-Mean: the group-extended constant model."""
+
+import struct
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.models.pmc_mean import PMCMean
+
+
+@pytest.fixture
+def pmc():
+    return PMCMean()
+
+
+def fit(pmc, vectors, error_bound=10.0, limit=50):
+    fitter = pmc.fitter(len(vectors[0]), error_bound, limit)
+    accepted = 0
+    for vector in vectors:
+        if not fitter.append(tuple(vector)):
+            break
+        accepted += 1
+    return fitter, accepted
+
+
+class TestFitting:
+    def test_constant_run_fits(self, pmc):
+        fitter, accepted = fit(pmc, [(100.0,)] * 20)
+        assert accepted == 20
+
+    def test_within_bound_fits(self, pmc):
+        # 10% of 100 allows estimates in [90, 110] for each value.
+        fitter, accepted = fit(pmc, [(95.0,), (105.0,), (100.0,)])
+        assert accepted == 3
+
+    def test_outside_bound_rejected(self, pmc):
+        fitter, accepted = fit(pmc, [(100.0,), (130.0,)])
+        assert accepted == 1
+
+    def test_group_reduction_uses_extremes(self, pmc):
+        # Group values per timestamp: only min/max matter (Fig. 10).
+        fitter, accepted = fit(pmc, [(95.0, 100.0, 105.0)] * 5)
+        assert accepted == 5
+
+    def test_group_with_empty_intersection_rejected(self, pmc):
+        fitter, accepted = fit(pmc, [(80.0, 120.0)])
+        assert accepted == 0
+
+    def test_rejection_keeps_state(self, pmc):
+        fitter = pmc.fitter(1, 10.0, 50)
+        assert fitter.append((100.0,))
+        assert not fitter.append((200.0,))
+        assert fitter.append((101.0,))  # still fits the old interval
+        assert fitter.length == 2
+
+    def test_length_limit(self, pmc):
+        fitter, accepted = fit(pmc, [(1.0,)] * 60, limit=50)
+        assert accepted == 50
+
+    def test_zero_error_bound_requires_exact_equality(self, pmc):
+        fitter, accepted = fit(pmc, [(1.5,), (1.5,), (1.5001,)], error_bound=0.0)
+        assert accepted == 2
+
+    def test_zero_value_with_relative_bound(self, pmc):
+        fitter, accepted = fit(pmc, [(0.0,), (0.0,)], error_bound=10.0)
+        assert accepted == 2
+        model = pmc.decode(fitter.parameters(), 1, fitter.length)
+        assert model.value == 0.0
+
+
+class TestEncoding:
+    def test_parameters_are_four_bytes(self, pmc):
+        fitter, _ = fit(pmc, [(100.0,)])
+        assert len(fitter.parameters()) == 4
+        assert fitter.size_bytes() == 4
+
+    def test_empty_fitter_cannot_encode(self, pmc):
+        fitter = pmc.fitter(1, 10.0, 50)
+        with pytest.raises(ModelError):
+            fitter.parameters()
+
+    def test_decode_rejects_wrong_size(self, pmc):
+        with pytest.raises(ModelError):
+            pmc.decode(b"\x00" * 8, 1, 5)
+
+    def test_round_trip_within_bound(self, pmc):
+        values = [(100.0,), (105.0,), (95.0,)]
+        fitter, _ = fit(pmc, values)
+        model = pmc.decode(fitter.parameters(), 1, fitter.length)
+        for (value,) in values:
+            assert abs(model.value - value) <= 0.10 * abs(value) + 1e-6
+
+    def test_representative_prefers_average(self, pmc):
+        fitter, _ = fit(pmc, [(100.0,), (102.0,)], error_bound=10.0)
+        (stored,) = struct.unpack("<f", fitter.parameters())
+        assert stored == pytest.approx(101.0, abs=0.01)
+
+
+class TestAggregates:
+    def test_constant_time_flag(self, pmc):
+        fitter, _ = fit(pmc, [(10.0,)] * 4)
+        model = pmc.decode(fitter.parameters(), 1, 4)
+        assert model.constant_time_aggregates
+
+    def test_slice_aggregates(self, pmc):
+        fitter, _ = fit(pmc, [(10.0,)] * 4, error_bound=0.0)
+        model = pmc.decode(fitter.parameters(), 1, 4)
+        assert model.slice_sum(0, 3, 0) == 40.0
+        assert model.slice_sum(1, 2, 0) == 20.0
+        assert model.slice_min(0, 3, 0) == 10.0
+        assert model.slice_max(0, 3, 0) == 10.0
+        assert model.value_at(2, 0) == 10.0
+
+    def test_values_shape(self, pmc):
+        fitter, _ = fit(pmc, [(10.0, 10.0, 10.0)] * 4, error_bound=0.0)
+        model = pmc.decode(fitter.parameters(), 3, 4)
+        assert model.values().shape == (4, 3)

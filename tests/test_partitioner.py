@@ -1,0 +1,254 @@
+"""Partitioning primitives, parser and Algorithms 1-2 (Section 4.1)."""
+
+import pytest
+
+from repro.core import Dimension, DimensionSet
+from repro.core.errors import ConfigurationError
+from repro.partitioner import (
+    Clause,
+    CorrelationSpec,
+    Distance,
+    GroupingContext,
+    LCALevel,
+    MemberEquality,
+    TimeSeriesSet,
+    group_from_config,
+    group_time_series,
+    lowest_distance,
+    parse_clause,
+    parse_correlation,
+)
+from repro.partitioner.primitives import MemberScaling
+
+from .conftest import make_series
+
+
+@pytest.fixture
+def context(dimensions) -> GroupingContext:
+    return GroupingContext(
+        dimensions=dimensions,
+        names={1: "a.gz", 2: "b.gz", 3: "c.gz"},
+    )
+
+
+class TestPrimitives:
+    def test_time_series_set(self, context):
+        primitive = TimeSeriesSet(frozenset({"a.gz", "b.gz"}))
+        assert primitive.correlated([1], [2], context)
+        assert not primitive.correlated([1], [3], context)
+
+    def test_member_equality(self, context):
+        primitive = MemberEquality("Measure", 1, "Temperature")
+        assert primitive.correlated([1], [2], context)
+        assert not primitive.correlated([1], [3], context)
+
+    def test_lca_level_positive(self, context):
+        # Location 3 requires sharing a park.
+        primitive = LCALevel("Location", 3)
+        assert primitive.correlated([2], [3], context)
+        assert not primitive.correlated([1], [2], context)
+
+    def test_lca_level_zero_means_all_levels(self, context):
+        primitive = LCALevel("Location", 0)
+        assert not primitive.correlated([2], [3], context)
+        assert primitive.correlated([2], [2], context)
+
+    def test_lca_level_negative(self, context):
+        # -1: all but the most detailed level must match -> share a park.
+        primitive = LCALevel("Location", -1)
+        assert primitive.correlated([2], [3], context)
+        assert not primitive.correlated([1], [2], context)
+
+    def test_distance_paper_example(self, context):
+        # Fig. 7 / Section 4.1: the Location distance between Tids 2 and
+        # 3 is (4 - 3) / 4 = 0.25.
+        primitive = Distance(1.0)
+        location_only = GroupingContext(
+            dimensions=DimensionSet(
+                [context.dimensions["Location"]]
+            ),
+        )
+        assert primitive.distance([2], [3], location_only) == pytest.approx(
+            0.25
+        )
+
+    def test_distance_with_weight(self, context):
+        location_only = GroupingContext(
+            dimensions=DimensionSet([context.dimensions["Location"]]),
+        )
+        primitive = Distance(1.0, weights={"Location": 2.0})
+        assert primitive.distance([2], [3], location_only) == pytest.approx(
+            0.5
+        )
+
+    def test_distance_clamped_to_one(self, context):
+        location_only = GroupingContext(
+            dimensions=DimensionSet([context.dimensions["Location"]]),
+        )
+        primitive = Distance(1.0, weights={"Location": 10.0})
+        assert primitive.distance([1], [2], location_only) == 1.0
+
+    def test_distance_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            Distance(1.5)
+        with pytest.raises(ConfigurationError):
+            Distance(-0.1)
+
+    def test_lowest_distance_rule_of_thumb(self, dimensions):
+        # (1 / max(levels)) / |dimensions| = (1/4) / 2.
+        assert lowest_distance(dimensions) == pytest.approx(0.125)
+
+    def test_clause_requires_all_primitives(self, context):
+        clause = Clause(
+            (
+                LCALevel("Location", 3),
+                MemberEquality("Measure", 1, "Temperature"),
+            )
+        )
+        # Tids 2 and 3 share a park, but 3 is not a Temperature series.
+        assert not clause.correlated([2], [3], context)
+        assert clause.correlated([2], [2], context)
+
+    def test_spec_or_combines_clauses(self, context):
+        spec = CorrelationSpec(
+            [
+                Clause((MemberEquality("Measure", 1, "Temperature"),)),
+                Clause((LCALevel("Location", 3),)),
+            ]
+        )
+        assert spec.correlated([1], [2], context)  # via Measure clause
+        assert spec.correlated([2], [3], context)  # via Location clause
+        assert not spec.correlated([1], [3], context)
+
+
+class TestParser:
+    def test_member_triple(self, dimensions):
+        clause = parse_clause("Measure 1 Temperature", dimensions)
+        assert clause.primitives == (
+            MemberEquality("Measure", 1, "Temperature"),
+        )
+
+    def test_lca_pair(self, dimensions):
+        clause = parse_clause("Location 2", dimensions)
+        assert clause.primitives == (LCALevel("Location", 2),)
+
+    def test_and_within_clause(self, dimensions):
+        clause = parse_clause(
+            "Location 2, Measure 1 Temperature", dimensions
+        )
+        assert len(clause.primitives) == 2
+
+    def test_distance(self, dimensions):
+        clause = parse_clause("0.25", dimensions)
+        assert clause.primitives == (Distance(0.25),)
+
+    def test_distance_with_weights(self, dimensions):
+        clause = parse_clause("0.25 Location 2.0", dimensions)
+        (primitive,) = clause.primitives
+        assert primitive.weights == {"Location": 2.0}
+
+    def test_auto_is_lowest_distance(self, dimensions):
+        clause = parse_clause("auto", dimensions)
+        (primitive,) = clause.primitives
+        assert primitive.threshold == pytest.approx(0.125)
+
+    def test_scaling_four_tuple(self, dimensions):
+        clause = parse_clause("Measure 1 Temperature 4.75", dimensions)
+        assert clause.primitives == ()
+        assert clause.scalings == (
+            MemberScaling("Measure", 1, "Temperature", 4.75),
+        )
+
+    def test_series_set_with_scaling(self, dimensions):
+        clause = parse_clause("a.gz*2.0 b.gz", dimensions)
+        (primitive,) = clause.primitives
+        assert primitive.names == frozenset({"a.gz", "b.gz"})
+        assert primitive.scalings == {"a.gz": 2.0}
+
+    def test_empty_clause_rejected(self, dimensions):
+        with pytest.raises(ConfigurationError):
+            parse_clause("  ,  ", dimensions)
+
+    def test_unknown_weight_dimension_rejected(self, dimensions):
+        with pytest.raises(ConfigurationError):
+            parse_clause("0.25 Nowhere 1.0", dimensions)
+
+    def test_malformed_dimension_primitive_rejected(self, dimensions):
+        with pytest.raises(ConfigurationError):
+            parse_clause("Location", dimensions)
+
+    def test_multiple_clauses(self, dimensions):
+        spec = parse_correlation(
+            ["Location 3", "Measure 1 Temperature"], dimensions
+        )
+        assert len(spec.clauses) == 2
+
+
+class TestGrouping:
+    def make_context_series(self):
+        return [
+            make_series(1, [1.0, 2.0], name="a.gz"),
+            make_series(2, [1.0, 2.0], name="b.gz"),
+            make_series(3, [1.0, 2.0], name="c.gz"),
+        ]
+
+    def test_algorithm1_merges_to_fixpoint(self, dimensions):
+        series = self.make_context_series()
+        groups = group_from_config(series, ["Location 2"], dimensions)
+        # All three share Region, so one group.
+        assert [g.tids for g in groups] == [(1, 2, 3)]
+
+    def test_park_level_grouping(self, dimensions):
+        series = self.make_context_series()
+        groups = group_from_config(series, ["Location 3"], dimensions)
+        assert [g.tids for g in groups] == [(1,), (2, 3)]
+
+    def test_no_hints_yields_singletons(self, dimensions):
+        series = self.make_context_series()
+        groups = group_from_config(series, [], dimensions)
+        assert [g.tids for g in groups] == [(1,), (2,), (3,)]
+
+    def test_transitive_merging(self):
+        # A~B via clause 1 and B~C via clause 2 put all three together
+        # once B bridges them (fixpoint iteration of Algorithm 1).
+        dimension = Dimension("D", ["Name", "Pair"])
+        dimension.assign(1, ("a", "x"))
+        dimension.assign(2, ("b", "x"))
+        dimension.assign(3, ("c", "y"))
+        dimensions = DimensionSet([dimension])
+        series = [make_series(tid, [1.0]) for tid in (1, 2, 3)]
+        spec = parse_correlation(["D 1"], dimensions)
+        groups = group_time_series(series, spec, dimensions)
+        assert [g.tids for g in groups] == [(1, 2), (3,)]
+
+    def test_incompatible_si_never_merged(self, dimensions):
+        series = [
+            make_series(1, [1.0], si=100),
+            make_series(2, [1.0], si=100),
+            make_series(3, [1.0], si=200),
+        ]
+        groups = group_from_config(series, ["Location 1"], dimensions)
+        tids = sorted(g.tids for g in groups)
+        assert (3,) in tids
+        assert (1, 2) in tids
+
+    def test_scaling_hint_applied(self, dimensions):
+        series = self.make_context_series()
+        group_from_config(
+            series,
+            ["Location 1, Measure 1 Temperature 4.75"],
+            dimensions,
+        )
+        scalings = {ts.tid: ts.scaling for ts in series}
+        assert scalings == {1: 4.75, 2: 4.75, 3: 1.0}
+
+    def test_series_set_scaling_applied(self, dimensions):
+        series = self.make_context_series()
+        group_from_config(series, ["a.gz*2.5 b.gz"], dimensions)
+        assert series[0].scaling == 2.5
+        assert series[1].scaling == 1.0
+
+    def test_gids_are_dense_from_one(self, dimensions):
+        series = self.make_context_series()
+        groups = group_from_config(series, ["Location 3"], dimensions)
+        assert [g.gid for g in groups] == [1, 2]

@@ -1,0 +1,106 @@
+"""Property-based tests of the partitioner (Algorithm 1 invariants)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Dimension, DimensionSet, TimeSeries
+from repro.partitioner import (
+    Clause,
+    CorrelationSpec,
+    Distance,
+    LCALevel,
+    group_time_series,
+)
+
+_PARKS = ("p0", "p1", "p2")
+_COUNTRIES = ("dk", "de")
+
+
+@st.composite
+def assignments(draw):
+    """Random dimension assignments for 2-8 series."""
+    count = draw(st.integers(min_value=2, max_value=8))
+    rows = []
+    for tid in range(1, count + 1):
+        park = draw(st.sampled_from(_PARKS))
+        country = draw(st.sampled_from(_COUNTRIES))
+        rows.append((tid, park, country))
+    return rows
+
+
+def build(rows):
+    location = Dimension("Location", ["Entity", "Park", "Country"])
+    series = []
+    for tid, park, country in rows:
+        location.assign(tid, (f"e{tid}", park, country))
+        series.append(TimeSeries(tid, 100, [0, 100], [1.0, 2.0]))
+    return series, DimensionSet([location])
+
+
+@given(rows=assignments(), level=st.integers(min_value=-2, max_value=3))
+@settings(max_examples=150, deadline=None)
+def test_grouping_is_a_partition(rows, level):
+    """Every series lands in exactly one group; gids are dense."""
+    series, dimensions = build(rows)
+    spec = CorrelationSpec([Clause((LCALevel("Location", level),))])
+    groups = group_time_series(series, spec, dimensions)
+    tids = [tid for group in groups for tid in group.tids]
+    assert sorted(tids) == [row[0] for row in rows]
+    assert [group.gid for group in groups] == list(range(1, len(groups) + 1))
+
+
+@given(rows=assignments())
+@settings(max_examples=100, deadline=None)
+def test_park_grouping_matches_members(rows):
+    """LCA-level-2 grouping groups exactly the series sharing a park
+    (park names are globally unique across countries here)."""
+    series, dimensions = build(rows)
+    # Make parks unique per country so transitive merging is exact.
+    spec = CorrelationSpec([Clause((LCALevel("Location", 2),))])
+    groups = group_time_series(series, spec, dimensions)
+    by_key = {}
+    for tid, park, country in rows:
+        by_key.setdefault((country, park), set()).add(tid)
+    expected = sorted(tuple(sorted(v)) for v in by_key.values())
+    assert sorted(group.tids for group in groups) == expected
+
+
+@given(rows=assignments(), threshold=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_distance_one_merges_everything(rows, threshold):
+    """Threshold 1.0 merges all compatible series; 0.0 merges only
+    identical-member sets."""
+    series, dimensions = build(rows)
+    spec = CorrelationSpec([Clause((Distance(1.0),))])
+    groups = group_time_series(series, spec, dimensions)
+    assert len(groups) == 1
+
+    spec_zero = CorrelationSpec([Clause((Distance(0.0),))])
+    groups_zero = group_time_series(series, spec_zero, dimensions)
+    # Entities are unique, so distance 0 can never merge two series.
+    assert all(len(group) == 1 for group in groups_zero)
+
+
+@given(rows=assignments(), threshold=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_grouping_is_deterministic(rows, threshold):
+    series_a, dimensions_a = build(rows)
+    series_b, dimensions_b = build(rows)
+    spec = CorrelationSpec([Clause((Distance(threshold),))])
+    groups_a = group_time_series(series_a, spec, dimensions_a)
+    groups_b = group_time_series(series_b, spec, dimensions_b)
+    assert [g.tids for g in groups_a] == [g.tids for g in groups_b]
+
+
+@given(rows=assignments())
+@settings(max_examples=60, deadline=None)
+def test_merging_is_monotone_in_threshold(rows):
+    """A larger distance threshold never yields more groups."""
+    series, dimensions = build(rows)
+    counts = []
+    for threshold in (0.0, 0.2, 0.5, 1.0):
+        fresh, dims = build(rows)
+        spec = CorrelationSpec([Clause((Distance(threshold),))])
+        counts.append(len(group_time_series(fresh, spec, dims)))
+    assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,107 @@
+"""Model-level similarity search (the paper's future-work item ii)."""
+
+import numpy as np
+import pytest
+
+from repro import Configuration, ModelarDB, TimeSeries
+from repro.core.errors import QueryError
+from repro.query.similarity import SearchStats, similarity_search
+
+
+@pytest.fixture(scope="module")
+def db():
+    """Three series; series 2 contains an exact copy of the pattern."""
+    rng = np.random.default_rng(14)
+    n = 600
+    pattern = np.float32([50, 60, 75, 60, 50, 40, 50, 60])
+    series = []
+    for tid in (1, 2, 3):
+        values = np.float32(100 + np.cumsum(rng.normal(0, 0.2, n)))
+        if tid == 2:
+            values[300:308] = pattern
+        series.append(TimeSeries(tid, 100, np.arange(n) * 100, values))
+    instance = ModelarDB(Configuration(error_bound=0.0))
+    instance.ingest(series)
+    return instance, pattern.astype(np.float64)
+
+
+class TestSearch:
+    def test_finds_exact_match(self, db):
+        instance, pattern = db
+        (match,) = similarity_search(instance.engine, pattern, k=1)
+        assert match.tid == 2
+        assert match.start_time == 300 * 100
+        assert match.distance == pytest.approx(0.0, abs=1e-6)
+
+    def test_top_k_ordering(self, db):
+        instance, pattern = db
+        matches = similarity_search(instance.engine, pattern, k=5)
+        assert len(matches) == 5
+        distances = [match.distance for match in matches]
+        assert distances == sorted(distances)
+        assert matches[0].tid == 2
+
+    def test_tid_restriction(self, db):
+        instance, pattern = db
+        matches = similarity_search(instance.engine, pattern, k=3, tids=[1])
+        assert all(match.tid == 1 for match in matches)
+        assert matches[0].distance > 1.0  # no planted pattern in series 1
+
+    def test_model_level_pruning_is_effective(self, db):
+        instance, pattern = db
+        stats = SearchStats()
+        similarity_search(instance.engine, pattern, k=1, stats=stats)
+        # The envelope bound must discard the overwhelming majority of
+        # windows without reconstruction.
+        assert stats.windows > 1000
+        assert stats.pruned_fraction > 0.9
+
+    def test_result_verified_against_reconstruction(self, db):
+        instance, pattern = db
+        matches = similarity_search(instance.engine, pattern, k=2)
+        # Recompute the reported distance from the Data Point View.
+        match = matches[1]
+        points = [
+            p.value
+            for p in instance.points(
+                tids=[match.tid],
+                start_time=match.start_time,
+                end_time=match.start_time + (len(pattern) - 1) * 100,
+            )
+        ]
+        expected = float(np.sqrt(((np.array(points) - pattern) ** 2).sum()))
+        assert match.distance == pytest.approx(expected, rel=1e-9)
+
+    def test_lossy_ingestion_still_finds_the_region(self):
+        rng = np.random.default_rng(15)
+        n = 400
+        pattern = np.float32([10, 20, 30, 20, 10])
+        values = np.float32(100 + rng.normal(0, 0.05, n))
+        values[200:205] = pattern
+        series = TimeSeries(1, 100, np.arange(n) * 100, values)
+        instance = ModelarDB(Configuration(error_bound=5.0))
+        instance.ingest([series])
+        (match,) = similarity_search(
+            instance.engine, pattern.astype(np.float64), k=1
+        )
+        assert match.start_time == 200 * 100
+
+    def test_gap_windows_are_skipped(self):
+        values = [1.0] * 20 + [None] * 5 + [1.0] * 20
+        series = TimeSeries(1, 100, [i * 100 for i in range(45)], values)
+        instance = ModelarDB(Configuration(error_bound=0.0))
+        instance.ingest([series])
+        matches = similarity_search(
+            instance.engine, np.ones(10), k=45
+        )
+        # No reported window may overlap the gap.
+        for match in matches:
+            first = match.start_time // 100
+            assert first + 10 <= 20 or first >= 25
+
+    def test_validation(self, db):
+        instance, pattern = db
+        with pytest.raises(QueryError):
+            similarity_search(instance.engine, [], k=1)
+        with pytest.raises(QueryError):
+            similarity_search(instance.engine, pattern, k=0)

@@ -1,0 +1,120 @@
+"""The SQL dialect parser (Section 7.2's query classes)."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.query.sql import Call, Column, Condition, Query, Star, parse
+
+
+class TestSelect:
+    def test_paper_example_query(self):
+        # Fig. 11's query.
+        query = parse(
+            "SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2, 3) "
+            "GROUP BY Tid"
+        )
+        assert query.view == "segment"
+        assert query.select == (Column("Tid"), Call("SUM_S", "*"))
+        assert query.where == (Condition("Tid", "IN", (1, 2, 3)),)
+        assert query.group_by == ("Tid",)
+        assert query.is_aggregate
+
+    def test_cube_function(self):
+        # Fig. 12's query.
+        query = parse(
+            "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid IN (1, 2, 3) "
+            "GROUP BY Tid"
+        )
+        assert Call("CUBE_SUM_HOUR", "*") in query.select
+
+    def test_star_selection(self):
+        query = parse("SELECT * FROM DataPoint")
+        assert query.select == (Star(),)
+        assert not query.is_aggregate
+
+    def test_plain_columns(self):
+        query = parse("SELECT TS, Value FROM DataPoint WHERE Tid = 2")
+        assert query.select == (Column("TS"), Column("Value"))
+
+    def test_aggregate_with_column_argument(self):
+        query = parse("SELECT COUNT(Value) FROM DataPoint")
+        assert query.select == (Call("COUNT", "Value"),)
+
+    def test_view_names_case_insensitive(self):
+        assert parse("select sum_s(*) from SEGMENT").view == "segment"
+        assert parse("SELECT COUNT(*) FROM datapoint").view == "datapoint"
+
+    def test_function_name_uppercased(self):
+        query = parse("SELECT sum_s(*) FROM Segment")
+        assert query.select == (Call("SUM_S", "*"),)
+
+
+class TestWhere:
+    def test_comparison_operators(self):
+        query = parse(
+            "SELECT Value FROM DataPoint WHERE TS >= 100 AND TS <= 200 "
+            "AND Value > 1.5"
+        )
+        assert query.where == (
+            Condition("TS", ">=", 100),
+            Condition("TS", "<=", 200),
+            Condition("Value", ">", 1.5),
+        )
+
+    def test_string_literals(self):
+        query = parse(
+            "SELECT SUM_S(*) FROM Segment WHERE Category = 'Production'"
+        )
+        assert query.where == (Condition("Category", "=", "Production"),)
+
+    def test_double_quoted_strings(self):
+        query = parse('SELECT SUM_S(*) FROM Segment WHERE Park = "Aalborg"')
+        assert query.where == (Condition("Park", "=", "Aalborg"),)
+
+    def test_qualified_column(self):
+        query = parse(
+            "SELECT SUM_S(*) FROM Segment WHERE Location.Park = 'Aalborg'"
+        )
+        assert query.where[0].column == "Location.Park"
+
+    def test_in_list(self):
+        query = parse("SELECT COUNT_S(*) FROM Segment WHERE Tid IN (4)")
+        assert query.where == (Condition("Tid", "IN", (4,)),)
+
+    def test_negative_numbers(self):
+        query = parse("SELECT Value FROM DataPoint WHERE Value >= -3.5")
+        assert query.where == (Condition("Value", ">=", -3.5),)
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM_S(*) Segment")
+
+    def test_unknown_view(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM_S(*) FROM Points")
+
+    def test_unsupported_operator(self):
+        with pytest.raises(QueryError):
+            parse("SELECT Value FROM DataPoint WHERE Tid <> 1")
+
+    def test_unclosed_in_list(self):
+        with pytest.raises(QueryError):
+            parse("SELECT COUNT_S(*) FROM Segment WHERE Tid IN (1, 2")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(QueryError):
+            parse("SELECT COUNT_S(*) FROM Segment LIMIT 5")
+
+    def test_unclosed_call(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM_S(* FROM Segment")
+
+    def test_empty_query(self):
+        with pytest.raises(QueryError):
+            parse("")
+
+    def test_garbage_token(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM_S(*) FROM Segment WHERE Tid = ;")

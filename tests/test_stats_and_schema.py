@@ -1,0 +1,72 @@
+"""Ingestion statistics and the Time Series table construction."""
+
+import pytest
+
+from repro.core import Dimension, DimensionSet, TimeSeriesGroup
+from repro.ingest.stats import IngestStats, ModelUsage
+from repro.storage import records_for_groups
+
+from .conftest import make_series
+
+
+class TestIngestStats:
+    def test_record_segment_accumulates(self):
+        stats = IngestStats()
+        stats.record_segment("PMC", data_points=100, storage_bytes=28)
+        stats.record_segment("PMC", data_points=50, storage_bytes=28)
+        stats.record_segment("Gorilla", data_points=50, storage_bytes=200)
+        assert stats.segments == 3
+        assert stats.storage_bytes == 256
+        assert stats.usage["PMC"] == ModelUsage(2, 150, 56)
+
+    def test_model_mix_percentages(self):
+        stats = IngestStats()
+        stats.record_segment("PMC", 75, 28)
+        stats.record_segment("Swing", 25, 32)
+        mix = stats.model_mix()
+        assert mix == {"PMC": 75.0, "Swing": 25.0}
+
+    def test_model_mix_empty(self):
+        assert IngestStats().model_mix() == {}
+
+    def test_merge(self):
+        a = IngestStats(data_points=10, splits=1)
+        a.record_segment("PMC", 10, 28)
+        b = IngestStats(data_points=20, joins=2)
+        b.record_segment("PMC", 20, 28)
+        b.record_segment("Swing", 5, 32)
+        a.merge(b)
+        assert a.data_points == 30
+        assert a.splits == 1
+        assert a.joins == 2
+        assert a.segments == 3
+        assert a.usage["PMC"].data_points == 30
+        assert a.usage["Swing"].segments == 1
+
+
+class TestRecordsForGroups:
+    def test_records_carry_group_and_scaling(self):
+        groups = [
+            TimeSeriesGroup(1, [make_series(2, [1.0], scaling=4.75)]),
+            TimeSeriesGroup(2, [make_series(1, [1.0])]),
+        ]
+        records = records_for_groups(groups)
+        # Sorted by Tid regardless of group order.
+        assert [record.tid for record in records] == [1, 2]
+        assert records[1].gid == 1
+        assert records[1].scaling == 4.75
+        assert records[0].gid == 2
+
+    def test_records_denormalise_dimensions(self):
+        dimension = Dimension("Location", ["Entity", "Park"])
+        dimension.assign(1, ("e1", "p0"))
+        dimensions = DimensionSet([dimension])
+        groups = [TimeSeriesGroup(1, [make_series(1, [1.0])])]
+        (record,) = records_for_groups(groups, dimensions)
+        assert record.dimensions == {"Park": "p0", "Entity": "e1"}
+
+    def test_records_without_dimensions(self):
+        groups = [TimeSeriesGroup(1, [make_series(1, [1.0])])]
+        (record,) = records_for_groups(groups, None)
+        assert record.dimensions == {}
+        assert record.sampling_interval == 100

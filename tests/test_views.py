@@ -1,0 +1,115 @@
+"""Segment/Data Point views: clipping, decoding, vectorised access."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, SegmentGroup, TimeSeries
+from repro.models import ModelRegistry
+from repro.query.cache import SegmentCache
+from repro.query.engine import _ColumnSharedModel
+from repro.query.metadata import MetadataCache
+from repro.query.rewriter import Predicates, rewrite
+from repro.query.views import DataPointView, SegmentView, _clip
+from repro.storage import MemoryStorage, TimeSeriesRecord
+
+
+def make_segment(start=0, end=900, si=100):
+    return SegmentGroup(
+        gid=1, start_time=start, end_time=end, sampling_interval=si,
+        mid=1, parameters=b"\x00\x00\x80?",  # PMC constant 1.0
+        group_tids=(1, 2),
+    )
+
+
+class TestClip:
+    def test_no_predicates(self):
+        assert _clip(make_segment(), None, None) == (0, 9)
+
+    def test_start_inside(self):
+        assert _clip(make_segment(), 250, None) == (3, 9)
+
+    def test_start_on_grid(self):
+        assert _clip(make_segment(), 300, None) == (3, 9)
+
+    def test_end_inside(self):
+        assert _clip(make_segment(), None, 450) == (0, 4)
+
+    def test_both(self):
+        assert _clip(make_segment(), 200, 700) == (2, 7)
+
+    def test_empty_intersection(self):
+        assert _clip(make_segment(), 901, None) is None
+        assert _clip(make_segment(), None, -1) is None
+
+    def test_point_interval(self):
+        assert _clip(make_segment(), 500, 500) == (5, 5)
+        assert _clip(make_segment(), 501, 599) is None
+
+
+class TestViews:
+    @pytest.fixture
+    def setup(self):
+        storage = MemoryStorage()
+        storage.insert_time_series([
+            TimeSeriesRecord(1, 100, gid=1, scaling=2.0),
+            TimeSeriesRecord(2, 100, gid=1),
+        ])
+        storage.insert_segments([make_segment()])
+        registry = ModelRegistry()
+        cache = SegmentCache(registry)
+        metadata = MetadataCache(storage)
+        return storage, cache, metadata
+
+    def test_segment_view_rows(self, setup):
+        storage, cache, metadata = setup
+        view = SegmentView(storage, cache, metadata)
+        plan = rewrite(Predicates(), metadata)
+        rows = list(view.rows(plan))
+        assert [r.row.tid for r in rows] == [1, 2]
+        assert rows[0].row.scaling == 2.0
+        assert (rows[0].first, rows[0].last) == (0, 9)
+
+    def test_segment_view_respects_tid_filter(self, setup):
+        storage, cache, metadata = setup
+        view = SegmentView(storage, cache, metadata)
+        plan = rewrite(Predicates(tids=frozenset({2})), metadata)
+        rows = list(view.rows(plan))
+        assert [r.row.tid for r in rows] == [2]
+
+    def test_data_point_view_applies_scaling(self, setup):
+        storage, cache, metadata = setup
+        view = DataPointView(storage, cache, metadata)
+        plan = rewrite(Predicates(tids=frozenset({1})), metadata)
+        points = list(view.rows(plan))
+        # Stored constant 1.0 divided by the scaling constant 2.0.
+        assert all(p.value == 0.5 for p in points)
+        assert len(points) == 10
+
+    def test_arrays_are_clipped(self, setup):
+        storage, cache, metadata = setup
+        view = DataPointView(storage, cache, metadata)
+        plan = rewrite(
+            Predicates(tids=frozenset({2}), start_time=200, end_time=400),
+            metadata,
+        )
+        ((row, timestamps, values),) = list(view.arrays(plan))
+        assert list(timestamps) == [200, 300, 400]
+        assert list(values) == [1.0, 1.0, 1.0]
+
+
+class TestColumnSharedModel:
+    def test_delegates_and_memoises(self, registry):
+        fitter = registry.by_name("Swing").fitter(3, 1.0, 50)
+        for i in range(10):
+            fitter.append((float(i), float(i), float(i)))
+        model = registry.by_name("Swing").decode(fitter.parameters(), 3, 10)
+        shared = _ColumnSharedModel(model)
+        assert shared.constant_time_aggregates
+        assert shared.length == 10
+        assert shared.n_columns == 3
+        # Same answer for every column; second call hits the memo.
+        assert shared.slice_sum(0, 9, 0) == shared.slice_sum(0, 9, 2)
+        assert shared.slice_min(2, 5, 1) == model.slice_min(2, 5, 0)
+        assert shared.slice_max(2, 5, 1) == model.slice_max(2, 5, 0)
+        assert shared.value_at(4, 2) == model.value_at(4, 0)
+        assert shared.values().shape == (10, 3)

@@ -1,0 +1,133 @@
+"""Workload generators and cross-system result agreement."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ModelarV2Format, ParquetLike
+from repro.core import Configuration
+from repro.datasets import generate_ep
+from repro.datasets.ep import EP_CORRELATION
+from repro.workloads import QuerySpec, l_agg, m_agg, p_r, s_agg
+
+
+@pytest.fixture(scope="module")
+def systems():
+    ep = generate_ep(
+        n_entities=2, measures_per_entity=2, n_points=300,
+        gap_probability=0.0, seed=5,
+    )
+    parquet = ParquetLike()
+    parquet.ingest(ep.series, ep.dimensions)
+    v2 = ModelarV2Format(
+        Configuration(error_bound=0.0, correlation=EP_CORRELATION)
+    )
+    v2.ingest(ep.series, ep.dimensions)
+    return ep, parquet, v2
+
+
+class TestGenerators:
+    def test_s_agg_structure(self):
+        queries = s_agg(list(range(1, 11)), seed=1, count=10).queries
+        singles = [q for q in queries if len(q.tids) == 1]
+        grouped = [q for q in queries if q.group_by_tid]
+        assert len(singles) == 5
+        assert len(grouped) == 5
+        assert all(len(q.tids) == 5 for q in grouped)
+
+    def test_l_agg_structure(self):
+        queries = l_agg(count=4).queries
+        assert all(q.tids is None for q in queries)
+        assert sum(q.group_by_tid for q in queries) == 2
+
+    def test_m_agg_variants(self):
+        one = m_agg(("Category", "ProductionMWh"), "Category")
+        two = m_agg(("Category", "ProductionMWh"), "Category", per_tid=True)
+        assert one.name == "M-AGG-One"
+        assert two.name == "M-AGG-Two"
+        assert all(not q.group_by_tid for q in one.queries)
+        assert all(q.group_by_tid for q in two.queries)
+
+    def test_p_r_structure(self):
+        workload = p_r([1, 2, 3], 0, 100_000, 100, seed=2, count=10)
+        points = [q for q in workload.queries if q.kind == "point"]
+        ranges = [q for q in workload.queries if q.kind == "range"]
+        assert len(points) == 5
+        assert len(ranges) == 5
+        # Point timestamps land on the sampling grid.
+        assert all(q.timestamp % 100 == 0 for q in points)
+
+    def test_deterministic(self):
+        a = s_agg([1, 2, 3, 4, 5], seed=7).queries
+        b = s_agg([1, 2, 3, 4, 5], seed=7).queries
+        assert a == b
+
+
+class TestCrossSystemAgreement:
+    """Lossless ModelarDB and Parquet answer workloads identically."""
+
+    def test_s_agg_agrees(self, systems):
+        ep, parquet, v2 = systems
+        for query in s_agg(ep.production_tids, seed=3).queries:
+            expected = query.run(parquet)
+            actual = query.run(v2)
+            assert _values(actual) == pytest.approx(
+                _values(expected), rel=1e-6
+            ), query
+
+    def test_l_agg_agrees(self, systems):
+        ep, parquet, v2 = systems
+        for query in l_agg().queries:
+            assert _values(query.run(v2)) == pytest.approx(
+                _values(query.run(parquet)), rel=1e-6
+            ), query
+
+    def test_m_agg_agrees(self, systems):
+        ep, parquet, v2 = systems
+        workload = m_agg(("Category", "ProductionMWh"), "Category", count=2)
+        for query in workload.queries:
+            expected = query.run(parquet)
+            actual = query.run(v2)
+            assert len(actual) == len(expected)
+            assert _values(actual) == pytest.approx(
+                _values(expected), rel=1e-6
+            )
+
+    def test_p_r_agrees(self, systems):
+        ep, parquet, v2 = systems
+        workload = p_r(
+            ep.production_tids, ep.start_time, ep.end_time,
+            ep.sampling_interval, seed=4,
+        )
+        for query in workload.queries:
+            expected = query.run(parquet)
+            actual = query.run(v2)
+            if query.kind == "point":
+                assert actual == pytest.approx(expected)
+            else:
+                assert actual[1] == pytest.approx(expected[1])
+
+    def test_run_measures_elapsed(self, systems):
+        ep, parquet, _ = systems
+        elapsed = l_agg(count=1).run(parquet)
+        assert elapsed > 0
+
+    def test_unknown_kind_rejected(self, systems):
+        _, parquet, _ = systems
+        with pytest.raises(ValueError):
+            QuerySpec("explode").run(parquet)
+
+
+def _values(rows):
+    """Numeric row contents, order-normalised (systems may return
+    grouped rows in different orders)."""
+    if rows is None:
+        return []
+    if isinstance(rows, (int, float)):
+        return [rows]
+    ordered = sorted(rows, key=lambda row: str(sorted(row.items())))
+    flattened = []
+    for row in ordered:
+        for value in row.values():
+            if isinstance(value, (int, float)):
+                flattened.append(value)
+    return flattened
