@@ -1,13 +1,25 @@
-"""Command-line SQL shell over a persisted ModelarDB directory.
+"""Command-line entry point: SQL shell and cluster driver.
 
 Usage::
 
     python -m repro <storage-dir>                 # interactive shell
     python -m repro <storage-dir> -c "SELECT ..." # one statement
+    python -m repro --workers 4                   # measured cluster run
+    python -m repro --workers 4 --fault crash:1:execute
+    python -m repro --workers 4 --simulated       # modelled cluster run
 
-The directory must contain a :class:`~repro.storage.FileStorage` written
-by a previous ingestion (see ``examples/persistent_storage.py``). Inside
-the shell, ``\\dt`` lists the stored time series, ``\\q`` quits.
+Without ``--workers`` the directory must contain a
+:class:`~repro.storage.FileStorage` written by a previous ingestion (see
+``examples/persistent_storage.py``). Inside the shell, ``\\dt`` lists
+the stored time series, ``\\q`` quits.
+
+With ``--workers N`` the synthetic EP workload is partitioned over a
+cluster of N workers — real processes by default (measured wall-clock
+scale-out, the mode behind the measured Fig. 20 numbers), or the
+sequential in-process simulation with ``--simulated``. ``--fault``
+injects worker faults (``crash|slow|drop:worker:method[:delay]``) to
+demonstrate master-side failover. An optional directory gives each
+worker a persistent store under ``<dir>/worker_<id>``.
 """
 
 from __future__ import annotations
@@ -15,7 +27,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .cluster import FaultPlan, ModelarCluster, ProcessCluster
+from .core.config import Configuration
 from .core.errors import ModelarError
+from .datasets import generate_ep
+from .datasets.ep import EP_CORRELATION
 from .models.registry import ModelRegistry
 from .query.engine import QueryEngine
 from .storage.filestore import FileStorage
@@ -75,17 +91,119 @@ def run_statement(engine: QueryEngine, statement: str, out) -> None:
     print(format_rows(rows), file=out)
 
 
+#: Statements the cluster demo scatters over the workers.
+CLUSTER_STATEMENTS = (
+    "SELECT COUNT(*) FROM DataPoint",
+    "SELECT MIN(Value), MAX(Value), AVG(Value) FROM DataPoint",
+    "SELECT Entity, SUM(Value) FROM DataPoint GROUP BY Entity",
+)
+
+
+def run_cluster(arguments, out) -> int:
+    """The ``--workers N`` mode: measured (or simulated) scale-out."""
+    dataset = generate_ep(seed=7)
+    config = Configuration(correlation=list(EP_CORRELATION))
+    fault_plan = (
+        FaultPlan.parse(arguments.fault) if arguments.fault else None
+    )
+    if arguments.simulated:
+        if fault_plan is not None:
+            print("error: --fault requires the process cluster "
+                  "(drop --simulated)", file=out)
+            return 1
+        cluster = ModelarCluster(
+            arguments.workers, config, dataset.dimensions
+        )
+        mode = "simulated (sequential in-process)"
+    else:
+        cluster = ProcessCluster(
+            arguments.workers,
+            config,
+            dataset.dimensions,
+            storage_root=arguments.directory,
+            fault_plan=fault_plan,
+        )
+        mode = "measured (one OS process per worker)"
+    try:
+        print(f"cluster: {arguments.workers} workers, {mode}", file=out)
+        ingest = cluster.ingest(dataset.series)
+        print(
+            f"ingest: {ingest.data_points} points, "
+            f"makespan {ingest.measured_makespan:.3f}s",
+            file=out,
+        )
+        for statement in CLUSTER_STATEMENTS:
+            print(f"\nmodelardb> {statement}", file=out)
+            rows, report = cluster.sql(statement)
+            print(format_rows(rows), file=out)
+            line = f"({report.measured_makespan:.3f}s"
+            if report.failovers:
+                moves = ", ".join(
+                    f"worker {dead}->worker {target}"
+                    for dead, target in report.failovers
+                )
+                line += f"; failover: {moves}"
+            print(line + ")", file=out)
+    finally:
+        if not arguments.simulated:
+            cluster.close()
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="SQL shell over a ModelarDB storage directory",
+        description=(
+            "SQL shell over a ModelarDB storage directory, or a "
+            "cluster driver with --workers"
+        ),
     )
-    parser.add_argument("directory", help="FileStorage directory to open")
+    parser.add_argument(
+        "directory",
+        nargs="?",
+        help=(
+            "FileStorage directory to open (shell mode) or the cluster's "
+            "storage root (per-worker subdirectories; in-memory if omitted)"
+        ),
+    )
     parser.add_argument(
         "-c", "--command", help="execute one SQL statement and exit"
     )
+    parser.add_argument(
+        "-w", "--workers", type=int,
+        help="run the synthetic EP workload on an N-worker cluster",
+    )
+    parser.add_argument(
+        "--fault",
+        help=(
+            "inject worker faults, comma-separated "
+            "kind:worker:method[:delay] entries, e.g. crash:1:execute"
+        ),
+    )
+    parser.add_argument(
+        "--simulated", action="store_true",
+        help="use the sequential in-process cluster simulation",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.workers is not None:
+        if arguments.workers < 1:
+            print("error: --workers must be >= 1", file=out)
+            return 1
+        try:
+            return run_cluster(arguments, out)
+        except ModelarError as error:
+            print(f"error: {error}", file=out)
+            return 1
+    if arguments.directory is None:
+        print("error: a storage directory is required without --workers",
+              file=out)
+        return 1
+    if arguments.fault or arguments.simulated:
+        print("error: --fault/--simulated only apply with --workers",
+              file=out)
+        return 1
 
     storage = FileStorage(arguments.directory)
     if not storage.time_series():

@@ -1,11 +1,32 @@
-"""Master/worker cluster substrate (distribution without shuffling)."""
+"""Master/worker cluster substrates (distribution without shuffling).
 
-from .cluster import ClusterIngestReport, ClusterQueryReport, ModelarCluster
+Two interchangeable substrates share the same partitioning, routing and
+partial-result merging:
+
+* :class:`ModelarCluster` — simulated: workers run sequentially in one
+  process and reports *model* parallel wall time (``max`` over workers);
+* :class:`ProcessCluster` — real: one OS process per worker with an RPC
+  layer, measured wall-clock reports, and timeout/retry/failover when a
+  worker crashes (faults injectable via :class:`FaultPlan`).
+"""
+
+from .cluster import (
+    ClusterIngestReport,
+    ClusterQueryReport,
+    ModelarCluster,
+    restrict_query_to_tids,
+)
+from .faults import Fault, FaultPlan
 from .node import WorkerNode
+from .pool import ProcessCluster
 
 __all__ = [
     "ClusterIngestReport",
     "ClusterQueryReport",
+    "Fault",
+    "FaultPlan",
     "ModelarCluster",
+    "ProcessCluster",
     "WorkerNode",
+    "restrict_query_to_tids",
 ]

@@ -42,11 +42,19 @@ class ClusterIngestReport:
 
     worker_seconds: list[float]
     data_points: int
+    #: Measured wall-clock seconds of the whole scatter (only set by the
+    #: process-parallel substrate; 0.0 in simulated mode).
+    wall_seconds: float = 0.0
 
     @property
     def makespan(self) -> float:
         """Modelled parallel wall time: the slowest worker."""
         return max(self.worker_seconds) if self.worker_seconds else 0.0
+
+    @property
+    def measured_makespan(self) -> float:
+        """Measured wall time when available, else the modelled one."""
+        return self.wall_seconds if self.wall_seconds else self.makespan
 
     @property
     def total_work(self) -> float:
@@ -64,6 +72,11 @@ class ClusterQueryReport:
 
     worker_seconds: list[float] = field(default_factory=list)
     merge_seconds: float = 0.0
+    #: Measured wall-clock seconds of scatter + gather + merge (only set
+    #: by the process-parallel substrate; 0.0 in simulated mode).
+    wall_seconds: float = 0.0
+    #: Failovers performed while answering: (dead worker, new owner).
+    failovers: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -71,8 +84,54 @@ class ClusterQueryReport:
         return slowest + self.merge_seconds
 
     @property
+    def measured_makespan(self) -> float:
+        """Measured wall time when available, else the modelled one."""
+        return self.wall_seconds if self.wall_seconds else self.makespan
+
+    @property
     def total_work(self) -> float:
         return sum(self.worker_seconds) + self.merge_seconds
+
+
+def restrict_query_to_tids(
+    query: Query, owned: set[int], force: bool = False
+) -> Query | None:
+    """Restrict a query's Tid predicates to ``owned`` series.
+
+    The master's routing step: intersects any ``Tid``/``Tid IN``
+    predicates with the Tids a worker owns. Returns None when the
+    intersection is empty (the worker is pruned from the scatter) and,
+    when the query has no Tid predicate, the query unchanged — unless
+    ``force`` is set, in which case an explicit ``Tid IN`` predicate
+    over ``owned`` is added. Failover uses ``force`` to re-ask only for
+    the Tids whose groups moved off a dead worker.
+    """
+    requested: set[int] | None = None
+    for condition in query.where:
+        if condition.column.lower() != "tid":
+            continue
+        if condition.operator == "=":
+            values = {int(condition.value)}
+        elif condition.operator == "IN":
+            values = {int(v) for v in condition.value}
+        else:
+            raise QueryError(
+                "cluster Tid predicates support '=' and 'IN' only"
+            )
+        requested = values if requested is None else requested & values
+    if requested is None:
+        if not force:
+            return query
+        requested = set(owned)
+    restricted = requested & owned
+    if not restricted:
+        return None
+    where = tuple(
+        condition
+        for condition in query.where
+        if condition.column.lower() != "tid"
+    ) + (Condition("Tid", "IN", tuple(sorted(restricted))),)
+    return Query(query.view, query.select, where, query.group_by)
 
 
 class ModelarCluster:
@@ -184,30 +243,7 @@ class ModelarCluster:
 
         Returns None when the worker owns none of the requested series
         (the master prunes that worker from the scatter)."""
-        requested: set[int] | None = None
-        for condition in query.where:
-            if condition.column.lower() != "tid":
-                continue
-            if condition.operator == "=":
-                values = {int(condition.value)}
-            elif condition.operator == "IN":
-                values = {int(v) for v in condition.value}
-            else:
-                raise QueryError(
-                    "cluster Tid predicates support '=' and 'IN' only"
-                )
-            requested = values if requested is None else requested & values
-        if requested is None:
-            return query
-        owned = requested & worker.tids
-        if not owned:
-            return None
-        where = tuple(
-            condition
-            for condition in query.where
-            if condition.column.lower() != "tid"
-        ) + (Condition("Tid", "IN", tuple(sorted(owned))),)
-        return Query(query.view, query.select, where, query.group_by)
+        return restrict_query_to_tids(query, worker.tids)
 
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:

@@ -1,0 +1,149 @@
+"""Injectable fault plans for the process-parallel cluster.
+
+A :class:`FaultPlan` describes what should go wrong, where, and when.
+The plan is shipped to every worker process at spawn time; the *worker*
+executes its own faults (crashing with ``os._exit``, sleeping, or
+swallowing a reply), so the master's timeout/retry/failover machinery is
+exercised exactly as it would be by a real failure — there is no
+master-side shortcut that could mask a protocol bug.
+
+Fault kinds:
+
+``crash``
+    The worker process exits hard (``os._exit``) when it receives the
+    matching request, before executing it. The master observes a dead
+    process and fails the worker over.
+``slow``
+    The worker executes the request but sleeps ``delay`` seconds before
+    replying. The master's first timeout resends; the late original
+    reply is still accepted (both sequence numbers name the same call).
+``drop``
+    The worker executes the request but never replies, as if the reply
+    message were lost. The master resends after a timeout; the request
+    handlers are idempotent, so re-execution is safe.
+
+Each fault triggers on the first ``times`` requests matching its
+``(worker_id, method)`` pair and is then spent, so retried requests
+succeed — which is what lets the recovery tests assert that the master
+rides out transient faults without failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ModelarError
+
+#: RPC methods a fault may target.
+FAULT_METHODS = ("assign", "ingest", "execute", "flush", "ping")
+
+#: Supported fault kinds.
+FAULT_KINDS = ("crash", "slow", "drop")
+
+
+class FaultPlanError(ModelarError):
+    """An invalid fault specification."""
+
+
+@dataclass
+class Fault:
+    """One injectable fault, keyed by worker and RPC method."""
+
+    worker_id: int
+    method: str
+    kind: str
+    delay: float = 0.0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.method not in FAULT_METHODS:
+            raise FaultPlanError(
+                f"unknown fault method {self.method!r}; expected one of "
+                f"{FAULT_METHODS}"
+            )
+        if self.delay < 0:
+            raise FaultPlanError("fault delay must be >= 0")
+        if self.times < 1:
+            raise FaultPlanError("fault times must be >= 1")
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of faults, consumed worker-side."""
+
+    faults: list[Fault] = field(default_factory=list)
+
+    def take(self, worker_id: int, method: str) -> Fault | None:
+        """Consume and return the first live fault matching the request.
+
+        Called by the worker's request loop; each worker process holds
+        its own copy of the plan, so consuming is process-local.
+        """
+        for fault in self.faults:
+            if (
+                fault.worker_id == worker_id
+                and fault.method == method
+                and fault.times > 0
+            ):
+                fault.times -= 1
+                return fault
+        return None
+
+    # -- convenience constructors --------------------------------------
+    @classmethod
+    def crash(cls, worker_id: int, method: str = "execute") -> "FaultPlan":
+        """Kill ``worker_id`` when it receives its next ``method``."""
+        return cls([Fault(worker_id, method, "crash")])
+
+    @classmethod
+    def slow(
+        cls, worker_id: int, delay: float, method: str = "execute"
+    ) -> "FaultPlan":
+        """Delay ``worker_id``'s next ``method`` reply by ``delay`` s."""
+        return cls([Fault(worker_id, method, "slow", delay=delay)])
+
+    @classmethod
+    def drop(cls, worker_id: int, method: str = "execute") -> "FaultPlan":
+        """Swallow ``worker_id``'s next ``method`` reply."""
+        return cls([Fault(worker_id, method, "drop")])
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a CLI fault spec.
+
+        Comma-separated entries of ``kind:worker:method[:delay]``, e.g.
+        ``crash:1:execute`` or ``slow:0:ingest:0.5,drop:2:execute``.
+        """
+        faults = []
+        for entry in text.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            parts = entry.split(":")
+            if len(parts) not in (3, 4):
+                raise FaultPlanError(
+                    f"bad fault spec {entry!r}; expected "
+                    "kind:worker:method[:delay]"
+                )
+            kind, worker_text, method = parts[:3]
+            try:
+                worker_id = int(worker_text)
+            except ValueError:
+                raise FaultPlanError(
+                    f"bad worker id in fault spec {entry!r}"
+                ) from None
+            delay = 0.0
+            if len(parts) == 4:
+                try:
+                    delay = float(parts[3])
+                except ValueError:
+                    raise FaultPlanError(
+                        f"bad delay in fault spec {entry!r}"
+                    ) from None
+            faults.append(Fault(worker_id, method, kind, delay=delay))
+        return cls(faults)

@@ -36,6 +36,7 @@ class WorkerNode:
         self.registry = registry
         self.storage = storage if storage is not None else MemoryStorage()
         self.groups: list[TimeSeriesGroup] = []
+        self._pending: list[TimeSeriesGroup] = []
         self.stats = IngestStats()
         self._engine = QueryEngine(self.storage, self.registry)
 
@@ -56,22 +57,34 @@ class WorkerNode:
         return {group.gid for group in self.groups}
 
     def assign(self, group: TimeSeriesGroup, dimensions=None) -> None:
-        """Accept responsibility for a group (metadata written locally)."""
+        """Accept responsibility for a group (metadata written locally).
+
+        Idempotent on Gid: re-assigning an already-owned group is a
+        no-op, so a duplicated ``assign`` RPC (the master retrying after
+        a dropped reply) cannot double-ingest a group.
+        """
+        if any(existing.gid == group.gid for existing in self.groups):
+            return
         self.groups.append(group)
+        self._pending.append(group)
         self.storage.insert_time_series(
             records_for_groups([group], dimensions)
         )
         self.storage.insert_model_table(self.registry.model_table())
 
     def ingest_assigned(self) -> float:
-        """Ingest all assigned groups; returns elapsed seconds.
+        """Ingest the groups assigned since the last call; returns
+        elapsed seconds.
 
-        The cluster driver runs workers one after another and uses the
-        per-worker elapsed times to model parallel execution.
+        Only not-yet-ingested groups are processed, which makes the call
+        idempotent (a retried ``ingest`` RPC ingests nothing) and lets
+        failover add a dead worker's groups to a node that has already
+        ingested its own.
         """
+        pending, self._pending = self._pending, []
         started = time.perf_counter()
         stats = Ingestor(self.config, self.registry, self.storage).ingest(
-            self.groups
+            pending
         )
         elapsed = time.perf_counter() - started
         self.stats.merge(stats)
@@ -85,6 +98,15 @@ class WorkerNode:
         started = time.perf_counter()
         result = self._engine.execute_partial(query)
         return result, time.perf_counter() - started
+
+    def flush(self) -> tuple[int, int]:
+        """Make local state durable; returns (segment count, bytes)."""
+        self.storage.flush()
+        return self.storage.segment_count(), self.storage.size_bytes()
+
+    def close(self) -> None:
+        """Release the local store (end of the worker's lifetime)."""
+        self.storage.close()
 
     @property
     def engine(self) -> QueryEngine:

@@ -1,0 +1,619 @@
+"""Process-parallel cluster: one OS process per worker, real wall time.
+
+This is the measured counterpart of :class:`~repro.cluster.ModelarCluster`
+(which simulates parallelism by running workers sequentially in-process).
+Every :class:`~repro.cluster.node.WorkerNode` runs in its own
+``multiprocessing`` process with a private storage backend; the master
+talks to it over a small message-passing RPC layer:
+
+``assign``
+    Ship whole time series groups (and the dimension set) to the worker.
+``ingest``
+    Ingest the groups assigned since the last ingest; reply with the
+    worker's cumulative :class:`~repro.ingest.stats.IngestStats`.
+``execute``
+    Run a rewritten query locally; reply with a picklable
+    :class:`~repro.query.engine.PartialResult` (aggregates) or rows.
+``flush``
+    Make local state durable; reply with (segment count, bytes).
+``shutdown``
+    Close the local store and exit.
+
+The distribution properties are identical to the simulated substrate —
+groups are assigned whole to the least-loaded worker and never move
+afterwards (Section 3.1), queries are rewritten at the master, scattered
+to owning workers only, and merged from partial results (Algorithm 5's
+distributed structure) — so with the same inputs the process pool
+returns *bit-identical* results to the simulated cluster, while its
+reports carry measured wall-clock times (Fig. 20 becomes a measurement
+instead of a model).
+
+Fault tolerance rides on the same no-shuffle pinning invariant: because
+a group's segments live only on its worker and the master retains the
+raw groups, recovering from a worker failure is just re-assigning the
+dead worker's groups to the least-loaded survivors, re-ingesting them
+there, and re-asking the moved Tids. The master detects failures with
+per-request timeouts (exponential backoff, duplicate-safe resends — all
+request handlers are idempotent) and a process liveness check; faults
+are injectable via :class:`~repro.cluster.faults.FaultPlan` so the
+recovery path is testable deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import time
+from pathlib import Path
+from typing import Sequence
+
+from ..core.config import Configuration
+from ..core.dimensions import DimensionSet
+from ..core.errors import (
+    ClusterError,
+    QueryError,
+    WorkerFailure,
+    WorkerRPCError,
+)
+from ..core.group import TimeSeriesGroup, singleton_groups
+from ..core.timeseries import TimeSeries
+from ..ingest.stats import IngestStats
+from ..models.registry import ModelRegistry
+from ..partitioner.grouping import group_from_config
+from ..query.engine import PartialResult, merge_partial_results
+from ..query.sql import Query, parse
+from ..storage.filestore import FileStorage
+from ..storage.memory import MemoryStorage
+from .cluster import (
+    ClusterIngestReport,
+    ClusterQueryReport,
+    restrict_query_to_tids,
+)
+from .faults import FaultPlan
+from .node import WorkerNode
+
+#: Exit code used by an injected crash so it is recognisable in logs.
+CRASH_EXIT_CODE = 70
+
+#: How often the master re-checks worker liveness while waiting.
+_POLL_SECONDS = 0.02
+
+
+def _start_method() -> str:
+    """Prefer fork (cheap, Linux) and fall back to spawn elsewhere."""
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _dispatch(node: WorkerNode, method: str, payload: object) -> object:
+    if method == "assign":
+        groups, dimensions = payload
+        for group in groups:
+            node.assign(group, dimensions)
+        return sorted(group.gid for group in node.groups)
+    if method == "ingest":
+        node.ingest_assigned()
+        return node.stats
+    if method == "execute":
+        result, _ = node.execute_partial(payload)
+        return result
+    if method == "flush":
+        return node.flush()
+    if method == "stats":
+        return node.stats
+    if method == "ping":
+        return "pong"
+    if method == "shutdown":
+        node.close()
+        return "bye"
+    raise QueryError(f"unknown RPC method {method!r}")
+
+
+def _worker_main(
+    worker_id: int,
+    config: Configuration,
+    storage_dir: str | None,
+    requests: "mp.Queue",
+    replies: "mp.Queue",
+    fault_plan: FaultPlan | None,
+) -> None:
+    """Request loop of one worker process.
+
+    Faults are executed here, in the worker, so the master's recovery
+    machinery sees exactly what a real failure would produce.
+    """
+    registry = ModelRegistry()
+    storage = FileStorage(storage_dir) if storage_dir else MemoryStorage()
+    node = WorkerNode(worker_id, config, registry, storage)
+    while True:
+        try:
+            seq, method, payload = requests.get()
+        except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+            break
+        fault = fault_plan.take(worker_id, method) if fault_plan else None
+        if fault is not None and fault.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        started = time.perf_counter()
+        try:
+            value = _dispatch(node, method, payload)
+            ok = True
+        except Exception as exc:  # ship errors as text, not pickles
+            value = f"{type(exc).__name__}: {exc}"
+            ok = False
+        elapsed = time.perf_counter() - started
+        if fault is not None and fault.kind == "slow":
+            time.sleep(fault.delay)
+        if fault is not None and fault.kind == "drop":
+            continue  # the reply is "lost in the network"
+        replies.put((seq, ok, value, elapsed))
+        if method == "shutdown":
+            break
+
+
+# ----------------------------------------------------------------------
+# Master side
+# ----------------------------------------------------------------------
+class _WorkerHandle:
+    """Master-side bookkeeping and channel endpoints for one worker."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        ctx,
+        config: Configuration,
+        storage_dir: str | None,
+        fault_plan: FaultPlan | None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.requests = ctx.Queue()
+        self.replies = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                config,
+                storage_dir,
+                self.requests,
+                self.replies,
+                fault_plan,
+            ),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        self.seq = 0
+        self.alive = True
+        #: Groups this worker owns (master keeps the raw series so a
+        #: dead worker's groups can be re-ingested on a survivor).
+        self.groups: list[TimeSeriesGroup] = []
+        #: Gids already shipped over the assign RPC.
+        self.shipped_gids: set[int] = set()
+        self.process.start()
+
+    @property
+    def load(self) -> int:
+        return sum(len(ts) for group in self.groups for ts in group)
+
+    @property
+    def tids(self) -> set[int]:
+        return {ts.tid for group in self.groups for ts in group}
+
+    @property
+    def gids(self) -> set[int]:
+        return {group.gid for group in self.groups}
+
+
+class ProcessCluster:
+    """A master plus N workers, each in its own OS process.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker processes to spawn.
+    config / dimensions:
+        Same roles as in :class:`~repro.cluster.ModelarCluster`.
+    storage_root:
+        When given, each worker opens a :class:`FileStorage` under
+        ``storage_root/worker_<id>``; otherwise workers keep segments in
+        process-local memory.
+    fault_plan:
+        Faults to inject, executed worker-side (see
+        :mod:`repro.cluster.faults`).
+    timeout / max_retries / backoff:
+        Per-request reply timeout in seconds, how many times a request
+        is re-sent to a live-but-silent worker, and the multiplier
+        applied to the timeout between attempts (exponential backoff).
+        A worker whose process died, or that stays silent through every
+        retry, is failed over.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        config: Configuration | None = None,
+        dimensions: DimensionSet | None = None,
+        storage_root: str | os.PathLike | None = None,
+        fault_plan: FaultPlan | None = None,
+        group_compression: bool = True,
+        timeout: float = 10.0,
+        max_retries: int = 3,
+        backoff: float = 2.0,
+        start_method: str | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise QueryError("a cluster needs at least one worker")
+        self.config = config if config is not None else Configuration()
+        self.dimensions = (
+            dimensions if dimensions is not None else DimensionSet()
+        )
+        self.group_compression = group_compression
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._backoff = backoff
+        self._ctx = mp.get_context(start_method or _start_method())
+        self._closed = False
+        self._tid_to_worker: dict[int, int] = {}
+        self._stats: dict[int, IngestStats] = {}
+        #: Completed failovers as (dead worker id, new owner id) pairs.
+        self.failovers: list[tuple[int, int]] = []
+        self._workers: dict[int, _WorkerHandle] = {}
+        for worker_id in range(n_workers):
+            storage_dir = None
+            if storage_root is not None:
+                storage_dir = str(Path(storage_root) / f"worker_{worker_id}")
+            self._workers[worker_id] = _WorkerHandle(
+                worker_id, self._ctx, self.config, storage_dir, fault_plan
+            )
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "ProcessCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Shut every worker down and reap the processes."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers.values():
+            if handle.alive and handle.process.is_alive():
+                try:
+                    self._post(handle, "shutdown", None)
+                except Exception:  # pragma: no cover - queue already gone
+                    pass
+        for handle in self._workers.values():
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            handle.alive = False
+            for channel in (handle.requests, handle.replies):
+                channel.close()
+                channel.cancel_join_thread()
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def live_worker_ids(self) -> list[int]:
+        return [h.worker_id for h in self._workers.values() if h.alive]
+
+    def assignment(self) -> dict[int, list[int]]:
+        """Live worker id -> sorted Gids it currently owns."""
+        return {
+            h.worker_id: sorted(h.gids)
+            for h in self._workers.values()
+            if h.alive
+        }
+
+    def worker_of(self, tid: int) -> int:
+        try:
+            return self._tid_to_worker[tid]
+        except KeyError:
+            raise QueryError(f"no worker owns tid {tid}") from None
+
+    @property
+    def stats(self) -> IngestStats:
+        """Cluster-wide ingestion statistics, merged across processes."""
+        return IngestStats.merged(self._stats.values())
+
+    # -- partitioning and ingestion ------------------------------------
+    def partition(self, series: Sequence[TimeSeries]) -> list[TimeSeriesGroup]:
+        if not self.group_compression or not self.config.correlation:
+            return singleton_groups(series)
+        return group_from_config(
+            series, self.config.correlation, self.dimensions
+        )
+
+    def assign(self, groups: Sequence[TimeSeriesGroup]) -> None:
+        """Least-loaded assignment, identical to the simulated cluster:
+        biggest groups first, each to the least-loaded live worker."""
+        ordered = sorted(
+            groups,
+            key=lambda group: sum(len(ts) for ts in group),
+            reverse=True,
+        )
+        for group in ordered:
+            target = min(self._live(), key=lambda h: h.load)
+            target.groups.append(group)
+            for ts in group:
+                self._tid_to_worker[ts.tid] = target.worker_id
+
+    def ingest(self, series: Sequence[TimeSeries]) -> ClusterIngestReport:
+        """Partition, assign and ingest in parallel; returns the report."""
+        groups = self.partition(series)
+        self.assign(groups)
+        return self.ingest_assigned()
+
+    def ingest_assigned(self) -> ClusterIngestReport:
+        started = time.perf_counter()
+        worker_seconds = self._sync_assignments(self._live())
+        wall = time.perf_counter() - started
+        data_points = sum(
+            stats.data_points for stats in self._stats.values()
+        )
+        return ClusterIngestReport(
+            worker_seconds, data_points, wall_seconds=wall
+        )
+
+    # -- distributed queries -------------------------------------------
+    def sql(self, text: str) -> tuple[list[dict], ClusterQueryReport]:
+        """Execute a statement across the cluster (parse + execute)."""
+        return self.execute(parse(text))
+
+    def execute(self, query: Query) -> tuple[list[dict], ClusterQueryReport]:
+        """Scatter a rewritten query, gather partials, merge, survive
+        worker failures by failing their groups over and re-asking."""
+        wall_started = time.perf_counter()
+        report = ClusterQueryReport()
+        failover_mark = len(self.failovers)
+        outputs: list[tuple[int, int, object]] = []  # (order, wid, result)
+        order = 0
+        tasks: list[tuple[_WorkerHandle, Query]] = []
+        for handle in self._live():
+            if not handle.groups:
+                continue
+            routed = restrict_query_to_tids(query, handle.tids)
+            if routed is not None:
+                tasks.append((handle, routed))
+        while tasks:
+            pending = [
+                (handle, self._post(handle, "execute", routed), routed)
+                for handle, routed in tasks
+            ]
+            # Drain every reply of the round before failing anyone over,
+            # so recovery RPCs never race with in-flight execute replies.
+            failures: list[tuple[_WorkerHandle, set[int]]] = []
+            for handle, seq, routed in pending:
+                try:
+                    result, elapsed = self._await(
+                        handle, seq, "execute", routed
+                    )
+                    outputs.append((order, handle.worker_id, result))
+                    order += 1
+                    report.worker_seconds.append(elapsed)
+                except WorkerFailure:
+                    # Capture the owned Tids now: failover (including a
+                    # nested one triggered by another failure's
+                    # recovery) moves the groups away.
+                    failures.append((handle, set(handle.tids)))
+            lost_tids: set[int] = set()
+            for handle, owned_tids in failures:
+                # Everything the dead worker owned — and may already
+                # have answered for in an earlier round — must be
+                # re-asked from its groups' new homes.
+                lost_tids |= owned_tids
+                outputs = [
+                    entry
+                    for entry in outputs
+                    if entry[1] != handle.worker_id
+                ]
+                if handle.alive:
+                    self._sync_assignments(self._failover(handle))
+            tasks = []
+            if lost_tids:
+                for handle in self._live():
+                    if not handle.groups:
+                        continue
+                    retry = restrict_query_to_tids(
+                        query, lost_tids & handle.tids, force=True
+                    )
+                    if retry is not None:
+                        tasks.append((handle, retry))
+        merge_started = time.perf_counter()
+        partials: list[PartialResult] = []
+        rows: list[dict] = []
+        for _, _, result in sorted(outputs, key=lambda entry: entry[0]):
+            if isinstance(result, PartialResult):
+                partials.append(result)
+            else:
+                rows.extend(result)
+        if partials:
+            rows = merge_partial_results(partials)
+        now = time.perf_counter()
+        report.merge_seconds = now - merge_started
+        report.wall_seconds = now - wall_started
+        report.failovers = self.failovers[failover_mark:]
+        return rows, report
+
+    # -- storage accounting --------------------------------------------
+    def size_bytes(self) -> int:
+        return sum(size for _, size in self._flush_all())
+
+    def segment_count(self) -> int:
+        return sum(count for count, _ in self._flush_all())
+
+    def _flush_all(self) -> list[tuple[int, int]]:
+        while True:
+            try:
+                pending = [
+                    (handle, self._post(handle, "flush", None))
+                    for handle in self._live()
+                    if handle.groups
+                ]
+                results = []
+                for handle, seq in pending:
+                    value, _ = self._await(handle, seq, "flush", None)
+                    results.append(tuple(value))
+                return results
+            except WorkerFailure as failure:
+                self._sync_assignments(
+                    self._failover(self._workers[failure.worker_id])
+                )
+
+    # -- RPC internals -------------------------------------------------
+    def _live(self) -> list[_WorkerHandle]:
+        live = [h for h in self._workers.values() if h.alive]
+        if not live:
+            raise ClusterError("no surviving workers in the cluster")
+        return live
+
+    def _post(self, handle: _WorkerHandle, method: str, payload) -> int:
+        handle.seq += 1
+        handle.requests.put((handle.seq, method, payload))
+        return handle.seq
+
+    def _await(
+        self, handle: _WorkerHandle, seq: int, method: str, payload
+    ) -> tuple[object, float]:
+        """Wait for the reply to one logical call.
+
+        Retries with exponential backoff while the worker process is
+        alive; every resend gets a fresh sequence number and any of them
+        answers the call (late originals are not wasted). Replies whose
+        sequence number belongs to an older, already-answered call are
+        discarded — per-worker FIFO ordering makes that safe. Raises
+        :class:`WorkerFailure` when the process died or stayed silent
+        through every retry.
+        """
+        seqs = {seq}
+        timeout = self._timeout
+        for attempt in range(self._max_retries + 1):
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    reply = handle.replies.get(
+                        timeout=min(_POLL_SECONDS, remaining)
+                    )
+                except queue.Empty:
+                    if not handle.process.is_alive():
+                        raise WorkerFailure(
+                            handle.worker_id,
+                            f"process exited with code "
+                            f"{handle.process.exitcode} during {method!r}",
+                        ) from None
+                    continue
+                rseq, ok, value, elapsed = reply
+                if rseq not in seqs:
+                    continue  # duplicate reply of an earlier resend
+                if not ok:
+                    raise WorkerRPCError(
+                        f"worker {handle.worker_id} failed {method!r}: "
+                        f"{value}"
+                    )
+                return value, elapsed
+            if not handle.process.is_alive():
+                raise WorkerFailure(
+                    handle.worker_id,
+                    f"process exited with code {handle.process.exitcode} "
+                    f"during {method!r}",
+                )
+            if attempt < self._max_retries:
+                seqs.add(self._post(handle, method, payload))
+                timeout *= self._backoff
+        raise WorkerFailure(
+            handle.worker_id,
+            f"unresponsive to {method!r} after {self._max_retries} "
+            "retries with exponential backoff",
+        )
+
+    # -- assignment shipping and failover ------------------------------
+    def _sync_assignments(
+        self, handles: Sequence[_WorkerHandle]
+    ) -> list[float]:
+        """Ship unshipped groups to ``handles`` and ingest them.
+
+        Scatters the assign round and then the ingest round so workers
+        ingest concurrently. A worker that dies here is failed over and
+        its targets join the next iteration, so the call only returns
+        once every live worker holds all groups it is responsible for.
+        """
+        worker_seconds: list[float] = []
+        todo = [h for h in handles if h.alive and h.groups]
+        while todo:
+            failed: list[_WorkerHandle] = []
+            assigned: list[_WorkerHandle] = []
+            pending = []
+            for handle in todo:
+                unshipped = [
+                    group
+                    for group in handle.groups
+                    if group.gid not in handle.shipped_gids
+                ]
+                payload = (unshipped, self.dimensions or None)
+                pending.append(
+                    (handle, self._post(handle, "assign", payload), payload)
+                )
+            for handle, seq, payload in pending:
+                try:
+                    self._await(handle, seq, "assign", payload)
+                    handle.shipped_gids.update(g.gid for g in payload[0])
+                    assigned.append(handle)
+                except WorkerFailure:
+                    failed.append(handle)
+            pending = [
+                (handle, self._post(handle, "ingest", None))
+                for handle in assigned
+            ]
+            for handle, seq in pending:
+                try:
+                    stats, elapsed = self._await(handle, seq, "ingest", None)
+                    self._stats[handle.worker_id] = stats
+                    worker_seconds.append(elapsed)
+                except WorkerFailure:
+                    failed.append(handle)
+            todo = []
+            for handle in failed:
+                for target in self._failover(handle):
+                    if target not in todo:
+                        todo.append(target)
+        return worker_seconds
+
+    def _failover(self, handle: _WorkerHandle) -> list[_WorkerHandle]:
+        """Re-assign a dead worker's groups to the least-loaded
+        survivors (master-side bookkeeping only — callers ship the data
+        with :meth:`_sync_assignments`). Returns the affected targets.
+        """
+        handle.alive = False
+        if handle.process.is_alive():  # unresponsive, not dead: fence it
+            handle.process.terminate()
+        self._stats.pop(handle.worker_id, None)
+        moved, handle.groups = handle.groups, []
+        survivors = self._live()
+        targets: list[_WorkerHandle] = []
+        ordered = sorted(
+            moved,
+            key=lambda group: sum(len(ts) for ts in group),
+            reverse=True,
+        )
+        for group in ordered:
+            target = min(survivors, key=lambda h: h.load)
+            target.groups.append(group)
+            for ts in group:
+                self._tid_to_worker[ts.tid] = target.worker_id
+            if target not in targets:
+                targets.append(target)
+            self.failovers.append((handle.worker_id, target.worker_id))
+        return targets

@@ -55,3 +55,22 @@ class UnsupportedQueryError(QueryError):
 
 class IngestionError(ModelarError):
     """Ingestion received data that cannot be appended to a group."""
+
+
+class ClusterError(ModelarError):
+    """The process-parallel cluster cannot make progress (e.g. every
+    worker died and there is nowhere left to fail groups over to)."""
+
+
+class WorkerFailure(ClusterError):
+    """A worker process died or stopped responding; the master fails it
+    over by re-assigning its groups to a surviving worker."""
+
+    def __init__(self, worker_id: int, reason: str) -> None:
+        super().__init__(f"worker {worker_id} failed: {reason}")
+        self.worker_id = worker_id
+        self.reason = reason
+
+
+class WorkerRPCError(ClusterError):
+    """A worker replied with an application-level error."""

@@ -76,10 +76,9 @@ class Ingestor:
 
     def ingest(self, groups: Iterable[TimeSeriesGroup]) -> IngestStats:
         """Ingest many groups; returns merged statistics."""
-        total = IngestStats()
-        for group in groups:
-            total.merge(self.ingest_group(group))
-        return total
+        return IngestStats.merged(
+            self.ingest_group(group) for group in groups
+        )
 
     def _buffer_write(self, segment: SegmentGroup) -> None:
         self._write_buffer.append(segment)

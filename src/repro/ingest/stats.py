@@ -1,8 +1,17 @@
-"""Ingestion statistics, including the model-usage mix of Figs. 16-17."""
+"""Ingestion statistics, including the model-usage mix of Figs. 16-17.
+
+:class:`IngestStats` is the unit of accounting shared by the sequential
+ingestion path and the process-parallel cluster: workers accumulate stats
+locally and ship them to the master over the RPC layer, so the whole
+object graph (including the nested per-model :class:`ModelUsage` dicts)
+must stay plainly picklable, and :meth:`IngestStats.merge` must be
+associative so per-worker partial stats can be folded in any grouping.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 @dataclass
@@ -46,6 +55,12 @@ class IngestStats:
         }
 
     def merge(self, other: "IngestStats") -> None:
+        """Fold another stats object into this one in place.
+
+        Merging is associative and commutative: every counter is a sum,
+        so per-worker partial stats can be combined in any grouping —
+        the property the distributed ingest path relies on.
+        """
         self.data_points += other.data_points
         self.segments += other.segments
         self.storage_bytes += other.storage_bytes
@@ -56,3 +71,11 @@ class IngestStats:
             mine.segments += usage.segments
             mine.data_points += usage.data_points
             mine.bytes += usage.bytes
+
+    @classmethod
+    def merged(cls, parts: Iterable["IngestStats"]) -> "IngestStats":
+        """A fresh stats object combining ``parts`` (none are mutated)."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total

@@ -448,7 +448,12 @@ class _ColumnSharedModel:
 # Partial results (distributed merge step of Algorithm 5)
 # ----------------------------------------------------------------------
 class PartialResult:
-    """Mergeable per-worker aggregate state."""
+    """Mergeable per-worker aggregate state.
+
+    Instances hold only plain data (tuples, dicts, numbers) plus
+    :class:`_CallSpec`, which pickles by aggregate name — so a partial
+    can be returned from a worker process over the cluster RPC layer.
+    """
 
     def __init__(
         self,
@@ -507,7 +512,13 @@ def merge_partial_results(partials: list[PartialResult]) -> list[dict]:
 # Helpers
 # ----------------------------------------------------------------------
 class _CallSpec:
-    """A resolved select-list aggregate call."""
+    """A resolved select-list aggregate call.
+
+    Pickles by aggregate *name* rather than by aggregate object, so
+    :class:`PartialResult` instances can cross process boundaries (the
+    cluster RPC layer) without serialising engine internals — the
+    receiving side re-resolves the aggregate from its own registry.
+    """
 
     def __init__(self, label: str, aggregate: Aggregate, level: str | None):
         self.label = label
@@ -521,6 +532,18 @@ class _CallSpec:
             aggregate_name, level = parse_cube_function(call.function)
             return cls(label, aggregate_by_name(aggregate_name), level)
         return cls(label, aggregate_by_name(call.function), None)
+
+    def __getstate__(self) -> dict:
+        return {
+            "label": self.label,
+            "aggregate": self.aggregate.name,
+            "level": self.level,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.label = state["label"]
+        self.aggregate = aggregate_by_name(state["aggregate"])
+        self.level = state["level"]
 
 
 def _calls(query: Query) -> list[Call]:

@@ -14,12 +14,20 @@ Within a partition, segments are appended in ingestion order, which for
 streaming ingestion means non-decreasing end time — time-interval
 predicates are still evaluated per row, as Cassandra would with a
 clustering-key slice.
+
+The store is crash-safe to re-open: a worker process killed mid-append
+may leave a torn trailing row in one partition file and stale counts in
+the metadata sidecar. On open, per-partition counts are reconciled
+against the actual files and a torn tail is truncated away, so a
+replacement worker (or the master inspecting a dead worker's directory)
+always sees a consistent prefix of the ingested segments.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import struct
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
@@ -33,6 +41,29 @@ _METADATA_FILE = "metadata.json"
 _PARTITION_PREFIX = "segments_gid_"
 _PARTITION_SUFFIX = ".bin"
 
+#: Offset of the 2-byte ParamLen field inside the 24-byte row header
+#: (Gid 4 + EndTime 8 + Size 4 + Mid 1 + Flags 1; see serialization.py).
+_PARAM_LEN_OFFSET = 18
+_PARAM_LEN = struct.Struct("<H")
+
+
+def _valid_prefix(data: bytes) -> tuple[int, int]:
+    """(row count, byte length) of the longest valid row prefix.
+
+    Walks row headers only — a torn trailing row (crash mid-append) is
+    excluded from both counts so it can be truncated away on re-open.
+    """
+    offset = 0
+    count = 0
+    while offset + HEADER_BYTES <= len(data):
+        (param_len,) = _PARAM_LEN.unpack_from(data, offset + _PARAM_LEN_OFFSET)
+        end = offset + HEADER_BYTES + param_len
+        if end > len(data):
+            break
+        offset = end
+        count += 1
+    return count, offset
+
 
 class FileStorage(Storage):
     """Durable segment store rooted at a directory."""
@@ -40,16 +71,19 @@ class FileStorage(Storage):
     def __init__(self, directory: str | os.PathLike) -> None:
         self._root = Path(directory)
         self._root.mkdir(parents=True, exist_ok=True)
+        self._closed = False
         self._time_series: dict[int, TimeSeriesRecord] = {}
         self._models: dict[int, str] = {}
         self._groups: dict[int, tuple[tuple[int, ...], int]] = {}
         self._counts: dict[int, int] = {}
         self._load_metadata()
+        self._recover_partitions()
 
     # ------------------------------------------------------------------
     # Metadata tables
     # ------------------------------------------------------------------
     def insert_time_series(self, records: Iterable[TimeSeriesRecord]) -> None:
+        self._ensure_open()
         for record in records:
             self._time_series[record.tid] = record
         self._rebuild_group_cache()
@@ -59,6 +93,7 @@ class FileStorage(Storage):
         return [self._time_series[tid] for tid in sorted(self._time_series)]
 
     def insert_model_table(self, models: Mapping[int, str]) -> None:
+        self._ensure_open()
         self._models.update(models)
         self._save_metadata()
 
@@ -69,6 +104,7 @@ class FileStorage(Storage):
     # Segment table
     # ------------------------------------------------------------------
     def insert_segments(self, segments: Iterable[SegmentGroup]) -> None:
+        self._ensure_open()
         by_gid: dict[int, list[bytes]] = {}
         counts: dict[int, int] = {}
         for segment in segments:
@@ -105,6 +141,29 @@ class FileStorage(Storage):
         for path in self._root.glob(f"{_PARTITION_PREFIX}*{_PARTITION_SUFFIX}"):
             total += path.stat().st_size
         return total
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Persist the metadata sidecar (segment files are write-through)."""
+        self._ensure_open()
+        self._save_metadata()
+
+    def close(self) -> None:
+        """Flush and mark the store closed; further writes raise."""
+        if self._closed:
+            return
+        self._save_metadata()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"storage at {self._root} is closed")
 
     # ------------------------------------------------------------------
     # Internals
@@ -180,3 +239,35 @@ class FileStorage(Storage):
             int(gid): count for gid, count in payload.get("counts", {}).items()
         }
         self._rebuild_group_cache()
+
+    def _recover_partitions(self) -> None:
+        """Reconcile counts with the partition files after a crash.
+
+        A process killed between a segment append and the metadata save
+        leaves the sidecar counts stale; one killed mid-append leaves a
+        torn trailing row. Recount every partition from its file and
+        truncate torn tails so scans never hit a truncated row.
+        """
+        recovered: dict[int, int] = {}
+        dirty = False
+        for path in sorted(
+            self._root.glob(f"{_PARTITION_PREFIX}*{_PARTITION_SUFFIX}")
+        ):
+            stem = path.name[len(_PARTITION_PREFIX):-len(_PARTITION_SUFFIX)]
+            try:
+                gid = int(stem)
+            except ValueError:
+                continue
+            data = path.read_bytes()
+            count, valid_bytes = _valid_prefix(data)
+            if valid_bytes < len(data):
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+                dirty = True
+            if count:
+                recovered[gid] = count
+        if recovered != self._counts:
+            dirty = True
+        self._counts = recovered
+        if dirty:
+            self._save_metadata()

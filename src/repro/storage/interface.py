@@ -66,6 +66,12 @@ class Storage(ABC):
         measurement; metadata tables are negligible and excluded, as the
         paper's `du` of the data directory is dominated by segments)."""
 
+    def flush(self) -> None:
+        """Make pending writes durable; default is a no-op.
+
+        Cluster workers call this before acknowledging a ``flush`` RPC so
+        the master knows the worker's state would survive a crash."""
+
     def close(self) -> None:
         """Release resources; default is a no-op."""
 

@@ -1,0 +1,148 @@
+"""Cross-process serialization and partial-merge algebra.
+
+The process-parallel cluster ships three object families over its RPC
+queues: rewritten :class:`Query` objects (master -> worker),
+:class:`PartialResult`s (worker -> master) and :class:`IngestStats`
+(worker -> master). These tests pin down that all three survive a
+pickle round-trip unchanged and that the merge operations the master
+applies to gathered partials are associative, so any grouping of
+workers yields the same totals.
+"""
+
+import pickle
+
+import pytest
+
+from repro import Configuration, ModelarDB
+from repro.ingest.stats import IngestStats, ModelUsage
+from repro.query.engine import PartialResult, merge_partial_results
+from repro.query.sql import parse
+
+from .conftest import make_series
+
+
+def stats_with_usage(points, segments, mix) -> IngestStats:
+    stats = IngestStats(
+        data_points=points, segments=segments,
+        storage_bytes=24 * segments, splits=points % 3, joins=points % 2,
+    )
+    for name, (segs, pts, size) in mix.items():
+        stats.usage[name] = ModelUsage(segs, pts, size)
+    return stats
+
+
+class TestIngestStatsPickle:
+    def test_round_trip_with_nested_usage(self):
+        stats = stats_with_usage(
+            1000, 10, {"pmc": (4, 700, 96), "gorilla": (6, 300, 1440)}
+        )
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone == stats
+        assert clone.usage["pmc"] == ModelUsage(4, 700, 96)
+        # The clone is independent state, not a shared reference.
+        clone.record_segment("pmc", 5, 8)
+        assert clone != stats
+
+    def test_merge_after_unpickle(self):
+        a = stats_with_usage(10, 1, {"pmc": (1, 10, 16)})
+        b = pickle.loads(pickle.dumps(stats_with_usage(
+            20, 2, {"swing": (2, 20, 48)}
+        )))
+        a.merge(b)
+        assert a.data_points == 30
+        assert set(a.usage) == {"pmc", "swing"}
+
+
+class TestMergeAlgebra:
+    def parts(self):
+        return [
+            stats_with_usage(100, 3, {"pmc": (1, 40, 16), "swing": (2, 60, 48)}),
+            stats_with_usage(50, 1, {"pmc": (1, 50, 16)}),
+            stats_with_usage(75, 2, {"gorilla": (2, 75, 320)}),
+        ]
+
+    def test_merge_is_associative(self):
+        a, b, c = self.parts()
+        left = IngestStats.merged([IngestStats.merged([a, b]), c])
+        right = IngestStats.merged([a, IngestStats.merged([b, c])])
+        assert left == right
+        assert left.data_points == 225
+        assert left.usage["pmc"] == ModelUsage(2, 90, 32)
+
+    def test_merge_is_commutative(self):
+        a, b, c = self.parts()
+        assert IngestStats.merged([a, b, c]) == IngestStats.merged([c, b, a])
+
+    def test_merged_does_not_mutate_inputs(self):
+        a, b, _ = self.parts()
+        before = pickle.dumps(a)
+        IngestStats.merged([a, b])
+        assert pickle.dumps(a) == before
+
+    def test_merged_of_nothing_is_zero(self):
+        assert IngestStats.merged([]) == IngestStats()
+
+
+@pytest.fixture()
+def engines():
+    """Two engines each holding half the series, plus the full engine."""
+    config = Configuration(error_bound=1.0)
+    halves = []
+    values_a = [float(20 + (i % 7)) for i in range(300)]
+    values_b = [float(40 + (i % 11)) for i in range(300)]
+    for tid, values in ((1, values_a), (2, values_b)):
+        db = ModelarDB(config)
+        db.ingest([make_series(tid, values)])
+        halves.append(db)
+    full = ModelarDB(config)
+    full.ingest([
+        make_series(1, values_a), make_series(2, values_b)
+    ])
+    return halves, full
+
+
+class TestPartialResultPickle:
+    SQL = "SELECT Tid, COUNT(*), SUM(Value), MIN(Value) " \
+          "FROM DataPoint GROUP BY Tid"
+
+    def partials(self, halves):
+        query = parse(self.SQL)
+        parts = [db.engine.execute_partial(query) for db in halves]
+        assert all(isinstance(p, PartialResult) for p in parts)
+        return parts
+
+    def test_round_trip_preserves_merge_result(self, engines):
+        halves, full = engines
+        parts = self.partials(halves)
+        shipped = [pickle.loads(pickle.dumps(p)) for p in parts]
+        assert merge_partial_results(shipped) == full.sql(self.SQL)
+
+    def test_callspec_reresolves_aggregate(self, engines):
+        halves, _ = engines
+        part = pickle.loads(pickle.dumps(self.partials(halves)[0]))
+        for spec in part.specs:
+            # The aggregate is re-resolved by name, not pickled by value:
+            # it must be a live object with the merge/finalize protocol.
+            assert spec.aggregate.name
+            assert callable(spec.aggregate.merge)
+
+    def test_merge_order_of_two_partials_counts(self, engines):
+        halves, full = engines
+        a, b = (pickle.loads(pickle.dumps(p)) for p in self.partials(halves))
+        a.merge(b)
+        assert a.finalize() == full.sql(self.SQL)
+
+
+class TestQueryPickle:
+    def test_routed_query_round_trip(self):
+        query = parse(
+            "SELECT COUNT(*) FROM DataPoint "
+            "WHERE Tid IN (1, 2) AND Timestamp >= 1000"
+        )
+        clone = pickle.loads(pickle.dumps(query))
+        db = ModelarDB(Configuration(error_bound=1.0))
+        db.ingest([
+            make_series(1, [float(i) for i in range(100)]),
+            make_series(2, [float(i % 9) for i in range(100)]),
+        ])
+        assert db.engine.execute(clone) == db.engine.execute(query)
