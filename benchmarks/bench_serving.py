@@ -1,0 +1,147 @@
+"""Serving benchmark: closed-loop load against the query server.
+
+Not a paper figure — the paper serves queries through Spark SQL and
+never measures the serving axis — but the ROADMAP's north star ("serve
+heavy traffic") needs a measured baseline. The harness follows the
+closed-loop shape of SciTS (arXiv:2204.09795): N clients, each issuing
+the next statement the moment the previous response lands, over the
+evaluation's S-AGG / L-AGG / P-R mix rendered as SQL.
+
+Runs the embedded-engine server in-process at 1, 8 and 32 clients and
+writes a ``BENCH_serving.json`` artifact with throughput and
+p50/p95/p99 latency per level::
+
+    python benchmarks/bench_serving.py            # ~5 s per level
+    python benchmarks/bench_serving.py --smoke    # ~0.5 s per level (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Configuration, ModelarDB  # noqa: E402
+from repro.datasets import generate_ep  # noqa: E402
+from repro.datasets.ep import EP_CORRELATION  # noqa: E402
+from repro.server import (  # noqa: E402
+    EmbeddedDispatcher,
+    QueryServer,
+    ServerThread,
+    build_workload,
+    run_load,
+)
+
+#: Serving-scale EP: enough segments that statements do real work, small
+#: enough that ingest stays in seconds.
+DATASET_SCALE = dict(
+    n_entities=5, measures_per_entity=4, n_points=2_000,
+    gap_probability=0.0008, seed=42,
+)
+
+CLIENT_LEVELS = (1, 8, 32)
+
+
+def prepare_database() -> tuple[ModelarDB, dict]:
+    dataset = generate_ep(**DATASET_SCALE)
+    config = Configuration(error_bound=1.0, correlation=list(EP_CORRELATION))
+    db = ModelarDB(config, dimensions=dataset.dimensions)
+    db.ingest(dataset.series)
+    tids = sorted(ts.tid for ts in dataset.series)
+    start = min(ts.start_time for ts in dataset.series)
+    end = max(ts.end_time for ts in dataset.series)
+    si = dataset.series[0].sampling_interval
+    meta = {
+        "n_series": len(tids),
+        "segments": db.segment_count(),
+        "tids": tids,
+        "start": start,
+        "end": end,
+        "si": si,
+    }
+    return db, meta
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--duration", type=float, default=5.0,
+        help="seconds of measured load per client level",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short CI run: 0.5 s per level",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="server executor width (admission bound)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_serving.json",
+        help="path of the JSON artifact",
+    )
+    arguments = parser.parse_args(argv)
+    duration = 0.5 if arguments.smoke else arguments.duration
+
+    print(f"ingesting synthetic EP {DATASET_SCALE} ...")
+    db, meta = prepare_database()
+    print(f"  {meta['n_series']} series, {meta['segments']} segments")
+    statements = build_workload(
+        meta["tids"], meta["start"], meta["end"], meta["si"], seed=7
+    )
+    print(f"  workload: {len(statements)} statements (S-AGG + L-AGG + P/R)")
+
+    dispatcher = EmbeddedDispatcher.for_db(db)
+    server = QueryServer(
+        dispatcher,
+        max_inflight=arguments.max_inflight,
+        max_waiting=max(64, 4 * arguments.max_inflight),
+    )
+    harness = ServerThread(server)
+    host, port = harness.start()
+    print(f"serving embedded on {host}:{port}, "
+          f"max_inflight={arguments.max_inflight}\n")
+
+    runs = []
+    try:
+        for clients in CLIENT_LEVELS:
+            report = run_load(
+                host, port, statements,
+                clients=clients, duration=duration,
+            )
+            print(report.summary())
+            runs.append(report.to_dict())
+        stats = server.stats()
+    finally:
+        harness.stop()
+
+    artifact = {
+        "benchmark": "serving (closed-loop, embedded engine)",
+        "generated_unix": int(time.time()),
+        "mode": "embedded",
+        "smoke": arguments.smoke,
+        "dataset": {
+            key: meta[key] for key in ("n_series", "segments", "start",
+                                       "end", "si")
+        },
+        "server": {
+            "max_inflight": arguments.max_inflight,
+            "result_cache": stats["dispatcher"]["result_cache"],
+            "segment_cache": stats["dispatcher"]["segment_cache"],
+            "counters": stats["counters"],
+        },
+        "workload_statements": len(statements),
+        "runs": runs,
+    }
+    output = Path(arguments.output)
+    output.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Command-line entry point: SQL shell and cluster driver.
+"""Command-line entry point: SQL shell, cluster driver and server.
 
 Usage::
 
@@ -7,6 +7,8 @@ Usage::
     python -m repro --workers 4                   # measured cluster run
     python -m repro --workers 4 --fault crash:1:execute
     python -m repro --workers 4 --simulated       # modelled cluster run
+    python -m repro serve <storage-dir> --port 9972
+    python -m repro loadgen --port 9972 --clients 32 --duration 10
 
 Without ``--workers`` the directory must contain a
 :class:`~repro.storage.FileStorage` written by a previous ingestion (see
@@ -20,11 +22,17 @@ sequential in-process simulation with ``--simulated``. ``--fault``
 injects worker faults (``crash|slow|drop:worker:method[:delay]``) to
 demonstrate master-side failover. An optional directory gives each
 worker a persistent store under ``<dir>/worker_<id>``.
+
+``serve`` exposes a storage directory over the concurrent query server
+(:mod:`repro.server`); ``loadgen`` drives a running server with the
+closed-loop load generator and prints throughput and tail latency.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 
 from .cluster import FaultPlan, ModelarCluster, ProcessCluster
@@ -150,8 +158,170 @@ def run_cluster(arguments, out) -> int:
     return 0
 
 
+def run_serve(argv: list[str], out) -> int:
+    """The ``serve`` subcommand: expose a storage directory over TCP."""
+    from .server import EmbeddedDispatcher, QueryServer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="serve a FileStorage directory over the query server",
+    )
+    parser.add_argument("directory", help="FileStorage directory to serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9972)
+    parser.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="queries executing concurrently (executor pool width)",
+    )
+    parser.add_argument(
+        "--max-waiting", type=int, default=32,
+        help="queries allowed to queue before fast-fail busy rejection",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="default per-query deadline in seconds",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=256,
+        help="query-result cache entries (0 disables caching)",
+    )
+    arguments = parser.parse_args(argv)
+
+    with FileStorage(arguments.directory) as storage:
+        if not storage.time_series():
+            print(
+                f"error: no time series stored in {arguments.directory}",
+                file=out,
+            )
+            return 1
+        engine = QueryEngine(storage, ModelRegistry())
+        dispatcher = EmbeddedDispatcher(
+            engine,
+            owned_storage=storage,
+            result_cache_capacity=arguments.cache_capacity,
+        )
+        server = QueryServer(
+            dispatcher,
+            host=arguments.host,
+            port=arguments.port,
+            max_inflight=arguments.max_inflight,
+            max_waiting=arguments.max_waiting,
+            default_timeout=arguments.timeout,
+        )
+
+        async def _run() -> None:
+            host, port = await server.start()
+            print(
+                f"serving {arguments.directory} on {host}:{port} "
+                f"({len(storage.time_series())} series, "
+                f"{storage.segment_count()} segments); Ctrl-C stops",
+                file=out,
+            )
+            try:
+                await server.serve_forever()
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            print("interrupted; storage closed", file=out)
+    return 0
+
+
+def run_loadgen(argv: list[str], out) -> int:
+    """The ``loadgen`` subcommand: closed-loop load on a live server."""
+    from .server import ServerClient, build_workload, run_load
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadgen",
+        description=(
+            "drive a running query server with N closed-loop clients "
+            "over the paper's evaluation workloads"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9972)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument(
+        "--duration", type=float, default=5.0,
+        help="measurement window in seconds",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request deadline in seconds",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--start", type=int, help="data start time (ms) to add P/R queries"
+    )
+    parser.add_argument(
+        "--end", type=int, help="data end time (ms) to add P/R queries"
+    )
+    parser.add_argument(
+        "--si", type=int, help="sampling interval (ms) for P/R queries"
+    )
+    parser.add_argument(
+        "--json", dest="json_path",
+        help="also write the report as JSON to this path",
+    )
+    arguments = parser.parse_args(argv)
+
+    try:
+        with ServerClient(arguments.host, arguments.port) as client:
+            catalog = client.stats().get("catalog", {})
+    except (OSError, ModelarError) as error:
+        print(
+            f"error: cannot reach server at "
+            f"{arguments.host}:{arguments.port}: {error}",
+            file=out,
+        )
+        return 1
+    tids = catalog.get("tids") or []
+    if not tids:
+        print("error: the server reports no time series", file=out)
+        return 1
+    statements = build_workload(
+        tids,
+        start_time=arguments.start,
+        end_time=arguments.end,
+        sampling_interval=arguments.si,
+        seed=arguments.seed,
+    )
+    print(
+        f"load: {arguments.clients} clients x {arguments.duration:.0f}s "
+        f"over {len(statements)} statements",
+        file=out,
+    )
+    report = run_load(
+        arguments.host,
+        arguments.port,
+        statements,
+        clients=arguments.clients,
+        duration=arguments.duration,
+        request_timeout=arguments.timeout,
+    )
+    print(report.summary(), file=out)
+    if arguments.json_path:
+        with open(arguments.json_path, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"wrote {arguments.json_path}", file=out)
+    return 0
+
+
+#: Subcommands dispatched before the legacy flag-style interface.
+_SUBCOMMANDS = {"serve": run_serve, "loadgen": run_loadgen}
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        try:
+            return _SUBCOMMANDS[argv[0]](argv[1:], out)
+        except ModelarError as error:
+            print(f"error: {error}", file=out)
+            return 1
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -205,35 +375,36 @@ def main(argv: list[str] | None = None, out=None) -> int:
               file=out)
         return 1
 
-    storage = FileStorage(arguments.directory)
-    if not storage.time_series():
-        print(f"error: no time series stored in {arguments.directory}",
-              file=out)
-        return 1
-    engine = QueryEngine(storage, ModelRegistry())
+    with FileStorage(arguments.directory) as storage:
+        if not storage.time_series():
+            print(f"error: no time series stored in {arguments.directory}",
+                  file=out)
+            return 1
+        engine = QueryEngine(storage, ModelRegistry())
 
-    if arguments.command:
-        run_statement(engine, arguments.command, out)
-        return 0
+        if arguments.command:
+            run_statement(engine, arguments.command, out)
+            return 0
 
-    print(
-        f"repro shell — {len(storage.time_series())} series, "
-        f"{storage.segment_count()} segments. \\dt lists series, \\q quits.",
-        file=out,
-    )
-    while True:
-        try:
-            line = input("modelardb> ").strip()
-        except (EOFError, KeyboardInterrupt):
-            break
-        if not line:
-            continue
-        if line in ("\\q", "exit", "quit"):
-            break
-        if line == "\\dt":
-            print(describe_tables(engine), file=out)
-            continue
-        run_statement(engine, line, out)
+        print(
+            f"repro shell — {len(storage.time_series())} series, "
+            f"{storage.segment_count()} segments. "
+            "\\dt lists series, \\q quits.",
+            file=out,
+        )
+        while True:
+            try:
+                line = input("modelardb> ").strip()
+            except (EOFError, KeyboardInterrupt):
+                break
+            if not line:
+                continue
+            if line in ("\\q", "exit", "quit"):
+                break
+            if line == "\\dt":
+                print(describe_tables(engine), file=out)
+                continue
+            run_statement(engine, line, out)
     return 0
 
 

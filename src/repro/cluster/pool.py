@@ -304,6 +304,13 @@ class ProcessCluster:
 
     # -- inspection ----------------------------------------------------
     @property
+    def workers(self) -> list[_WorkerHandle]:
+        """Live worker handles (mirrors ``ModelarCluster.workers`` so
+        callers like the serving dispatcher treat both substrates
+        uniformly: each handle exposes ``tids``/``gids``/``load``)."""
+        return [h for h in self._workers.values() if h.alive]
+
+    @property
     def live_worker_ids(self) -> list[int]:
         return [h.worker_id for h in self._workers.values() if h.alive]
 

@@ -10,7 +10,7 @@ visible in the store as each bulk write lands.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from ..core.config import Configuration
 from ..core.group import TimeSeriesGroup
@@ -56,11 +56,16 @@ class Ingestor:
         config: Configuration,
         registry: ModelRegistry,
         storage: Storage,
+        on_flush: Callable[[], None] | None = None,
     ) -> None:
         self._config = config
         self._registry = registry
         self._storage = storage
         self._write_buffer: list[SegmentGroup] = []
+        #: Invoked after every bulk write lands in the store — the hook
+        #: query-side caches use to invalidate (segments just became
+        #: visible, so cached results/decodes may now be stale).
+        self._on_flush = on_flush
 
     def ingest_group(self, group: TimeSeriesGroup) -> IngestStats:
         """Ingest one group end-to-end and return its statistics."""
@@ -89,3 +94,5 @@ class Ingestor:
         if self._write_buffer:
             self._storage.insert_segments(self._write_buffer)
             self._write_buffer.clear()
+            if self._on_flush is not None:
+                self._on_flush()

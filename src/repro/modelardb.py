@@ -19,7 +19,7 @@ paper's main model-based baseline.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from .core.config import Configuration
 from .core.dimensions import DimensionSet
@@ -78,6 +78,7 @@ class ModelarDB:
         self.stats = IngestStats()
         self.groups: list[TimeSeriesGroup] = []
         self._engine = QueryEngine(self.storage, self.registry)
+        self._flush_listeners: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -104,12 +105,28 @@ class ModelarDB:
             records_for_groups(list(groups), self.dimensions or None)
         )
         self.storage.insert_model_table(self.registry.model_table())
-        stats = Ingestor(self.config, self.registry, self.storage).ingest(
-            groups
+        ingestor = Ingestor(
+            self.config, self.registry, self.storage,
+            on_flush=self._notify_flush,
         )
+        stats = ingestor.ingest(groups)
         self.stats.merge(stats)
         self._engine.refresh_metadata()
         return stats
+
+    def add_flush_listener(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired whenever a bulk write lands.
+
+        The serving layer registers its query-result cache here so
+        cached rows are invalidated the moment new segments become
+        visible (the paper's online-analytics property, Section 5).
+        """
+        self._flush_listeners.append(listener)
+
+    def _notify_flush(self) -> None:
+        self._engine.invalidate_caches()
+        for listener in self._flush_listeners:
+            listener()
 
     # ------------------------------------------------------------------
     # Queries

@@ -3,10 +3,17 @@
 Caches decoded models so repeated queries over the same segments skip
 parameter decoding — which matters most for Gorilla, whose decode walks
 the bit stream. A small LRU keyed by the segment's identity.
+
+The cache is shared by every thread serving queries from one engine
+(see :mod:`repro.server`), so lookups are lock-protected, and it is
+*invalidatable*: ingestion flushes call :meth:`invalidate`, which drops
+all entries and bumps a generation counter, so embedded mode can never
+serve a decoded model that outlived its segment set.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..models.base import FittedModel
@@ -16,7 +23,7 @@ _DEFAULT_CAPACITY = 4096
 
 
 class SegmentCache:
-    """LRU cache from segment identity to decoded model."""
+    """Thread-safe LRU cache from segment identity to decoded model."""
 
     def __init__(
         self, registry: ModelRegistry, capacity: int = _DEFAULT_CAPACITY
@@ -24,24 +31,53 @@ class SegmentCache:
         self._registry = registry
         self._capacity = max(capacity, 1)
         self._entries: OrderedDict[tuple, FittedModel] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.generation = 0
 
     def decode(
         self, mid: int, parameters: bytes, n_columns: int, length: int
     ) -> FittedModel:
         key = (mid, parameters, n_columns, length)
-        model = self._entries.get(key)
-        if model is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return model
-        self.misses += 1
+        with self._lock:
+            model = self._entries.get(key)
+            if model is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return model
+            self.misses += 1
+        # Decode outside the lock: it can be expensive (Gorilla walks the
+        # bit stream) and two threads racing on one key is harmless.
         model = self._registry.decode(mid, parameters, n_columns, length)
-        self._entries[key] = model
-        if len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = model
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
         return model
 
+    def invalidate(self) -> None:
+        """Drop all decoded models and start a new generation.
+
+        Called from the ingestion flush hook so queries issued after a
+        bulk write re-decode against the stored segments.
+        """
+        with self._lock:
+            self._entries.clear()
+            self.generation += 1
+
     def clear(self) -> None:
-        self._entries.clear()
+        self.invalidate()
+
+    def stats(self) -> dict:
+        """Hit/miss counters for the server's ``stats`` op."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "generation": self.generation,
+            }

@@ -19,6 +19,7 @@ during iterate, as the paper specifies.
 from __future__ import annotations
 
 import datetime as dt
+import threading
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -73,6 +74,7 @@ class QueryEngine:
         self._registry = registry
         self._segment_cache = SegmentCache(registry, cache_capacity)
         self._metadata: MetadataCache | None = None
+        self._metadata_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Public interface
@@ -83,7 +85,20 @@ class QueryEngine:
 
     def refresh_metadata(self) -> None:
         """Reload the metadata cache after new time series were added."""
-        self._metadata = MetadataCache(self._storage)
+        with self._metadata_lock:
+            self._metadata = MetadataCache(self._storage)
+
+    def invalidate_caches(self) -> None:
+        """Drop decoded models and the metadata cache.
+
+        Wired to the ingestion flush hook (see
+        :meth:`repro.modelardb.ModelarDB.add_flush_listener`) so an
+        engine shared by concurrent server threads never serves decoded
+        models or series metadata that predate a bulk write.
+        """
+        self._segment_cache.invalidate()
+        with self._metadata_lock:
+            self._metadata = None
 
     def aggregate(
         self,
@@ -125,9 +140,20 @@ class QueryEngine:
 
     @property
     def metadata(self) -> MetadataCache:
-        if self._metadata is None:
-            self._metadata = MetadataCache(self._storage)
-        return self._metadata
+        metadata = self._metadata
+        if metadata is None:
+            # Built under a lock so concurrent server threads share one
+            # rebuild instead of racing on partially-initialised state.
+            with self._metadata_lock:
+                metadata = self._metadata
+                if metadata is None:
+                    metadata = MetadataCache(self._storage)
+                    self._metadata = metadata
+        return metadata
+
+    @property
+    def segment_cache(self) -> SegmentCache:
+        return self._segment_cache
 
     @property
     def cache_stats(self) -> tuple[int, int]:
@@ -569,10 +595,16 @@ def _conditions_for(
 
 
 def _tid_values(condition: Condition) -> frozenset[int]:
-    if condition.operator == "=":
-        return frozenset({int(condition.value)})
-    if condition.operator == "IN":
-        return frozenset(int(v) for v in condition.value)
+    try:
+        if condition.operator == "=":
+            return frozenset({int(condition.value)})
+        if condition.operator == "IN":
+            return frozenset(int(v) for v in condition.value)
+    except (TypeError, ValueError):
+        raise QueryError(
+            f"Tid predicates require integer values, "
+            f"got {condition.value!r}"
+        ) from None
     raise QueryError(
         f"Tid predicates support '=' and 'IN', got {condition.operator!r}"
     )

@@ -1,0 +1,115 @@
+"""Blocking client for the query server.
+
+One :class:`ServerClient` wraps one TCP connection and issues one
+request at a time (the closed-loop shape: think time happens between
+calls). Errors come back typed — :class:`~repro.server.protocol.BusyError`
+for admission rejections, :class:`~repro.server.protocol.DeadlineError`
+for expired deadlines, :class:`~repro.server.protocol.RemoteQueryError`
+for SQL the engine rejected — so callers can branch on back-pressure
+without parsing messages.
+
+    with ServerClient(host, port) as client:
+        rows = client.query("SELECT SUM_S(*) FROM Segment")
+        client.stats()["counters"]
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+from .protocol import (
+    ServerError,
+    raise_for_error,
+    recv_frame,
+    send_frame,
+)
+
+_CLIENT_IDS = itertools.count(1)
+
+
+class ServerClient:
+    """A blocking protocol client over one connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        socket_timeout: float | None = 60.0,
+    ) -> None:
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._sock.settimeout(socket_timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._id_prefix = f"c{next(_CLIENT_IDS)}"
+        self._requests = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one frame, wait for its response frame."""
+        send_frame(self._sock, payload)
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ServerError("server closed the connection")
+        return response
+
+    def next_query_id(self) -> str:
+        """A unique id usable with ``query``/``cancel``."""
+        return f"{self._id_prefix}-{next(self._requests)}"
+
+    # ------------------------------------------------------------------
+    def query_response(
+        self,
+        sql: str,
+        timeout: float | None = None,
+        query_id: str | None = None,
+    ) -> dict:
+        """Raw response for a query (no raise on structured errors)."""
+        payload = {"op": "query", "sql": sql}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if query_id is not None:
+            payload["id"] = query_id
+        return self.request(payload)
+
+    def query(
+        self,
+        sql: str,
+        timeout: float | None = None,
+        query_id: str | None = None,
+    ) -> list[dict]:
+        """Execute SQL; returns rows or raises the typed ServerError."""
+        response = self.query_response(sql, timeout, query_id)
+        raise_for_error(response)
+        return response["rows"]
+
+    def ping(self) -> bool:
+        response = self.request({"op": "ping"})
+        raise_for_error(response)
+        return bool(response.get("pong"))
+
+    def stats(self) -> dict:
+        response = self.request({"op": "stats"})
+        raise_for_error(response)
+        return response["stats"]
+
+    def cancel(self, query_id: str) -> bool:
+        """Best-effort cancel; True if the id named an in-flight query."""
+        response = self.request({"op": "cancel", "id": query_id})
+        raise_for_error(response)
+        return bool(response.get("cancelled"))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

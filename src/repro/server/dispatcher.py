@@ -1,0 +1,274 @@
+"""Execution backends for the query server.
+
+The server itself only speaks the wire protocol and enforces admission;
+*what* executes a statement is a :class:`Dispatcher`:
+
+:class:`EmbeddedDispatcher`
+    A single-node :class:`~repro.query.engine.QueryEngine` shared by the
+    server's executor threads (the engine's caches are thread-safe).
+    This substitutes for the paper's embedded Spark SQL front-end.
+:class:`ClusterDispatcher`
+    Scatters statements over an attached cluster —
+    :class:`~repro.cluster.ProcessCluster` (one OS process per worker)
+    or the simulated :class:`~repro.cluster.ModelarCluster`. The
+    master's RPC channel is single-threaded, so cluster execution is
+    serialised with a lock; admission control upstream bounds how many
+    requests can pile up on it.
+
+Both carry a :class:`~repro.server.result_cache.QueryResultCache` and an
+optional cooperative :class:`CancelToken` per query.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable
+
+from ..core.errors import ModelarError
+from ..models.registry import ModelRegistry
+from ..query.engine import QueryEngine
+from ..storage.filestore import FileStorage
+from ..storage.interface import Storage
+from .protocol import CancelledError, DeadlineError
+from .result_cache import QueryResultCache
+
+
+class CancelToken:
+    """Cooperative cancellation flag shared with the executor thread.
+
+    The event loop sets it (explicit ``cancel`` op or deadline expiry);
+    code running the query polls it — long-running hooks can
+    :meth:`wait` on it instead of sleeping blindly.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: str | None = None
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Set the flag; returns False if it was already set."""
+        if self._event.is_set():
+            return False
+        self.reason = reason
+        self._event.set()
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float) -> bool:
+        """Block up to ``timeout`` seconds; True if cancelled meanwhile."""
+        return self._event.wait(timeout)
+
+    def raise_if_cancelled(self) -> None:
+        if not self._event.is_set():
+            return
+        if self.reason == "timeout":
+            raise DeadlineError("query deadline expired")
+        raise CancelledError(f"query {self.reason or 'cancelled'}")
+
+
+#: Test/instrumentation hook run in the executor thread just before a
+#: statement executes: ``hook(sql, token)``.
+ExecuteHook = Callable[[str, CancelToken | None], None]
+
+
+class Dispatcher:
+    """Common dispatch machinery: result cache + cooperative cancel."""
+
+    mode = "abstract"
+
+    def __init__(
+        self,
+        result_cache_capacity: int = 256,
+        execute_hook: ExecuteHook | None = None,
+    ) -> None:
+        self.result_cache = QueryResultCache(result_cache_capacity)
+        self._execute_hook = execute_hook
+
+    # -- to be provided by subclasses ----------------------------------
+    def _run(self, sql: str) -> list[dict]:
+        raise NotImplementedError
+
+    def _backend_stats(self) -> dict:
+        return {}
+
+    def catalog(self) -> dict:
+        return {}
+
+    def close(self) -> None:
+        """Release backend resources; idempotent."""
+
+    # -- shared paths --------------------------------------------------
+    def execute(
+        self, sql: str, token: CancelToken | None = None
+    ) -> tuple[list[dict], bool]:
+        """Execute one statement; returns (rows, served-from-cache).
+
+        Raises :class:`~repro.core.errors.ModelarError` subclasses for
+        SQL errors and :class:`~repro.server.protocol.ServerError`
+        subclasses when the token fired first.
+        """
+        if token is not None:
+            token.raise_if_cancelled()
+        # Snapshot the generation before touching storage so a flush
+        # racing with execution prevents caching the (possibly stale)
+        # result rather than poisoning the cache.
+        generation = self.result_cache.generation
+        rows = self.result_cache.get(sql)
+        if rows is not None:
+            return rows, True
+        if self._execute_hook is not None:
+            self._execute_hook(sql, token)
+            if token is not None:
+                token.raise_if_cancelled()
+        rows = self._run(sql)
+        self.result_cache.put(sql, rows, generation)
+        return rows, False
+
+    def notify_flush(self) -> None:
+        """Invalidate cached results after new segments became visible."""
+        self.result_cache.invalidate()
+
+    def stats(self) -> dict:
+        payload = {
+            "mode": self.mode,
+            "result_cache": self.result_cache.stats(),
+        }
+        payload.update(self._backend_stats())
+        return payload
+
+
+class EmbeddedDispatcher(Dispatcher):
+    """Serve from one in-process :class:`QueryEngine`."""
+
+    mode = "embedded"
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        owned_storage: Storage | None = None,
+        result_cache_capacity: int = 256,
+        execute_hook: ExecuteHook | None = None,
+    ) -> None:
+        super().__init__(result_cache_capacity, execute_hook)
+        self._engine = engine
+        self._owned_storage = owned_storage
+        self._closed = False
+
+    @classmethod
+    def open_directory(
+        cls, directory: str | os.PathLike, **kwargs
+    ) -> "EmbeddedDispatcher":
+        """Open a :class:`FileStorage` directory for serving.
+
+        The dispatcher owns the store: :meth:`close` (the server's
+        shutdown path) closes it, releasing the directory for the next
+        ``serve`` invocation.
+        """
+        storage = FileStorage(directory)
+        engine = QueryEngine(storage, ModelRegistry())
+        return cls(engine, owned_storage=storage, **kwargs)
+
+    @classmethod
+    def for_db(cls, db, **kwargs) -> "EmbeddedDispatcher":
+        """Serve an existing :class:`~repro.modelardb.ModelarDB`.
+
+        Registers the result cache as a flush listener, so ingestion on
+        ``db`` invalidates cached results the moment segments land.
+        """
+        dispatcher = cls(db.engine, **kwargs)
+        db.add_flush_listener(dispatcher.notify_flush)
+        return dispatcher
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine
+
+    def _run(self, sql: str) -> list[dict]:
+        return self._engine.sql(sql)
+
+    def notify_flush(self) -> None:
+        super().notify_flush()
+        self._engine.invalidate_caches()
+
+    def _backend_stats(self) -> dict:
+        return {"segment_cache": self._engine.segment_cache.stats()}
+
+    def catalog(self) -> dict:
+        metadata = self._engine.metadata
+        tids = sorted(metadata.all_tids())
+        return {
+            "n_series": len(tids),
+            "tids": tids[:1024],
+            "dimension_columns": metadata.dimension_columns(),
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owned_storage is not None:
+            self._owned_storage.close()
+
+
+class ClusterDispatcher(Dispatcher):
+    """Serve by scattering statements over an attached cluster."""
+
+    mode = "cluster"
+
+    def __init__(
+        self,
+        cluster,
+        owns_cluster: bool = False,
+        result_cache_capacity: int = 256,
+        execute_hook: ExecuteHook | None = None,
+    ) -> None:
+        super().__init__(result_cache_capacity, execute_hook)
+        self._cluster = cluster
+        self._owns_cluster = owns_cluster
+        self._closed = False
+        # The master's worker RPC is one channel per worker with
+        # synchronous request/reply — concurrent scatters would
+        # interleave frames, so cluster execution is serialised here.
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._failovers = 0
+
+    def _run(self, sql: str) -> list[dict]:
+        with self._lock:
+            rows, report = self._cluster.sql(sql)
+            self._queries += 1
+            self._failovers += len(getattr(report, "failovers", ()))
+        return rows
+
+    def _backend_stats(self) -> dict:
+        return {
+            "workers": len(self._cluster.workers),
+            "cluster_queries": self._queries,
+            "cluster_failovers": self._failovers,
+        }
+
+    def catalog(self) -> dict:
+        tids = sorted(
+            tid
+            for worker in self._cluster.workers
+            for tid in getattr(worker, "tids", ())
+        )
+        return {"n_series": len(tids), "tids": tids[:1024]}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_cluster:
+            close = getattr(self._cluster, "close", None)
+            if close is not None:
+                close()
+
+
+def is_query_error(error: Exception) -> bool:
+    """True when ``error`` is a library error safe to report in-band."""
+    return isinstance(error, ModelarError)

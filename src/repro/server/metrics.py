@@ -1,0 +1,113 @@
+"""Per-server serving metrics: counters and a latency histogram.
+
+Everything here is updated from the event loop and from executor
+threads, so all mutation is lock-protected. The histogram uses
+geometric buckets (ratio 1.5 starting at 0.1 ms) — coarse enough to be
+O(1) per observation, fine enough that the p50/p95/p99 estimates the
+``stats`` op reports are within one bucket ratio of the true quantile.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+_FIRST_BOUND_SECONDS = 1e-4
+_RATIO = 1.5
+_N_BUCKETS = 48  # covers ~0.1 ms .. ~2.4e4 s
+
+
+class LatencyHistogram:
+    """Fixed geometric buckets over seconds, with exact count/sum."""
+
+    def __init__(self) -> None:
+        self._bounds = [
+            _FIRST_BOUND_SECONDS * _RATIO**index
+            for index in range(_N_BUCKETS)
+        ]
+        self._counts = [0] * (_N_BUCKETS + 1)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def _bucket(self, seconds: float) -> int:
+        if seconds <= _FIRST_BOUND_SECONDS:
+            return 0
+        index = int(
+            math.log(seconds / _FIRST_BOUND_SECONDS) / math.log(_RATIO)
+        ) + 1
+        return min(index, _N_BUCKETS)
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._counts[self._bucket(seconds)] += 1
+            self.count += 1
+            self.total += seconds
+            self.min = min(self.min, seconds)
+            self.max = max(self.max, seconds)
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound holding the q-quantile (0 when empty)."""
+        with self._lock:
+            if not self.count:
+                return 0.0
+            target = q * self.count
+            cumulative = 0
+            for index, count in enumerate(self._counts):
+                cumulative += count
+                if cumulative >= target:
+                    if index >= _N_BUCKETS:
+                        return self.max
+                    return min(self._bounds[index], self.max)
+            return self.max
+
+    def snapshot(self) -> dict:
+        """The ``stats`` payload: count, mean and quantile estimates."""
+        p50, p95, p99 = (
+            self.quantile(0.50), self.quantile(0.95), self.quantile(0.99)
+        )
+        with self._lock:
+            count, total = self.count, self.total
+            low = 0.0 if count == 0 else self.min
+            high = self.max
+        return {
+            "count": count,
+            "mean_ms": (total / count * 1000.0) if count else 0.0,
+            "min_ms": low * 1000.0,
+            "max_ms": high * 1000.0,
+            "p50_ms": p50 * 1000.0,
+            "p95_ms": p95 * 1000.0,
+            "p99_ms": p99 * 1000.0,
+        }
+
+
+class ServerCounters:
+    """Admission and completion counters for one server."""
+
+    _FIELDS = (
+        "connections",
+        "requests",
+        "accepted",
+        "queued",
+        "rejected_busy",
+        "completed",
+        "failed",
+        "timed_out",
+        "cancelled",
+        "bad_requests",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}

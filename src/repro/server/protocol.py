@@ -1,0 +1,244 @@
+"""The serving layer's wire protocol.
+
+A connection carries a sequence of *frames*, each a 4-byte big-endian
+length prefix followed by that many bytes of UTF-8 JSON. Requests are
+objects with an ``op`` field:
+
+``{"op": "query", "sql": "...", "id": "q1", "timeout": 2.5}``
+    Execute one SQL statement. ``id`` (optional) names the query so it
+    can be cancelled from another connection; ``timeout`` (optional,
+    seconds) overrides the server's default deadline.
+``{"op": "ping"}``
+    Liveness probe; answered immediately, never queued.
+``{"op": "stats"}``
+    Server counters, latency histogram, cache statistics and catalog.
+``{"op": "cancel", "id": "q1"}``
+    Best-effort cancellation of an in-flight query by its ``id``.
+
+Responses always carry ``ok``. Successful queries reply
+``{"ok": true, "rows": [...], "elapsed": seconds, "cached": bool}``;
+failures reply a structured error frame
+``{"ok": false, "error": {"code": ..., "status": ..., "message": ...}}``
+modelled on HTTP status classes (``busy`` -> 503, ``timeout`` -> 408,
+query and protocol errors -> 400, ``cancelled`` -> 499) so clients can
+distinguish back-pressure from bad requests without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import BinaryIO
+
+from ..core.errors import ModelarError
+
+#: Length prefix: one unsigned 32-bit big-endian integer.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame; a prefix above this means the peer is
+#: not speaking the protocol (or a result is unreasonably large).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Error codes (HTTP-style status classes)
+# ----------------------------------------------------------------------
+class ErrorCode:
+    """Structured error codes carried in error frames."""
+
+    BAD_REQUEST = "bad_request"  # malformed frame or unknown op
+    QUERY = "query_error"        # SQL failed to parse/plan/execute
+    BUSY = "busy"                # admission control rejected the query
+    TIMEOUT = "timeout"          # the per-query deadline expired
+    CANCELLED = "cancelled"      # an explicit cancel hit the query
+    SHUTDOWN = "shutdown"        # the server is stopping
+    INTERNAL = "internal"        # unexpected server-side failure
+
+
+#: HTTP-style status for each code (503 = back-pressure, retry later).
+ERROR_STATUS = {
+    ErrorCode.BAD_REQUEST: 400,
+    ErrorCode.QUERY: 400,
+    ErrorCode.BUSY: 503,
+    ErrorCode.TIMEOUT: 408,
+    ErrorCode.CANCELLED: 499,
+    ErrorCode.SHUTDOWN: 503,
+    ErrorCode.INTERNAL: 500,
+}
+
+
+class ServerError(ModelarError):
+    """A structured error returned by (or raised inside) the server."""
+
+    code = ErrorCode.INTERNAL
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+    @property
+    def status(self) -> int:
+        return ERROR_STATUS.get(self.code, 500)
+
+
+class BusyError(ServerError):
+    """Admission control fast-failed the request (503-style)."""
+
+    code = ErrorCode.BUSY
+
+
+class DeadlineError(ServerError):
+    """The query's deadline expired before it finished."""
+
+    code = ErrorCode.TIMEOUT
+
+
+class CancelledError(ServerError):
+    """The query was cancelled via the ``cancel`` op."""
+
+    code = ErrorCode.CANCELLED
+
+
+class RemoteQueryError(ServerError):
+    """The SQL statement itself was rejected by the engine."""
+
+    code = ErrorCode.QUERY
+
+
+class BadRequestError(ServerError):
+    """The frame was not a valid request."""
+
+    code = ErrorCode.BAD_REQUEST
+
+
+#: Client-side mapping from a received error code to the exception
+#: raised by :class:`~repro.server.client.ServerClient`.
+ERROR_CLASSES = {
+    ErrorCode.BUSY: BusyError,
+    ErrorCode.TIMEOUT: DeadlineError,
+    ErrorCode.CANCELLED: CancelledError,
+    ErrorCode.QUERY: RemoteQueryError,
+    ErrorCode.BAD_REQUEST: BadRequestError,
+    ErrorCode.SHUTDOWN: BusyError,
+    ErrorCode.INTERNAL: ServerError,
+}
+
+
+def raise_for_error(payload: dict) -> None:
+    """Raise the matching :class:`ServerError` for an error response."""
+    if payload.get("ok", False):
+        return
+    error = payload.get("error") or {}
+    code = error.get("code", ErrorCode.INTERNAL)
+    message = error.get("message", "unknown server error")
+    raise ERROR_CLASSES.get(code, ServerError)(message, code=code)
+
+
+def error_response(code: str, message: str) -> dict:
+    """A structured error frame for ``code``."""
+    return {
+        "ok": False,
+        "error": {
+            "code": code,
+            "status": ERROR_STATUS.get(code, 500),
+            "message": message,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Frame encoding
+# ----------------------------------------------------------------------
+def _json_default(value):
+    """Serialise numpy scalars (engine rows may carry them) by value."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(
+        f"object of type {type(value).__name__} is not JSON serialisable"
+    )
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Length-prefix and serialise one JSON payload."""
+    body = json.dumps(
+        payload, separators=(",", ":"), default=_json_default
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ServerError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse a frame body; raises :class:`BadRequestError` on junk."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequestError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise BadRequestError("frame must be a JSON object")
+    return payload
+
+
+async def read_frame(reader) -> dict | None:
+    """Read one frame from an asyncio stream; None on clean EOF."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except (EOFError, ConnectionError, OSError):
+        # asyncio.IncompleteReadError subclasses EOFError: a peer that
+        # disconnects mid-header is treated as a clean EOF.
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise BadRequestError(f"frame length {length} exceeds the limit")
+    body = await reader.readexactly(length)
+    return decode_body(body)
+
+
+async def write_frame(writer, payload: dict) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Blocking (client-side) frame I/O
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket | BinaryIO, payload: dict) -> None:
+    """Blocking send of one frame over a socket or binary file."""
+    data = encode_frame(payload)
+    if isinstance(sock, socket.socket):
+        sock.sendall(data)
+    else:
+        sock.write(data)
+        sock.flush()
+
+
+def _recv_exactly(sock: socket.socket, length: int) -> bytes | None:
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Blocking receive of one frame; None on clean EOF."""
+    header = _recv_exactly(sock, HEADER.size)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise BadRequestError(f"frame length {length} exceeds the limit")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        return None
+    return decode_body(body)

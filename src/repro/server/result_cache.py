@@ -1,0 +1,114 @@
+"""Query-result LRU cache keyed on normalized SQL.
+
+Serving workloads repeat the same statements (dashboards, polling
+clients), so finished row sets are cached whole. The key is the SQL
+text with whitespace collapsed and keywords/identifiers upper-cased —
+*outside* string literals, which stay verbatim so ``Park = 'Aalborg'``
+and ``Park = 'AALBORG'`` never share an entry.
+
+Ingestion invalidates the cache: the dispatcher registers itself as a
+flush listener, and every bulk write that lands bumps the generation
+and drops all entries, so a cached result can never outlive the segment
+set it was computed from.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+_DEFAULT_CAPACITY = 256
+
+
+def normalize_sql(text: str) -> str:
+    """Canonical cache key: collapse whitespace, upper-case outside
+    string literals (which are preserved byte-for-byte)."""
+    parts: list[str] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char in "'\"":
+            end = index + 1
+            while end < length and text[end] != char:
+                end += 1
+            parts.append(text[index:min(end + 1, length)])
+            index = end + 1
+        elif char.isspace():
+            if parts and parts[-1] != " ":
+                parts.append(" ")
+            while index < length and text[index].isspace():
+                index += 1
+        else:
+            parts.append(char.upper())
+            index += 1
+    return "".join(parts).strip()
+
+
+class QueryResultCache:
+    """Thread-safe LRU from normalized SQL to finished row lists.
+
+    Cached rows are returned by reference and must be treated as
+    immutable — the server only ever serialises them.
+    """
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY) -> None:
+        self._capacity = max(capacity, 0)
+        self._entries: OrderedDict[str, list[dict]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.generation = 0
+
+    def get(self, sql: str) -> list[dict] | None:
+        key = normalize_sql(sql)
+        with self._lock:
+            rows = self._entries.get(key)
+            if rows is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return rows
+
+    def put(self, sql: str, rows: list[dict], generation: int) -> None:
+        """Store a result computed while ``generation`` was current.
+
+        A result computed before an invalidation raced with it is stale;
+        the generation check drops it instead of caching it.
+        """
+        if self._capacity == 0:
+            return
+        key = normalize_sql(sql)
+        with self._lock:
+            if generation != self.generation:
+                return
+            self._entries[key] = rows
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop everything; called when ingestion flushes new segments."""
+        with self._lock:
+            self._entries.clear()
+            self.generation += 1
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "invalidations": self.invalidations,
+                "generation": self.generation,
+            }

@@ -75,6 +75,15 @@ class Storage(ABC):
     def close(self) -> None:
         """Release resources; default is a no-op."""
 
+    def __enter__(self) -> "Storage":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Deterministic hand-back of file handles/locks on scope exit —
+        the server's shutdown path and the CLI rely on this so a stopped
+        server can immediately reopen its directory."""
+        self.close()
+
     # -- Shared helpers ----------------------------------------------------
     def group_metadata(self) -> dict[int, tuple[tuple[int, ...], int]]:
         """Gid -> (group tids in column order, sampling interval).

@@ -26,6 +26,20 @@ from ..baselines.base import StorageFormat
 _SIMPLE_FUNCTIONS = ("SUM", "MIN", "MAX", "AVG", "COUNT")
 
 
+def _compose_sql(
+    view: str,
+    select: Sequence[str],
+    where: Sequence[str],
+    group: Sequence[str],
+) -> str:
+    text = f"SELECT {', '.join(select)} FROM {view}"
+    if where:
+        text += f" WHERE {' AND '.join(where)}"
+    if group:
+        text += f" GROUP BY {', '.join(group)}"
+    return text
+
+
 @dataclass(frozen=True)
 class QuerySpec:
     """One backend-neutral query."""
@@ -40,6 +54,61 @@ class QuerySpec:
     level: str = "MONTH"
     member: tuple[str, str] | None = None
     group_by: str | None = None
+
+    def to_sql(self) -> str:
+        """Render the spec in the engine's SQL dialect.
+
+        The serving layer (:mod:`repro.server`) and its load generator
+        drive servers with SQL text rather than programmatic calls, so
+        every workload spec can also express itself as a statement.
+        """
+        if self.kind == "simple":
+            select: list[str] = []
+            group: list[str] = []
+            if self.group_by_tid:
+                select.append("Tid")
+                group.append("Tid")
+            select.append(f"{self.function.upper()}_S(*)")
+            where = self._tid_predicates()
+            if self.start is not None:
+                where.append(f"TS >= {self.start}")
+            if self.end is not None:
+                where.append(f"TS <= {self.end}")
+            return _compose_sql("Segment", select, where, group)
+        if self.kind == "point":
+            return (
+                f"SELECT TS, Value FROM DataPoint WHERE Tid = {self.tids[0]}"
+                f" AND TS = {self.timestamp}"
+            )
+        if self.kind == "range":
+            return (
+                f"SELECT TS, Value FROM DataPoint WHERE Tid = {self.tids[0]}"
+                f" AND TS >= {self.start} AND TS <= {self.end}"
+            )
+        if self.kind == "rollup":
+            select = []
+            group = []
+            if self.group_by:
+                select.append(self.group_by)
+                group.append(self.group_by)
+            if self.group_by_tid:
+                select.append("Tid")
+                group.append("Tid")
+            select.append(
+                f"CUBE_{self.function.upper()}_{self.level.upper()}(*)"
+            )
+            where = self._tid_predicates()
+            if self.member is not None:
+                where.append(f"{self.member[0]} = '{self.member[1]}'")
+            return _compose_sql("Segment", select, where, group)
+        raise ValueError(f"unknown query kind {self.kind!r}")
+
+    def _tid_predicates(self) -> list[str]:
+        if not self.tids:
+            return []
+        if len(self.tids) == 1:
+            return [f"Tid = {self.tids[0]}"]
+        return [f"Tid IN ({', '.join(str(tid) for tid in self.tids)})"]
 
     def run(self, target: StorageFormat):
         if self.kind == "simple":

@@ -1,0 +1,101 @@
+"""Engine and parser error paths all surface as :class:`ModelarError`.
+
+The serving layer reports engine failures in-band (a structured error
+frame) and stays up — but that only works if every malformed statement
+raises from the ``ModelarError`` hierarchy. Anything else (a raw
+``ValueError`` from a literal coercion, say) would be reported as an
+``internal`` error and deserves a test that pins it down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Configuration, ModelarDB, ModelarError, TimeSeries
+from repro.core.errors import QueryError
+
+#: Statements that must each raise ModelarError — and nothing else.
+MALFORMED_CORPUS = (
+    "",
+    "   ",
+    "SELECT",
+    "SELECT FROM Segment",
+    "SELECT COUNT_S(*)",
+    "SELECT COUNT_S(*) FROM",
+    "SELECT COUNT_S(*) FROM Nowhere",
+    "SELECT COUNT_S(*) FROM Segment WHERE",
+    "SELECT COUNT_S(*) FROM Segment WHERE Tid",
+    "SELECT COUNT_S(*) FROM Segment WHERE Tid =",
+    "SELECT COUNT_S(*) FROM Segment WHERE Tid = 'x'",
+    "SELECT COUNT_S(*) FROM Segment WHERE Tid IN ()",
+    "SELECT COUNT_S(*) FROM Segment WHERE Tid IN (1,",
+    "SELECT COUNT_S(*) FROM Segment WHERE Tid IN (1, 'x')",
+    "SELECT COUNT_S(*) FROM Segment GROUP BY",
+    "SELECT SUM_S(*) FROM Segment GROUP BY Nope",
+    "SELECT NOPE_S(*) FROM Segment",
+    "SELECT Bogus FROM DataPoint",
+    "SELECT Value FROM Segment",
+    "SELECT MEDIAN(Value) FROM DataPoint",
+    "SELECT CUBE_SUM_EON(*) FROM Segment",
+    "SELECT TS, Value FROM DataPoint WHERE TS = 'abc'",
+    "INSERT INTO Segment VALUES (1)",
+    "DROP TABLE Segment",
+    ")(",
+    "\N{DUCK}",
+)
+
+
+@pytest.fixture(scope="module")
+def db() -> ModelarDB:
+    instance = ModelarDB(Configuration(error_bound=0.0))
+    instance.ingest([
+        TimeSeries(
+            1, 100, np.arange(60) * 100,
+            np.float32(np.linspace(0.0, 1.0, 60)),
+        )
+    ])
+    return instance
+
+
+@pytest.mark.parametrize("sql", MALFORMED_CORPUS, ids=repr)
+def test_malformed_sql_raises_modelar_error(db, sql):
+    with pytest.raises(ModelarError):
+        db.sql(sql)
+
+
+def test_non_integer_tid_literal_is_a_query_error(db):
+    # Regression: this used to escape as a raw ValueError from int().
+    with pytest.raises(QueryError, match="integer"):
+        db.sql("SELECT COUNT_S(*) FROM Segment WHERE Tid = 'x'")
+    with pytest.raises(QueryError, match="integer"):
+        db.sql("SELECT COUNT_S(*) FROM Segment WHERE Tid IN (1, 'x')")
+
+
+def test_tid_range_operator_rejected(db):
+    with pytest.raises(QueryError, match="'=' and 'IN'"):
+        db.sql("SELECT COUNT_S(*) FROM Segment WHERE Tid > 0")
+
+
+def test_unknown_dimension_member_column(db):
+    # No dimensions configured: any member predicate is unknown.
+    with pytest.raises(QueryError):
+        db.sql("SELECT COUNT_S(*) FROM Segment WHERE Park = 'Aalborg'")
+
+
+def test_error_messages_are_actionable(db):
+    with pytest.raises(QueryError, match="(?i)unknown view"):
+        db.sql("SELECT COUNT_S(*) FROM Nowhere")
+    with pytest.raises(QueryError, match="Bogus"):
+        db.sql("SELECT Bogus FROM DataPoint")
+    with pytest.raises(QueryError, match="(?i)supported"):
+        db.sql("SELECT CUBE_SUM_EON(*) FROM Segment")
+
+
+def test_engine_state_survives_every_error(db):
+    """A failing statement must not corrupt the engine for the next one."""
+    baseline = db.sql("SELECT COUNT_S(*) FROM Segment")
+    for sql in MALFORMED_CORPUS:
+        with pytest.raises(ModelarError):
+            db.sql(sql)
+        assert db.sql("SELECT COUNT_S(*) FROM Segment") == baseline

@@ -179,3 +179,41 @@ class TestFileStorePersistence:
             f.stat().st_size for f in path.glob("segments_gid_*.bin")
         )
         assert store.size_bytes() == on_disk == HEADER_BYTES + 6
+
+
+class TestLifecycle:
+    def test_context_manager_closes_on_exit(self, tmp_path):
+        with FileStorage(tmp_path / "db") as store:
+            store.insert_time_series(records())
+            store.insert_segments([make_segment()])
+            assert not store.closed
+        assert store.closed
+        with pytest.raises(StorageError):
+            store.insert_segments([make_segment(start=500, end=800)])
+
+    def test_context_manager_closes_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with FileStorage(tmp_path / "db") as store:
+                raise RuntimeError("boom")
+        assert store.closed
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = FileStorage(tmp_path / "db")
+        store.close()
+        store.close()
+        assert store.closed
+
+    def test_close_flushes_pending_state(self, tmp_path):
+        path = tmp_path / "db"
+        with FileStorage(path) as store:
+            store.insert_time_series(records())
+            store.insert_segments([make_segment()])
+        reopened = FileStorage(path)
+        assert reopened.segment_count() == 1
+        assert [r.tid for r in reopened.time_series()] == [1, 2, 3]
+
+    def test_memory_storage_supports_the_protocol_too(self):
+        with MemoryStorage() as store:
+            store.insert_time_series(records())
+            store.insert_segments([make_segment()])
+            assert store.segment_count() == 1
