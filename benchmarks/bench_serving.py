@@ -116,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
             print(report.summary())
             runs.append(report.to_dict())
         stats = server.stats()
+        obs_snapshot = dispatcher.metrics()
     finally:
         harness.stop()
 
@@ -136,6 +137,10 @@ def main(argv: list[str] | None = None) -> int:
         },
         "workload_statements": len(statements),
         "runs": runs,
+        # Full registry snapshot (docs/METRICS.md): lets a benchmark
+        # diff explain a throughput change via push-down/cache/storage
+        # counters instead of guessing.
+        "obs": obs_snapshot,
     }
     output = Path(arguments.output)
     output.write_text(json.dumps(artifact, indent=2) + "\n")

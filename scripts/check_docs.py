@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Documentation consistency check, run by the CI lint job.
+
+Two contracts, both cheap and both static:
+
+1. ``docs/METRICS.md`` must list exactly the metrics declared in
+   ``repro.obs.catalog.CATALOG`` — same names, same kinds, same label
+   sets. The registry refuses undeclared names at runtime, so catalog ==
+   code; this check closes the loop catalog == docs. Renaming a metric
+   without updating the reference table fails CI.
+
+2. Every ``python -m repro ...`` command line shown in a fenced code
+   block of ``docs/OPERATIONS.md`` must parse against the real argparse
+   parsers in ``repro.__main__`` — and every registered subcommand must
+   be documented there. A flag renamed or removed without the operator
+   guide following along fails CI.
+
+Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.__main__ import SUBCOMMAND_PARSERS, build_main_parser  # noqa: E402
+from repro.obs.catalog import CATALOG  # noqa: E402
+
+METRICS_DOC = REPO_ROOT / "docs" / "METRICS.md"
+OPERATIONS_DOC = REPO_ROOT / "docs" / "OPERATIONS.md"
+
+#: ``| `name` | kind | labels | description |`` rows of the catalog table.
+_METRIC_ROW = re.compile(
+    r"^\|\s*`(?P<name>[a-z_.]+)`\s*\|\s*(?P<kind>\w+)\s*\|"
+    r"\s*(?P<labels>[^|]*)\|"
+)
+
+
+def documented_metrics(text: str) -> dict[str, tuple[str, tuple[str, ...]]]:
+    """name -> (kind, labels) for every table row in METRICS.md."""
+    rows: dict[str, tuple[str, tuple[str, ...]]] = {}
+    for line in text.splitlines():
+        match = _METRIC_ROW.match(line.strip())
+        if match is None:
+            continue
+        raw_labels = match.group("labels").strip()
+        labels = (
+            ()
+            if raw_labels in ("", "—", "-")
+            else tuple(
+                sorted(part.strip() for part in raw_labels.split(","))
+            )
+        )
+        rows[match.group("name")] = (match.group("kind"), labels)
+    return rows
+
+
+def check_metrics() -> list[str]:
+    problems: list[str] = []
+    documented = documented_metrics(METRICS_DOC.read_text())
+    declared = {
+        name: (spec.kind, tuple(sorted(spec.labels)))
+        for name, spec in CATALOG.items()
+    }
+    for name in sorted(set(declared) - set(documented)):
+        problems.append(
+            f"METRICS.md: metric {name!r} is declared in "
+            "repro/obs/catalog.py but missing from the reference table"
+        )
+    for name in sorted(set(documented) - set(declared)):
+        problems.append(
+            f"METRICS.md: metric {name!r} is documented but not declared "
+            "in repro/obs/catalog.py"
+        )
+    for name in sorted(set(documented) & set(declared)):
+        if documented[name] != declared[name]:
+            problems.append(
+                f"METRICS.md: metric {name!r} documented as "
+                f"{documented[name]} but declared as {declared[name]}"
+            )
+    if not documented:
+        problems.append("METRICS.md: no catalog table rows found")
+    return problems
+
+
+def command_lines(text: str) -> list[str]:
+    """``python -m repro ...`` lines inside fenced code blocks."""
+    lines: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence and "python -m repro" in line:
+            lines.append(line.strip())
+    return lines
+
+
+def check_operations() -> list[str]:
+    problems: list[str] = []
+    text = OPERATIONS_DOC.read_text()
+    lines = command_lines(text)
+    if not lines:
+        problems.append(
+            "OPERATIONS.md: no `python -m repro` command lines found"
+        )
+    documented_subcommands: set[str] = set()
+    for line in lines:
+        tokens = shlex.split(line)
+        # Drop leading VAR=value assignments, `python`, `-m`, `repro`.
+        while tokens and "=" in tokens[0] and not tokens[0].startswith("-"):
+            tokens.pop(0)
+        try:
+            arguments = tokens[tokens.index("repro") + 1:]
+        except ValueError:
+            problems.append(f"OPERATIONS.md: cannot parse line: {line}")
+            continue
+        if arguments and arguments[0] in SUBCOMMAND_PARSERS:
+            subcommand = arguments[0]
+            documented_subcommands.add(subcommand)
+            parser = SUBCOMMAND_PARSERS[subcommand]()
+            arguments = arguments[1:]
+        else:
+            parser = build_main_parser()
+        try:
+            parser.parse_args(arguments)
+        except SystemExit:
+            problems.append(
+                f"OPERATIONS.md: command does not parse against "
+                f"{parser.prog}: {line}"
+            )
+    for subcommand in sorted(set(SUBCOMMAND_PARSERS) - documented_subcommands):
+        problems.append(
+            f"OPERATIONS.md: subcommand {subcommand!r} is registered in "
+            "repro/__main__.py but never shown in the operator guide"
+        )
+    return problems
+
+
+def main() -> int:
+    problems = check_metrics() + check_operations()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} docs consistency problem(s)", file=sys.stderr)
+        return 1
+    print("docs consistency: METRICS.md and OPERATIONS.md match the code")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,14 @@ worker a persistent store under ``<dir>/worker_<id>``.
 
 ``serve`` exposes a storage directory over the concurrent query server
 (:mod:`repro.server`); ``loadgen`` drives a running server with the
-closed-loop load generator and prints throughput and tail latency.
+closed-loop load generator and prints throughput and tail latency;
+``metrics`` dumps a running server's metrics registry (see
+``docs/METRICS.md``). Setting ``REPRO_PROFILE=1`` runs any invocation
+under cProfile (see :mod:`repro.obs.profiling`).
+
+The ``build_*_parser`` functions exist so the documentation consistency
+check (``scripts/check_docs.py``) can verify that every flag shown in
+``docs/OPERATIONS.md`` actually parses.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from .core.errors import ModelarError
 from .datasets import generate_ep
 from .datasets.ep import EP_CORRELATION
 from .models.registry import ModelRegistry
+from .obs import maybe_profile
 from .query.engine import QueryEngine
 from .storage.filestore import FileStorage
 
@@ -158,10 +166,7 @@ def run_cluster(arguments, out) -> int:
     return 0
 
 
-def run_serve(argv: list[str], out) -> int:
-    """The ``serve`` subcommand: expose a storage directory over TCP."""
-    from .server import EmbeddedDispatcher, QueryServer
-
+def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro serve",
         description="serve a FileStorage directory over the query server",
@@ -185,7 +190,14 @@ def run_serve(argv: list[str], out) -> int:
         "--cache-capacity", type=int, default=256,
         help="query-result cache entries (0 disables caching)",
     )
-    arguments = parser.parse_args(argv)
+    return parser
+
+
+def run_serve(argv: list[str], out) -> int:
+    """The ``serve`` subcommand: expose a storage directory over TCP."""
+    from .server import EmbeddedDispatcher, QueryServer
+
+    arguments = build_serve_parser().parse_args(argv)
 
     with FileStorage(arguments.directory) as storage:
         if not storage.time_series():
@@ -229,10 +241,7 @@ def run_serve(argv: list[str], out) -> int:
     return 0
 
 
-def run_loadgen(argv: list[str], out) -> int:
-    """The ``loadgen`` subcommand: closed-loop load on a live server."""
-    from .server import ServerClient, build_workload, run_load
-
+def build_loadgen_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro loadgen",
         description=(
@@ -265,7 +274,14 @@ def run_loadgen(argv: list[str], out) -> int:
         "--json", dest="json_path",
         help="also write the report as JSON to this path",
     )
-    arguments = parser.parse_args(argv)
+    return parser
+
+
+def run_loadgen(argv: list[str], out) -> int:
+    """The ``loadgen`` subcommand: closed-loop load on a live server."""
+    from .server import ServerClient, build_workload, run_load
+
+    arguments = build_loadgen_parser().parse_args(argv)
 
     try:
         with ServerClient(arguments.host, arguments.port) as client:
@@ -309,19 +325,85 @@ def run_loadgen(argv: list[str], out) -> int:
     return 0
 
 
+def build_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description=(
+            "dump a running query server's metrics registry "
+            "(reference: docs/METRICS.md)"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9972)
+    parser.add_argument(
+        "--json", dest="json_path",
+        help="also write the snapshot as JSON to this path",
+    )
+    return parser
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Render a registry snapshot as sorted name/value lines."""
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        lines.append(f"{name} {value}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        lines.append(f"{name} {value}")
+    for name, payload in sorted(snapshot.get("histograms", {}).items()):
+        lines.append(
+            f"{name} count={payload['count']} "
+            f"mean_ms={payload['mean_ms']:.3f} "
+            f"p99_ms={payload['p99_ms']:.3f} "
+            f"max_ms={payload['max_ms']:.3f}"
+        )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def run_metrics(argv: list[str], out) -> int:
+    """The ``metrics`` subcommand: dump a live server's registry."""
+    from .server import ServerClient
+
+    arguments = build_metrics_parser().parse_args(argv)
+    try:
+        with ServerClient(arguments.host, arguments.port) as client:
+            snapshot = client.metrics()
+    except (OSError, ModelarError) as error:
+        print(
+            f"error: cannot reach server at "
+            f"{arguments.host}:{arguments.port}: {error}",
+            file=out,
+        )
+        return 1
+    print(format_metrics(snapshot), file=out)
+    if arguments.json_path:
+        with open(arguments.json_path, "w") as handle:
+            json.dump(snapshot, handle, indent=2)
+        print(f"wrote {arguments.json_path}", file=out)
+    return 0
+
+
 #: Subcommands dispatched before the legacy flag-style interface.
-_SUBCOMMANDS = {"serve": run_serve, "loadgen": run_loadgen}
+_SUBCOMMANDS = {
+    "serve": run_serve,
+    "loadgen": run_loadgen,
+    "metrics": run_metrics,
+}
+
+#: Parser builders per subcommand — the docs-consistency check parses
+#: every command line shown in docs/OPERATIONS.md against these.
+SUBCOMMAND_PARSERS = {
+    "serve": build_serve_parser,
+    "loadgen": build_loadgen_parser,
+    "metrics": build_metrics_parser,
+}
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
-    out = out if out is not None else sys.stdout
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] in _SUBCOMMANDS:
-        try:
-            return _SUBCOMMANDS[argv[0]](argv[1:], out)
-        except ModelarError as error:
-            print(f"error: {error}", file=out)
-            return 1
+    with maybe_profile():
+        return _main(argv, out)
+
+
+def build_main_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -355,7 +437,19 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "--simulated", action="store_true",
         help="use the sequential in-process cluster simulation",
     )
-    arguments = parser.parse_args(argv)
+    return parser
+
+
+def _main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        try:
+            return _SUBCOMMANDS[argv[0]](argv[1:], out)
+        except ModelarError as error:
+            print(f"error: {error}", file=out)
+            return 1
+    arguments = build_main_parser().parse_args(argv)
 
     if arguments.workers is not None:
         if arguments.workers < 1:

@@ -60,6 +60,7 @@ from ..core.group import TimeSeriesGroup, singleton_groups
 from ..core.timeseries import TimeSeries
 from ..ingest.stats import IngestStats
 from ..models.registry import ModelRegistry
+from ..obs import MetricsRegistry, get_registry
 from ..partitioner.grouping import group_from_config
 from ..query.engine import PartialResult, merge_partial_results
 from ..query.sql import Query, parse
@@ -105,6 +106,11 @@ def _dispatch(node: WorkerNode, method: str, payload: object) -> object:
         return node.flush()
     if method == "stats":
         return node.stats
+    if method == "metrics":
+        # The worker's whole registry as a picklable snapshot; the
+        # master folds it into the cluster-wide view (histograms merge
+        # by bucket counts, counters by addition).
+        return get_registry().snapshot()
     if method == "ping":
         return "pong"
     if method == "shutdown":
@@ -333,6 +339,25 @@ class ProcessCluster:
         """Cluster-wide ingestion statistics, merged across processes."""
         return IngestStats.merged(self._stats.values())
 
+    def metrics(self) -> dict:
+        """Cluster-wide metrics: the master's registry snapshot merged
+        with every live worker's (counters add, histograms fold bucket
+        counts). A worker that dies while being asked is skipped — its
+        in-memory metrics died with it."""
+        combined = MetricsRegistry()
+        combined.merge_snapshot(get_registry().snapshot())
+        pending = [
+            (handle, self._post(handle, "metrics", None))
+            for handle in self._live()
+        ]
+        for handle, seq in pending:
+            try:
+                snapshot, _ = self._await(handle, seq, "metrics", None)
+                combined.merge_snapshot(snapshot)
+            except WorkerFailure:
+                continue
+        return combined.snapshot()
+
     # -- partitioning and ingestion ------------------------------------
     def partition(self, series: Sequence[TimeSeries]) -> list[TimeSeriesGroup]:
         if not self.group_compression or not self.config.correlation:
@@ -487,6 +512,7 @@ class ProcessCluster:
     def _post(self, handle: _WorkerHandle, method: str, payload) -> int:
         handle.seq += 1
         handle.requests.put((handle.seq, method, payload))
+        get_registry().counter("cluster.rpc_total", method=method).inc()
         return handle.seq
 
     def _await(
@@ -502,6 +528,7 @@ class ProcessCluster:
         :class:`WorkerFailure` when the process died or stayed silent
         through every retry.
         """
+        registry = get_registry()
         seqs = {seq}
         timeout = self._timeout
         for attempt in range(self._max_retries + 1):
@@ -509,6 +536,7 @@ class ProcessCluster:
             while True:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    registry.counter("cluster.rpc_timeouts_total").inc()
                     break
                 try:
                     reply = handle.replies.get(
@@ -530,6 +558,10 @@ class ProcessCluster:
                         f"worker {handle.worker_id} failed {method!r}: "
                         f"{value}"
                     )
+                registry.counter(
+                    "cluster.worker_busy_seconds_total",
+                    worker=str(handle.worker_id),
+                ).inc(elapsed)
                 return value, elapsed
             if not handle.process.is_alive():
                 raise WorkerFailure(
@@ -538,6 +570,7 @@ class ProcessCluster:
                     f"during {method!r}",
                 )
             if attempt < self._max_retries:
+                registry.counter("cluster.rpc_retries_total").inc()
                 seqs.add(self._post(handle, method, payload))
                 timeout *= self._backoff
         raise WorkerFailure(
@@ -606,6 +639,8 @@ class ProcessCluster:
         handle.alive = False
         if handle.process.is_alive():  # unresponsive, not dead: fence it
             handle.process.terminate()
+        registry = get_registry()
+        registry.counter("cluster.worker_failures_total").inc()
         self._stats.pop(handle.worker_id, None)
         moved, handle.groups = handle.groups, []
         survivors = self._live()
@@ -623,4 +658,5 @@ class ProcessCluster:
             if target not in targets:
                 targets.append(target)
             self.failovers.append((handle.worker_id, target.worker_id))
+            registry.counter("cluster.failovers_total").inc()
         return targets

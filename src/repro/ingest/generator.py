@@ -232,6 +232,7 @@ class SegmentGenerator:
                 name = self._pending_models.pop(0)
                 mid = self._registry.mid_of(name)
                 model_type = self._registry.by_name(name)
+                self.stats.record_fit(name)
                 if model_type.always_fits:
                     fitter = _LazyFitter(
                         model_type,

@@ -10,15 +10,41 @@ visible in the store as each bulk write lands.
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Iterable, Iterator
 
 from ..core.config import Configuration
 from ..core.group import TimeSeriesGroup
 from ..core.segment import SegmentGroup
 from ..models.registry import ModelRegistry
+from ..obs import get_registry
 from ..storage.interface import Storage
 from .splitter import GroupIngestor
 from .stats import IngestStats
+
+
+def record_ingest_stats(stats: IngestStats) -> None:
+    """Fold one group's :class:`IngestStats` into the metrics registry.
+
+    Called once per ingested group (not per tick) so the hot ingest loop
+    never touches registry locks; the same batching makes the counters
+    correct when worker stats are merged on the cluster master.
+    """
+    registry = get_registry()
+    registry.counter("ingest.points_total").inc(stats.data_points)
+    registry.counter("ingest.splits_total").inc(stats.splits)
+    registry.counter("ingest.joins_total").inc(stats.joins)
+    for name, usage in stats.usage.items():
+        registry.counter(
+            "ingest.segments_total", model=name
+        ).inc(usage.segments)
+        registry.counter(
+            "ingest.segment_bytes_total", model=name
+        ).inc(usage.bytes)
+    for name, attempts in stats.fits.items():
+        registry.counter(
+            "ingest.model_fits_total", model=name
+        ).inc(attempts)
 
 
 def group_ticks(
@@ -77,6 +103,7 @@ class Ingestor:
             ingestor.tick(timestamp, values)
         ingestor.finish()
         self._flush()
+        record_ingest_stats(stats)
         return stats
 
     def ingest(self, groups: Iterable[TimeSeriesGroup]) -> IngestStats:
@@ -92,7 +119,11 @@ class Ingestor:
 
     def _flush(self) -> None:
         if self._write_buffer:
+            started = time.perf_counter()
             self._storage.insert_segments(self._write_buffer)
+            get_registry().histogram("ingest.flush_seconds").record(
+                time.perf_counter() - started
+            )
             self._write_buffer.clear()
             if self._on_flush is not None:
                 self._on_flush()

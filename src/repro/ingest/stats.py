@@ -33,6 +33,12 @@ class IngestStats:
     splits: int = 0
     joins: int = 0
     usage: dict[str, ModelUsage] = field(default_factory=dict)
+    #: Fit attempts per model type — every time a model instance was
+    #: offered a data point batch, whether or not it won the emit.
+    fits: dict[str, int] = field(default_factory=dict)
+
+    def record_fit(self, model_name: str, attempts: int = 1) -> None:
+        self.fits[model_name] = self.fits.get(model_name, 0) + attempts
 
     def record_segment(
         self, model_name: str, data_points: int, storage_bytes: int
@@ -71,6 +77,8 @@ class IngestStats:
             mine.segments += usage.segments
             mine.data_points += usage.data_points
             mine.bytes += usage.bytes
+        for name, attempts in other.fits.items():
+            self.fits[name] = self.fits.get(name, 0) + attempts
 
     @classmethod
     def merged(cls, parts: Iterable["IngestStats"]) -> "IngestStats":

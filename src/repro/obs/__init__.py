@@ -1,0 +1,56 @@
+"""``repro.obs`` — the unified observability layer.
+
+Every subsystem (ingestion, query engine, storage, cluster, server)
+records into one process-wide :class:`MetricsRegistry`; hierarchical
+:mod:`spans <repro.obs.spans>` capture per-query stage breakdowns (the
+machinery behind ``EXPLAIN ANALYZE``); and
+:func:`~repro.obs.profiling.maybe_profile` wraps the CLI hot paths in
+cProfile when ``REPRO_PROFILE=1``.
+
+Typical use::
+
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    registry.counter("ingest.points_total").inc(1024)
+    registry.histogram("query.execute_seconds").record(0.004)
+    print(registry.snapshot()["counters"])
+
+Operators read the same registry remotely via the server's ``metrics``
+op or ``python -m repro metrics`` (see ``docs/OPERATIONS.md``); the full
+metric reference lives in ``docs/METRICS.md`` and is CI-verified against
+:data:`~repro.obs.catalog.CATALOG`.
+"""
+
+from .catalog import CATALOG, COUNTER, GAUGE, HISTOGRAM, MetricSpec
+from .profiling import maybe_profile, profiling_enabled
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .spans import Span, SpanRecorder, annotate, current_span, span
+
+__all__ = [
+    "CATALOG",
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSpec",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "annotate",
+    "current_span",
+    "get_registry",
+    "maybe_profile",
+    "profiling_enabled",
+    "set_registry",
+    "span",
+]

@@ -1,0 +1,213 @@
+"""The metric catalog: the single source of truth for metric names.
+
+Every metric the system records is *declared* here before any code can
+record into it — :class:`~repro.obs.registry.MetricsRegistry` refuses to
+create an instrument whose name (or label set, or kind) does not match
+its catalog entry. That rule is what makes the documentation
+CI-checkable: ``docs/METRICS.md`` is asserted equal to this catalog by
+``scripts/check_docs.py``, so a metric cannot be added, renamed or
+dropped without the reference table following along.
+
+Naming convention: ``<layer>.<what>_total`` for monotonic counters,
+``<layer>.<what>_seconds`` for latency histograms (recorded in seconds,
+reported with millisecond quantiles), plain ``<layer>.<what>`` for
+gauges. Labels multiply a metric into one instrument per label value
+(e.g. ``ingest.segments_total{model=PMC-Mean}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric family."""
+
+    name: str
+    kind: str
+    labels: tuple[str, ...] = ()
+    description: str = ""
+
+
+_SPECS = (
+    # -- ingestion ------------------------------------------------------
+    MetricSpec(
+        "ingest.points_total", COUNTER, (),
+        "Raw data points ingested (gap points excluded).",
+    ),
+    MetricSpec(
+        "ingest.segments_total", COUNTER, ("model",),
+        "Segments emitted, per winning model type.",
+    ),
+    MetricSpec(
+        "ingest.segment_bytes_total", COUNTER, ("model",),
+        "Segment bytes emitted, per winning model type.",
+    ),
+    MetricSpec(
+        "ingest.model_fits_total", COUNTER, ("model",),
+        "Model fit attempts in the cascade, per model type.",
+    ),
+    MetricSpec(
+        "ingest.splits_total", COUNTER, (),
+        "Dynamic group splits (Algorithm 3).",
+    ),
+    MetricSpec(
+        "ingest.joins_total", COUNTER, (),
+        "Dynamic group joins (Algorithm 4).",
+    ),
+    MetricSpec(
+        "ingest.flush_seconds", HISTOGRAM, (),
+        "Latency of one bulk write landing in the segment store.",
+    ),
+    # -- query engine ---------------------------------------------------
+    MetricSpec(
+        "query.statements_total", COUNTER, (),
+        "Statements executed by the query engine (cache misses only "
+        "when served through the result cache).",
+    ),
+    MetricSpec(
+        "query.execute_seconds", HISTOGRAM, (),
+        "End-to-end engine execution latency per statement.",
+    ),
+    MetricSpec(
+        "query.segments_scanned_total", COUNTER, (),
+        "Stored segments visited by query execution.",
+    ),
+    MetricSpec(
+        "query.partitions_scanned_total", COUNTER, (),
+        "Gid partitions scanned after Tid/member rewriting.",
+    ),
+    MetricSpec(
+        "query.partitions_pruned_total", COUNTER, (),
+        "Gid partitions skipped entirely by predicate push-down.",
+    ),
+    MetricSpec(
+        "query.rows_returned_total", COUNTER, (),
+        "Result rows produced by the engine.",
+    ),
+    MetricSpec(
+        "query.segment_cache_hits_total", COUNTER, (),
+        "Decoded-model cache hits (model decode skipped).",
+    ),
+    MetricSpec(
+        "query.segment_cache_misses_total", COUNTER, (),
+        "Decoded-model cache misses (model decoded from parameters).",
+    ),
+    # -- storage --------------------------------------------------------
+    MetricSpec(
+        "storage.segments_written_total", COUNTER, (),
+        "Segment rows appended to the store.",
+    ),
+    MetricSpec(
+        "storage.bytes_written_total", COUNTER, (),
+        "Encoded segment bytes appended to the store.",
+    ),
+    MetricSpec(
+        "storage.write_seconds", HISTOGRAM, (),
+        "Latency of one segment bulk write at the storage layer.",
+    ),
+    MetricSpec(
+        "storage.segments_read_total", COUNTER, (),
+        "Segment rows yielded by storage scans.",
+    ),
+    MetricSpec(
+        "storage.bytes_read_total", COUNTER, (),
+        "Partition bytes read from disk by storage scans "
+        "(FileStorage only; the memory store reads no bytes).",
+    ),
+    MetricSpec(
+        "storage.read_seconds", HISTOGRAM, (),
+        "Latency of reading one partition file (FileStorage only).",
+    ),
+    # -- cluster (master side) -----------------------------------------
+    MetricSpec(
+        "cluster.rpc_total", COUNTER, ("method",),
+        "RPC requests posted to workers, per method.",
+    ),
+    MetricSpec(
+        "cluster.rpc_retries_total", COUNTER, (),
+        "RPC requests re-sent after a reply timeout.",
+    ),
+    MetricSpec(
+        "cluster.rpc_timeouts_total", COUNTER, (),
+        "Reply waits that expired (each triggers a retry or a failover).",
+    ),
+    MetricSpec(
+        "cluster.worker_failures_total", COUNTER, (),
+        "Workers declared dead (process exit or silence through retries).",
+    ),
+    MetricSpec(
+        "cluster.failovers_total", COUNTER, (),
+        "Group re-assignments performed while recovering a dead worker.",
+    ),
+    MetricSpec(
+        "cluster.worker_busy_seconds_total", COUNTER, ("worker",),
+        "Cumulative worker-reported busy seconds, per worker — the "
+        "spread across workers is the per-worker lag.",
+    ),
+    # -- server ---------------------------------------------------------
+    MetricSpec(
+        "server.connections_total", COUNTER, (),
+        "TCP connections accepted.",
+    ),
+    MetricSpec(
+        "server.requests_total", COUNTER, (),
+        "Query requests received (before admission).",
+    ),
+    MetricSpec(
+        "server.accepted_total", COUNTER, (),
+        "Query requests admitted to the executor pool.",
+    ),
+    MetricSpec(
+        "server.queued_total", COUNTER, (),
+        "Admitted requests that had to wait for an executor slot.",
+    ),
+    MetricSpec(
+        "server.rejected_busy_total", COUNTER, (),
+        "Requests fast-failed with a busy error (503-style).",
+    ),
+    MetricSpec(
+        "server.completed_total", COUNTER, (),
+        "Queries answered successfully.",
+    ),
+    MetricSpec(
+        "server.failed_total", COUNTER, (),
+        "Queries answered with a query/internal error.",
+    ),
+    MetricSpec(
+        "server.timed_out_total", COUNTER, (),
+        "Queries answered with a deadline-expired error.",
+    ),
+    MetricSpec(
+        "server.cancelled_total", COUNTER, (),
+        "Queries answered with a cancelled error.",
+    ),
+    MetricSpec(
+        "server.bad_requests_total", COUNTER, (),
+        "Malformed frames or unknown ops.",
+    ),
+    MetricSpec(
+        "server.query_seconds", HISTOGRAM, (),
+        "Server-side latency of successfully answered queries.",
+    ),
+    MetricSpec(
+        "server.result_cache_hits_total", COUNTER, (),
+        "Query-result cache hits (statement not re-executed).",
+    ),
+    MetricSpec(
+        "server.result_cache_misses_total", COUNTER, (),
+        "Query-result cache misses.",
+    ),
+    MetricSpec(
+        "server.result_cache_invalidations_total", COUNTER, (),
+        "Whole-cache invalidations triggered by ingestion flushes.",
+    ),
+)
+
+#: name -> :class:`MetricSpec` for every declared metric.
+CATALOG: dict[str, MetricSpec] = {spec.name: spec for spec in _SPECS}

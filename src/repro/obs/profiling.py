@@ -1,0 +1,73 @@
+"""Opt-in cProfile wrapping of the hot paths.
+
+Setting ``REPRO_PROFILE=1`` in the environment makes the CLI entry point
+(:mod:`repro.__main__`) run the whole invocation — shell, cluster driver,
+``serve``, ``loadgen`` — under :mod:`cProfile` and dump the stats when
+the process exits: a binary ``pstats`` file (``REPRO_PROFILE_OUT``,
+default ``repro-profile.pstats``) for ``snakeviz``/``pstats`` digging,
+plus the top functions by cumulative time on stderr for a first look.
+
+Deliberately process-global and zero-cost when the variable is unset —
+an operator can profile a production-shaped ``serve`` run by flipping
+one environment variable, with no code changes and no overhead
+otherwise.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENV_FLAG = "REPRO_PROFILE"
+_ENV_OUT = "REPRO_PROFILE_OUT"
+_DEFAULT_OUT = "repro-profile.pstats"
+_TOP_FUNCTIONS = 25
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` is set to a truthy value."""
+    return os.environ.get(_ENV_FLAG, "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
+@contextmanager
+def maybe_profile(out=None) -> Iterator[None]:
+    """Profile the enclosed block iff ``REPRO_PROFILE`` is set.
+
+    On exit the profile is dumped to ``REPRO_PROFILE_OUT`` and a
+    cumulative-time summary is printed to ``out`` (default stderr).
+    A no-op context manager otherwise.
+    """
+    if not profiling_enabled():
+        yield
+        return
+    out = out if out is not None else sys.stderr
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        path = os.environ.get(_ENV_OUT, _DEFAULT_OUT)
+        try:
+            profile.dump_stats(path)
+        except OSError as error:  # unwritable cwd: keep the summary
+            print(f"profile: cannot write {path}: {error}", file=out)
+            path = None
+        buffer = io.StringIO()
+        stats = pstats.Stats(profile, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(_TOP_FUNCTIONS)
+        print(
+            "\n=== REPRO_PROFILE summary (top "
+            f"{_TOP_FUNCTIONS} by cumulative time) ===",
+            file=out,
+        )
+        print(buffer.getvalue(), file=out, end="")
+        if path:
+            print(f"profile written to {path}", file=out)

@@ -1,0 +1,352 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+One :class:`MetricsRegistry` instance (the module-level default returned
+by :func:`get_registry`) holds every instrument in the process. All
+mutation is lock-protected per instrument, so ingestion threads, the
+server's executor pool and the asyncio event loop can all record without
+coordination. Cross-*process* aggregation works by value: a worker ships
+:meth:`MetricsRegistry.snapshot` over the RPC layer and the master folds
+it in with :meth:`MetricsRegistry.merge_snapshot` — counters add,
+histogram buckets add, gauges take the incoming value — so cluster-wide
+totals compose exactly like the engine's partial aggregates.
+
+Instrument names are validated against :mod:`repro.obs.catalog`; see
+that module for the naming convention and the documentation-consistency
+contract.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from .catalog import CATALOG, COUNTER, GAUGE, HISTOGRAM, MetricSpec
+
+_FIRST_BOUND_SECONDS = 1e-4
+_RATIO = 1.5
+_N_BUCKETS = 48  # geometric buckets covering ~0.1 ms .. ~2.4e4 s
+
+
+class Counter:
+    """Monotonic float counter (integer-valued for event counts)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-written value (e.g. a queue depth or an assignment size)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Latency histogram over seconds with fixed geometric buckets.
+
+    Generalised out of the serving layer's original ``LatencyHistogram``
+    (which is now a re-export of this class): ratio-1.5 buckets starting
+    at 0.1 ms are O(1) per observation and put every p50/p95/p99
+    estimate within one bucket ratio of the true quantile. Exact count,
+    sum, min and max ride along. ``min`` reports 0.0 while empty —
+    never ``inf`` — so snapshots are always JSON-clean.
+    """
+
+    def __init__(self) -> None:
+        self._bounds = [
+            _FIRST_BOUND_SECONDS * _RATIO**index
+            for index in range(_N_BUCKETS)
+        ]
+        self._counts = [0] * (_N_BUCKETS + 1)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self.max = 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observation; 0.0 (not ``inf``) while empty."""
+        return self._min if self.count else 0.0
+
+    def _bucket(self, seconds: float) -> int:
+        if seconds <= _FIRST_BOUND_SECONDS:
+            return 0
+        index = int(
+            math.log(seconds / _FIRST_BOUND_SECONDS) / math.log(_RATIO)
+        ) + 1
+        return min(index, _N_BUCKETS)
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._counts[self._bucket(seconds)] += 1
+            self.count += 1
+            self.total += seconds
+            self._min = min(self._min, seconds)
+            self.max = max(self.max, seconds)
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound holding the q-quantile (0 when empty)."""
+        with self._lock:
+            if not self.count:
+                return 0.0
+            target = q * self.count
+            cumulative = 0
+            for index, count in enumerate(self._counts):
+                cumulative += count
+                if cumulative >= target:
+                    if index >= _N_BUCKETS:
+                        return self.max
+                    return min(self._bounds[index], self.max)
+            return self.max
+
+    def snapshot(self) -> dict:
+        """Summary in milliseconds: count, mean, min/max and quantiles."""
+        p50, p95, p99 = (
+            self.quantile(0.50), self.quantile(0.95), self.quantile(0.99)
+        )
+        with self._lock:
+            count, total = self.count, self.total
+            low = self._min if count else 0.0
+            high = self.max
+        return {
+            "count": count,
+            "mean_ms": (total / count * 1000.0) if count else 0.0,
+            "min_ms": low * 1000.0,
+            "max_ms": high * 1000.0,
+            "p50_ms": p50 * 1000.0,
+            "p95_ms": p95 * 1000.0,
+            "p99_ms": p99 * 1000.0,
+        }
+
+    def to_dict(self) -> dict:
+        """Mergeable value form (exact counts plus raw buckets)."""
+        summary = self.snapshot()
+        with self._lock:
+            summary["total_seconds"] = self.total
+            summary["buckets"] = list(self._counts)
+        return summary
+
+    def merge_dict(self, payload: dict) -> None:
+        """Fold another histogram's :meth:`to_dict` payload into this one."""
+        buckets = payload.get("buckets")
+        count = int(payload.get("count", 0))
+        if not count or not buckets:
+            return
+        with self._lock:
+            for index, bucket_count in enumerate(buckets[: len(self._counts)]):
+                self._counts[index] += bucket_count
+            self.count += count
+            self.total += float(payload.get("total_seconds", 0.0))
+            self._min = min(self._min, payload.get("min_ms", 0.0) / 1000.0)
+            self.max = max(self.max, payload.get("max_ms", 0.0) / 1000.0)
+
+
+_KIND_TYPES = {COUNTER: Counter, GAUGE: Gauge, HISTOGRAM: Histogram}
+
+
+class MetricsRegistry:
+    """All instruments of one process, keyed by (name, label values)."""
+
+    def __init__(
+        self, catalog: dict[str, MetricSpec] | None = None
+    ) -> None:
+        self._specs = dict(CATALOG if catalog is None else catalog)
+        self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]],
+                                object] = {}
+        self._lock = threading.Lock()
+
+    # -- declaration ---------------------------------------------------
+    def declare(
+        self,
+        name: str,
+        kind: str,
+        labels: tuple[str, ...] = (),
+        description: str = "",
+    ) -> None:
+        """Add a metric family beyond the built-in catalog (tests,
+        user extensions). Re-declaring identically is a no-op."""
+        spec = MetricSpec(name, kind, tuple(labels), description)
+        with self._lock:
+            existing = self._specs.get(name)
+            if existing is not None and (
+                existing.kind != spec.kind or existing.labels != spec.labels
+            ):
+                raise ValueError(
+                    f"metric {name!r} already declared as {existing.kind}"
+                    f"{existing.labels!r}"
+                )
+            self._specs[name] = spec
+
+    @property
+    def specs(self) -> dict[str, MetricSpec]:
+        with self._lock:
+            return dict(self._specs)
+
+    # -- instrument accessors ------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._instrument(name, COUNTER, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._instrument(name, GAUGE, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._instrument(name, HISTOGRAM, labels)
+
+    def _instrument(self, name: str, kind: str, labels: dict):
+        label_items = tuple(
+            sorted((key, str(value)) for key, value in labels.items())
+        )
+        key = (name, label_items)
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is not None:
+                return instrument
+            spec = self._specs.get(name)
+            if spec is None:
+                raise KeyError(
+                    f"metric {name!r} is not declared in the catalog; add "
+                    "it to repro/obs/catalog.py (and docs/METRICS.md) or "
+                    "declare() it explicitly"
+                )
+            if spec.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} is declared as a {spec.kind}, "
+                    f"not a {kind}"
+                )
+            if tuple(sorted(spec.labels)) != tuple(k for k, _ in label_items):
+                raise ValueError(
+                    f"metric {name!r} requires labels {spec.labels!r}, "
+                    f"got {tuple(labels)!r}"
+                )
+            instrument = _KIND_TYPES[kind]()
+            self._instruments[key] = instrument
+            return instrument
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-clean value dump, grouped by instrument kind.
+
+        Keys are rendered as ``name`` or ``name{label=value,...}``.
+        Only instruments that were actually touched appear — an idle
+        process reports an empty registry, not a wall of zeroes.
+        """
+        with self._lock:
+            items = list(self._instruments.items())
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for (name, label_items), instrument in items:
+            rendered = _render(name, label_items)
+            if isinstance(instrument, Counter):
+                value = instrument.value
+                counters[rendered] = (
+                    int(value) if float(value).is_integer() else value
+                )
+            elif isinstance(instrument, Gauge):
+                gauges[rendered] = instrument.value
+            else:
+                histograms[rendered] = instrument.to_dict()
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another process's :meth:`snapshot` into this registry.
+
+        Counters and histograms add (the associative merge the cluster's
+        partial aggregates already rely on); gauges take the incoming
+        value. Metrics unknown to this registry's catalog are declared
+        on the fly so a master can absorb a worker built from a newer
+        catalog.
+        """
+        for rendered, value in snapshot.get("counters", {}).items():
+            name, labels = _parse(rendered)
+            self._ensure_declared(name, COUNTER, labels)
+            self.counter(name, **labels).inc(value)
+        for rendered, value in snapshot.get("gauges", {}).items():
+            name, labels = _parse(rendered)
+            self._ensure_declared(name, GAUGE, labels)
+            self.gauge(name, **labels).set(value)
+        for rendered, payload in snapshot.get("histograms", {}).items():
+            name, labels = _parse(rendered)
+            self._ensure_declared(name, HISTOGRAM, labels)
+            self.histogram(name, **labels).merge_dict(payload)
+
+    def _ensure_declared(self, name: str, kind: str, labels: dict) -> None:
+        with self._lock:
+            if name not in self._specs:
+                self._specs[name] = MetricSpec(
+                    name, kind, tuple(sorted(labels)), "(merged)"
+                )
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; the catalog stays)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+def _render(name: str, label_items: tuple[tuple[str, str], ...]) -> str:
+    if not label_items:
+        return name
+    rendered = ",".join(f"{key}={value}" for key, value in label_items)
+    return f"{name}{{{rendered}}}"
+
+
+def _parse(rendered: str) -> tuple[str, dict[str, str]]:
+    if not rendered.endswith("}") or "{" not in rendered:
+        return rendered, {}
+    name, _, raw = rendered[:-1].partition("{")
+    labels = {}
+    for pair in raw.split(","):
+        key, _, value = pair.partition("=")
+        labels[key] = value
+    return name, labels
+
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every layer records into."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (tests); returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous

@@ -1,0 +1,108 @@
+"""Lightweight hierarchical trace spans.
+
+A :class:`SpanRecorder` opens a root span on the current thread; code
+anywhere below it wraps stages in :func:`span` and attaches facts with
+:func:`annotate`. When no recorder is active — the common case — the
+instrumentation cost of :func:`span` is one thread-local read, so hot
+paths stay hot. Recording is per-thread by design: a query executes on
+one executor thread, so its span tree never needs cross-thread locks.
+
+This is what powers ``EXPLAIN ANALYZE`` (see
+:meth:`repro.query.engine.QueryEngine.explain_analyze`): the engine's
+parse/plan/scan/finalize stages become one span each, carrying row and
+segment counts in their metadata.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+_tls = threading.local()
+
+
+class Span:
+    """One timed stage: name, elapsed seconds, metadata, children."""
+
+    __slots__ = ("name", "elapsed", "meta", "children")
+
+    def __init__(self, name: str, meta: dict | None = None) -> None:
+        self.name = name
+        self.elapsed = 0.0
+        self.meta: dict = dict(meta) if meta else {}
+        self.children: list["Span"] = []
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Depth-first (depth, span) traversal including this span."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "elapsed_ms": self.elapsed * 1000.0,
+            "meta": dict(self.meta),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class SpanRecorder:
+    """Context manager that captures a span tree on the current thread.
+
+    Nesting recorders is allowed (the inner recorder shadows the outer
+    for its duration), which lets a server-level trace and an
+    ``EXPLAIN ANALYZE`` coexist.
+    """
+
+    def __init__(self, name: str = "root") -> None:
+        self.root = Span(name)
+        self._previous: list[Span] | None = None
+
+    def __enter__(self) -> "SpanRecorder":
+        self._previous = getattr(_tls, "stack", None)
+        _tls.stack = [self.root]
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.root.elapsed = time.perf_counter() - self._started
+        _tls.stack = self._previous
+
+
+@contextmanager
+def span(name: str, **meta: object) -> Iterator[Span | None]:
+    """Open a child span under the active recorder, if any.
+
+    Yields the :class:`Span` (mutate ``.meta`` freely) or ``None`` when
+    no recorder is active — callers never need to branch; use
+    :func:`annotate` for metadata so the inactive path stays free.
+    """
+    stack = getattr(_tls, "stack", None)
+    if not stack:
+        yield None
+        return
+    child = Span(name, meta)
+    stack[-1].children.append(child)
+    stack.append(child)
+    started = time.perf_counter()
+    try:
+        yield child
+    finally:
+        child.elapsed = time.perf_counter() - started
+        stack.pop()
+
+
+def annotate(**meta: object) -> None:
+    """Attach facts to the innermost active span (no-op otherwise)."""
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        stack[-1].meta.update(meta)
+
+
+def current_span() -> Span | None:
+    """The innermost active span, or ``None`` outside any recorder."""
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None

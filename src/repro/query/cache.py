@@ -18,6 +18,7 @@ from collections import OrderedDict
 
 from ..models.base import FittedModel
 from ..models.registry import ModelRegistry
+from ..obs import get_registry
 
 _DEFAULT_CAPACITY = 4096
 
@@ -35,6 +36,11 @@ class SegmentCache:
         self.hits = 0
         self.misses = 0
         self.generation = 0
+        metrics = get_registry()
+        self._hits_total = metrics.counter("query.segment_cache_hits_total")
+        self._misses_total = metrics.counter(
+            "query.segment_cache_misses_total"
+        )
 
     def decode(
         self, mid: int, parameters: bytes, n_columns: int, length: int
@@ -45,8 +51,10 @@ class SegmentCache:
             if model is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                self._hits_total.inc()
                 return model
             self.misses += 1
+            self._misses_total.inc()
         # Decode outside the lock: it can be expensive (Gorilla walks the
         # bit stream) and two threads racing on one key is harmless.
         model = self._registry.decode(mid, parameters, n_columns, length)

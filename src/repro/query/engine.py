@@ -19,13 +19,16 @@ during iterate, as the paper specifies.
 from __future__ import annotations
 
 import datetime as dt
+import re
 import threading
+import time
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..core.errors import QueryError
 from ..models.registry import ModelRegistry
+from ..obs import SpanRecorder, annotate, get_registry, span
 from ..storage.interface import Storage
 from .aggregates import Aggregate, aggregate_by_name
 from .cache import SegmentCache
@@ -42,6 +45,11 @@ _NUMPY_LEVEL_UNIT = {
     "MONTH": "M",
     "YEAR": "Y",
 }
+
+#: ``EXPLAIN ANALYZE <statement>`` prefix (the profiled execution mode).
+EXPLAIN_ANALYZE_RE = re.compile(
+    r"^\s*EXPLAIN\s+ANALYZE\s+(?P<statement>.+)$", re.IGNORECASE | re.DOTALL
+)
 
 
 def parse_timestamp(value: object) -> int:
@@ -80,8 +88,63 @@ class QueryEngine:
     # Public interface
     # ------------------------------------------------------------------
     def sql(self, text: str) -> list[dict]:
-        """Parse and execute one SQL statement."""
-        return self.execute(parse(text))
+        """Parse and execute one SQL statement.
+
+        ``EXPLAIN ANALYZE <statement>`` executes the statement and
+        returns its per-stage time/row breakdown instead of its rows
+        (see :meth:`explain_analyze`).
+        """
+        explain = EXPLAIN_ANALYZE_RE.match(text)
+        if explain is not None:
+            return self.explain_analyze(explain.group("statement"))
+        with span("parse"):
+            query = parse(text)
+        return self.execute(query)
+
+    def explain_analyze(self, text: str) -> list[dict]:
+        """Execute ``text`` and report where the time and rows went.
+
+        Returns one row per engine stage — ``parse``, ``plan``, ``scan``,
+        ``finalize`` — with elapsed milliseconds, the row/segment counts
+        the stage handled, and push-down details (partitions scanned vs
+        pruned, segment-cache hits vs decodes), followed by a ``total``
+        row. The statement really runs: timings are measurements, not
+        estimates.
+        """
+        hits_before, misses_before = self.cache_stats
+        recorder = SpanRecorder("query")
+        with recorder:
+            with span("parse"):
+                query = parse(text)
+            rows = self.execute(query)
+        hits_after, misses_after = self.cache_stats
+        report = []
+        for depth, stage in recorder.root.walk():
+            if depth == 0:
+                continue  # the root is reported as the "total" row below
+            meta = dict(stage.meta)
+            if stage.name == "scan":
+                meta.setdefault("cache_hits", hits_after - hits_before)
+                meta.setdefault("decoded", misses_after - misses_before)
+            report.append(
+                {
+                    "stage": ("  " * (depth - 1)) + stage.name,
+                    "ms": round(stage.elapsed * 1000.0, 3),
+                    "rows": meta.pop("rows", None),
+                    "detail": " ".join(
+                        f"{key}={value}" for key, value in meta.items()
+                    ),
+                }
+            )
+        report.append(
+            {
+                "stage": "total",
+                "ms": round(recorder.root.elapsed * 1000.0, 3),
+                "rows": len(rows),
+                "detail": "",
+            }
+        )
+        return report
 
     def refresh_metadata(self) -> None:
         """Reload the metadata cache after new time series were added."""
@@ -164,17 +227,53 @@ class QueryEngine:
     # Execution
     # ------------------------------------------------------------------
     def execute(self, query: Query) -> list[dict]:
-        plan, row_predicates = self._plan(query)
-        if query.is_aggregate:
-            _validate_aggregate_select(query)
-            if query.view == "segment":
-                partial = self._accumulate_segment(query, plan)
+        registry = get_registry()
+        registry.counter("query.statements_total").inc()
+        started = time.perf_counter()
+        try:
+            with span("plan"):
+                plan, row_predicates = self._plan(query)
+                self._observe_plan(plan, registry)
+            if query.is_aggregate:
+                _validate_aggregate_select(query)
+                with span("scan"):
+                    if query.view == "segment":
+                        partial = self._accumulate_segment(query, plan)
+                    else:
+                        partial = self._accumulate_point(
+                            query, plan, row_predicates
+                        )
+                with span("finalize"):
+                    rows = partial.finalize()
+                    annotate(rows=len(rows))
             else:
-                partial = self._accumulate_point(query, plan, row_predicates)
-            return partial.finalize()
-        if query.view == "datapoint":
-            return self._execute_point_selection(query, plan, row_predicates)
-        return self._execute_segment_selection(query, plan)
+                with span("scan"):
+                    if query.view == "datapoint":
+                        rows = self._execute_point_selection(
+                            query, plan, row_predicates
+                        )
+                    else:
+                        rows = self._execute_segment_selection(query, plan)
+                    annotate(rows=len(rows))
+            registry.counter("query.rows_returned_total").inc(len(rows))
+            return rows
+        finally:
+            registry.histogram("query.execute_seconds").record(
+                time.perf_counter() - started
+            )
+
+    def _observe_plan(self, plan: RewrittenQuery, registry) -> None:
+        """Record the push-down outcome of one rewritten query."""
+        total_gids = len(self.metadata.all_gids())
+        scanned = len(plan.gids)
+        registry.counter("query.partitions_scanned_total").inc(scanned)
+        registry.counter("query.partitions_pruned_total").inc(
+            max(total_gids - scanned, 0)
+        )
+        annotate(
+            partitions=f"{scanned}/{total_gids}",
+            tids=len(plan.tids),
+        )
 
     def execute_partial(self, query: Query) -> "PartialResult | list[dict]":
         """Worker-side execution: aggregate queries return mergeable
@@ -250,6 +349,7 @@ class QueryEngine:
         dimension_rows = metadata.dimension_rows()
         tids = set(plan.tids)
         cache = self._segment_cache
+        segments_scanned = 0
         from .views import _clip
 
         for segment in self._storage.segments(
@@ -257,6 +357,7 @@ class QueryEngine:
             start_time=plan.start_time,
             end_time=plan.end_time,
         ):
+            segments_scanned += 1
             clipped = _clip(segment, plan.start_time, plan.end_time)
             if clipped is None:
                 continue
@@ -307,6 +408,10 @@ class QueryEngine:
                             scaling,
                             spec.level,
                         )
+        get_registry().counter("query.segments_scanned_total").inc(
+            segments_scanned
+        )
+        annotate(segments=segments_scanned)
         return PartialResult(specs, group_columns, simple, cubes)
 
     # -- Data Point View aggregates ----------------------------------------

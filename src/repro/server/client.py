@@ -95,6 +95,12 @@ class ServerClient:
         raise_for_error(response)
         return response["stats"]
 
+    def metrics(self) -> dict:
+        """The server's metrics-registry snapshot (see ``docs/METRICS.md``)."""
+        response = self.request({"op": "metrics"})
+        raise_for_error(response)
+        return response["metrics"]
+
     def cancel(self, query_id: str) -> bool:
         """Best-effort cancel; True if the id named an in-flight query."""
         response = self.request({"op": "cancel", "id": query_id})

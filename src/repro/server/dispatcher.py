@@ -22,16 +22,23 @@ optional cooperative :class:`CancelToken` per query.
 from __future__ import annotations
 
 import os
+import re
 import threading
 from typing import Callable
 
 from ..core.errors import ModelarError
 from ..models.registry import ModelRegistry
+from ..obs import get_registry
 from ..query.engine import QueryEngine
 from ..storage.filestore import FileStorage
 from ..storage.interface import Storage
 from .protocol import CancelledError, DeadlineError
 from .result_cache import QueryResultCache
+
+#: ``EXPLAIN ANALYZE`` results are measurements of one execution — a
+#: cached breakdown would report a stale timing, so they bypass the
+#: result cache entirely (no lookup, no store).
+_EXPLAIN_RE = re.compile(r"^\s*EXPLAIN\b", re.IGNORECASE)
 
 
 class CancelToken:
@@ -113,24 +120,36 @@ class Dispatcher:
         """
         if token is not None:
             token.raise_if_cancelled()
+        cacheable = _EXPLAIN_RE.match(sql) is None
         # Snapshot the generation before touching storage so a flush
         # racing with execution prevents caching the (possibly stale)
         # result rather than poisoning the cache.
         generation = self.result_cache.generation
-        rows = self.result_cache.get(sql)
-        if rows is not None:
-            return rows, True
+        if cacheable:
+            rows = self.result_cache.get(sql)
+            if rows is not None:
+                return rows, True
         if self._execute_hook is not None:
             self._execute_hook(sql, token)
             if token is not None:
                 token.raise_if_cancelled()
         rows = self._run(sql)
-        self.result_cache.put(sql, rows, generation)
+        if cacheable:
+            self.result_cache.put(sql, rows, generation)
         return rows, False
 
     def notify_flush(self) -> None:
         """Invalidate cached results after new segments became visible."""
         self.result_cache.invalidate()
+
+    def metrics(self) -> dict:
+        """The metrics registry snapshot this backend serves from.
+
+        The embedded engine shares the server's process, so the
+        process-wide registry is the whole story; the cluster dispatcher
+        overrides this to fold in worker-process registries.
+        """
+        return get_registry().snapshot()
 
     def stats(self) -> dict:
         payload = {
@@ -250,6 +269,13 @@ class ClusterDispatcher(Dispatcher):
             "cluster_queries": self._queries,
             "cluster_failovers": self._failovers,
         }
+
+    def metrics(self) -> dict:
+        cluster_metrics = getattr(self._cluster, "metrics", None)
+        if cluster_metrics is None:  # simulated cluster: master only
+            return super().metrics()
+        with self._lock:
+            return cluster_metrics()
 
     def catalog(self) -> dict:
         tids = sorted(

@@ -1,86 +1,27 @@
-"""Per-server serving metrics: counters and a latency histogram.
+"""Per-server serving metrics, backed by the unified ``repro.obs`` layer.
 
-Everything here is updated from the event loop and from executor
-threads, so all mutation is lock-protected. The histogram uses
-geometric buckets (ratio 1.5 starting at 0.1 ms) — coarse enough to be
-O(1) per observation, fine enough that the p50/p95/p99 estimates the
-``stats`` op reports are within one bucket ratio of the true quantile.
+The latency histogram implementation that used to live here was
+generalised into :class:`repro.obs.Histogram`; ``LatencyHistogram`` is a
+re-export kept for compatibility (same geometric buckets, same
+``snapshot()`` payload — and ``min``/``min_ms`` report 0.0 instead of
+``inf`` while empty).
+
+:class:`ServerCounters` keeps exact per-server integers for the
+``stats`` op (tests and dashboards rely on per-instance values) while
+mirroring every bump into the process-wide registry as
+``server.<name>_total``, so the ``metrics`` op reports serving traffic
+alongside ingest/query/storage/cluster activity.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 
-_FIRST_BOUND_SECONDS = 1e-4
-_RATIO = 1.5
-_N_BUCKETS = 48  # covers ~0.1 ms .. ~2.4e4 s
+from ..obs import Histogram, get_registry
 
-
-class LatencyHistogram:
-    """Fixed geometric buckets over seconds, with exact count/sum."""
-
-    def __init__(self) -> None:
-        self._bounds = [
-            _FIRST_BOUND_SECONDS * _RATIO**index
-            for index in range(_N_BUCKETS)
-        ]
-        self._counts = [0] * (_N_BUCKETS + 1)
-        self._lock = threading.Lock()
-        self.count = 0
-        self.total = 0.0
-        self.min = math.inf
-        self.max = 0.0
-
-    def _bucket(self, seconds: float) -> int:
-        if seconds <= _FIRST_BOUND_SECONDS:
-            return 0
-        index = int(
-            math.log(seconds / _FIRST_BOUND_SECONDS) / math.log(_RATIO)
-        ) + 1
-        return min(index, _N_BUCKETS)
-
-    def record(self, seconds: float) -> None:
-        with self._lock:
-            self._counts[self._bucket(seconds)] += 1
-            self.count += 1
-            self.total += seconds
-            self.min = min(self.min, seconds)
-            self.max = max(self.max, seconds)
-
-    def quantile(self, q: float) -> float:
-        """Upper bucket bound holding the q-quantile (0 when empty)."""
-        with self._lock:
-            if not self.count:
-                return 0.0
-            target = q * self.count
-            cumulative = 0
-            for index, count in enumerate(self._counts):
-                cumulative += count
-                if cumulative >= target:
-                    if index >= _N_BUCKETS:
-                        return self.max
-                    return min(self._bounds[index], self.max)
-            return self.max
-
-    def snapshot(self) -> dict:
-        """The ``stats`` payload: count, mean and quantile estimates."""
-        p50, p95, p99 = (
-            self.quantile(0.50), self.quantile(0.95), self.quantile(0.99)
-        )
-        with self._lock:
-            count, total = self.count, self.total
-            low = 0.0 if count == 0 else self.min
-            high = self.max
-        return {
-            "count": count,
-            "mean_ms": (total / count * 1000.0) if count else 0.0,
-            "min_ms": low * 1000.0,
-            "max_ms": high * 1000.0,
-            "p50_ms": p50 * 1000.0,
-            "p95_ms": p95 * 1000.0,
-            "p99_ms": p99 * 1000.0,
-        }
+#: The serving latency histogram — one geometric-bucket implementation
+#: for the whole system, owned by :mod:`repro.obs.registry`.
+LatencyHistogram = Histogram
 
 
 class ServerCounters:
@@ -101,12 +42,18 @@ class ServerCounters:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        registry = get_registry()
+        self._mirrors = {
+            name: registry.counter(f"server.{name}_total")
+            for name in self._FIELDS
+        }
         for name in self._FIELDS:
             setattr(self, name, 0)
 
     def bump(self, name: str, amount: int = 1) -> None:
         with self._lock:
             setattr(self, name, getattr(self, name) + amount)
+        self._mirrors[name].inc(amount)
 
     def snapshot(self) -> dict:
         with self._lock:

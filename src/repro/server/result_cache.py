@@ -17,6 +17,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from ..obs import get_registry
+
 _DEFAULT_CAPACITY = 256
 
 
@@ -60,6 +62,14 @@ class QueryResultCache:
         self.misses = 0
         self.invalidations = 0
         self.generation = 0
+        metrics = get_registry()
+        self._hits_total = metrics.counter("server.result_cache_hits_total")
+        self._misses_total = metrics.counter(
+            "server.result_cache_misses_total"
+        )
+        self._invalidations_total = metrics.counter(
+            "server.result_cache_invalidations_total"
+        )
 
     def get(self, sql: str) -> list[dict] | None:
         key = normalize_sql(sql)
@@ -67,9 +77,11 @@ class QueryResultCache:
             rows = self._entries.get(key)
             if rows is None:
                 self.misses += 1
+                self._misses_total.inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            self._hits_total.inc()
             return rows
 
     def put(self, sql: str, rows: list[dict], generation: int) -> None:
@@ -95,6 +107,7 @@ class QueryResultCache:
             self._entries.clear()
             self.generation += 1
             self.invalidations += 1
+        self._invalidations_total.inc()
 
     def __len__(self) -> int:
         with self._lock:

@@ -31,6 +31,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from ..core.errors import ModelarError
+from ..obs import get_registry
 from .dispatcher import CancelToken, Dispatcher
 from .metrics import LatencyHistogram, ServerCounters
 from .protocol import (
@@ -69,6 +70,9 @@ class QueryServer:
         self._default_timeout = default_timeout
         self.counters = ServerCounters()
         self.latency = LatencyHistogram()
+        self._query_seconds = get_registry().histogram(
+            "server.query_seconds"
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="repro-query"
         )
@@ -169,6 +173,8 @@ class QueryServer:
             return {"ok": True, "pong": True}
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "metrics":
+            return {"ok": True, "metrics": self.dispatcher.metrics()}
         if op == "cancel":
             return self._handle_cancel(request)
         if op == "query":
@@ -176,7 +182,7 @@ class QueryServer:
         self.counters.bump("bad_requests")
         return error_response(
             ErrorCode.BAD_REQUEST,
-            f"unknown op {op!r}; expected query/ping/stats/cancel",
+            f"unknown op {op!r}; expected query/ping/stats/metrics/cancel",
         )
 
     # ------------------------------------------------------------------
@@ -272,6 +278,7 @@ class QueryServer:
             )
         elapsed = time.perf_counter() - started
         self.latency.record(elapsed)
+        self._query_seconds.record(elapsed)
         self.counters.bump("completed")
         return {
             "ok": True,

@@ -28,11 +28,13 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
 from ..core.errors import StorageError
 from ..core.segment import SegmentGroup
+from ..obs import get_registry
 from .interface import Storage
 from .schema import TimeSeriesRecord
 from .serialization import HEADER_BYTES, decode_segment, encode_segment
@@ -105,21 +107,35 @@ class FileStorage(Storage):
     # ------------------------------------------------------------------
     def insert_segments(self, segments: Iterable[SegmentGroup]) -> None:
         self._ensure_open()
+        started = time.perf_counter()
         by_gid: dict[int, list[bytes]] = {}
         counts: dict[int, int] = {}
+        written_segments = 0
+        written_bytes = 0
         for segment in segments:
             if segment.gid not in self._groups:
                 raise StorageError(
                     f"segment references unknown group {segment.gid}; insert "
                     "the Time Series table rows first"
                 )
-            by_gid.setdefault(segment.gid, []).append(encode_segment(segment))
+            encoded = encode_segment(segment)
+            by_gid.setdefault(segment.gid, []).append(encoded)
             counts[segment.gid] = counts.get(segment.gid, 0) + 1
+            written_segments += 1
+            written_bytes += len(encoded)
         for gid, rows in by_gid.items():
             with open(self._partition_path(gid), "ab") as handle:
                 handle.write(b"".join(rows))
             self._counts[gid] = self._counts.get(gid, 0) + counts[gid]
         self._save_metadata()
+        registry = get_registry()
+        registry.counter("storage.segments_written_total").inc(
+            written_segments
+        )
+        registry.counter("storage.bytes_written_total").inc(written_bytes)
+        registry.histogram("storage.write_seconds").record(
+            time.perf_counter() - started
+        )
 
     def segments(
         self,
@@ -178,14 +194,23 @@ class FileStorage(Storage):
         path = self._partition_path(gid)
         if not path.exists():
             return
+        started = time.perf_counter()
         data = path.read_bytes()
+        registry = get_registry()
+        registry.counter("storage.bytes_read_total").inc(len(data))
+        segments_read = 0
         offset = 0
         while offset + HEADER_BYTES <= len(data):
             segment, offset = decode_segment(
                 data, offset, sampling_interval, group_tids
             )
+            segments_read += 1
             if segment.overlaps(start_time, end_time):
                 yield segment
+        registry.counter("storage.segments_read_total").inc(segments_read)
+        registry.histogram("storage.read_seconds").record(
+            time.perf_counter() - started
+        )
 
     def _partition_path(self, gid: int) -> Path:
         return self._root / f"{_PARTITION_PREFIX}{gid}{_PARTITION_SUFFIX}"

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping
 
 from ..core.segment import SegmentGroup
+from ..obs import get_registry
 from .interface import Storage
 from .schema import TimeSeriesRecord
 from .serialization import encoded_size
@@ -40,10 +41,20 @@ class MemoryStorage(Storage):
         return dict(self._models)
 
     def insert_segments(self, segments: Iterable[SegmentGroup]) -> None:
+        written_segments = 0
+        written_bytes = 0
         for segment in segments:
             self._segments.setdefault(segment.gid, []).append(segment)
-            self._bytes += encoded_size(segment)
+            size = encoded_size(segment)
+            self._bytes += size
             self._count += 1
+            written_segments += 1
+            written_bytes += size
+        registry = get_registry()
+        registry.counter("storage.segments_written_total").inc(
+            written_segments
+        )
+        registry.counter("storage.bytes_written_total").inc(written_bytes)
 
     def segments(
         self,

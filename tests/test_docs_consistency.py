@@ -1,0 +1,109 @@
+"""The CI docs checker (tier 1): docs match the code, and the checker
+actually catches drift.
+
+``scripts/check_docs.py`` is the lint-job gate asserting that
+``docs/METRICS.md`` equals the metric catalog and that every command
+line in ``docs/OPERATIONS.md`` parses against the real argparse
+parsers. The positive tests here keep the repo green; the negative
+tests prove the gate fails on a rename — a checker that never fails is
+just documentation about documentation.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def checker():
+    """The scripts/check_docs.py module, imported from its file path."""
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_docs"] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop("check_docs", None)
+
+
+class TestDocsAreConsistent:
+    def test_metrics_table_matches_catalog(self, checker):
+        assert checker.check_metrics() == []
+
+    def test_operations_commands_parse(self, checker):
+        assert checker.check_operations() == []
+
+    def test_main_exits_zero(self, checker, capsys):
+        assert checker.main() == 0
+        assert "match the code" in capsys.readouterr().out
+
+
+class TestCheckerCatchesDrift:
+    def test_renamed_metric_is_reported_both_ways(self, checker, monkeypatch):
+        """Simulate a code-side rename: the old documented name becomes
+        undeclared AND the new declared name becomes undocumented."""
+        catalog = dict(checker.CATALOG)
+        spec = catalog.pop("query.statements_total")
+        renamed = type(spec)(
+            "query.stmts_total", spec.kind, spec.labels, spec.description
+        )
+        catalog[renamed.name] = renamed
+        monkeypatch.setattr(checker, "CATALOG", catalog)
+        problems = checker.check_metrics()
+        assert any("query.stmts_total" in p and "missing" in p
+                   for p in problems)
+        assert any("query.statements_total" in p and "not declared" in p
+                   for p in problems)
+
+    def test_kind_change_is_reported(self, checker, monkeypatch):
+        catalog = dict(checker.CATALOG)
+        spec = catalog["query.execute_seconds"]
+        catalog["query.execute_seconds"] = type(spec)(
+            spec.name, "counter", spec.labels, spec.description
+        )
+        monkeypatch.setattr(checker, "CATALOG", catalog)
+        problems = checker.check_metrics()
+        assert any("query.execute_seconds" in p and "documented as" in p
+                   for p in problems)
+
+    def test_removed_subcommand_doc_is_reported(
+        self, checker, monkeypatch, tmp_path
+    ):
+        """Strip every `metrics` command line from a copy of
+        OPERATIONS.md: the registered-but-undocumented check fires."""
+        text = checker.OPERATIONS_DOC.read_text()
+        kept = "\n".join(
+            line for line in text.splitlines()
+            if not ("python -m repro" in line and " metrics" in line)
+        )
+        doc = tmp_path / "OPERATIONS.md"
+        doc.write_text(kept)
+        monkeypatch.setattr(checker, "OPERATIONS_DOC", doc)
+        problems = checker.check_operations()
+        assert any("'metrics'" in p and "never shown" in p for p in problems)
+
+    def test_unparseable_flag_is_reported(
+        self, checker, monkeypatch, tmp_path
+    ):
+        doc = tmp_path / "OPERATIONS.md"
+        doc.write_text(
+            "```bash\npython -m repro serve /db --no-such-flag 3\n```\n"
+        )
+        monkeypatch.setattr(checker, "OPERATIONS_DOC", doc)
+        problems = checker.check_operations()
+        assert any("does not parse" in p for p in problems)
+
+    def test_metrics_cli_exit_is_nonzero_on_drift(self, checker, monkeypatch):
+        catalog = dict(checker.CATALOG)
+        catalog.pop("server.requests_total")
+        monkeypatch.setattr(checker, "CATALOG", catalog)
+        assert checker.main() == 1

@@ -1,0 +1,125 @@
+"""Serving end-to-end observability (tier 1).
+
+The acceptance loop for the unified metrics layer: run the closed-loop
+load generator against an in-process server, then assert that the
+``metrics`` wire op (and the ``python -m repro metrics`` subcommand on
+top of it) reports exactly what the load generator measured from the
+client side — completions, busy rejections, cache hits — alongside
+non-zero ingestion, query and storage counters from the layers below.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, set_registry
+from repro.server import ServerClient
+from repro.server.loadgen import run_load
+
+from tests.test_server import STATEMENTS, _Harness, make_db
+
+
+@pytest.fixture
+def fresh_registry():
+    """Swap in an empty process registry *before* the db and server are
+    built — instruments bind to the active registry at construction."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)
+
+
+def snapshot_counters(client: ServerClient) -> dict:
+    return client.metrics()["counters"]
+
+
+class TestMetricsOpMatchesLoadgen:
+    def test_server_totals_equal_load_report(self, fresh_registry):
+        db = make_db(n_series=3, n_points=200)
+        with _Harness(db, max_inflight=4, max_waiting=64) as (host, port):
+            with ServerClient(host, port) as client:
+                before = snapshot_counters(client)
+            report = run_load(
+                host,
+                port,
+                list(STATEMENTS),
+                clients=4,
+                duration=1.0,
+                request_timeout=30.0,
+            )
+            with ServerClient(host, port) as client:
+                after = snapshot_counters(client)
+
+        assert report.completed > 0
+
+        def delta(name: str) -> float:
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("server.completed_total") == report.completed
+        assert delta("server.rejected_busy_total") == report.rejected_busy
+        assert delta("server.result_cache_hits_total") == report.cache_hits
+        assert report.errors == 0
+
+    def test_snapshot_spans_every_layer(self, fresh_registry):
+        db = make_db(n_series=2, n_points=150)
+        with _Harness(db, max_inflight=4, max_waiting=64) as (host, port):
+            with ServerClient(host, port) as client:
+                client.query("SELECT Tid, AVG_S(*) FROM Segment GROUP BY Tid")
+                snapshot = client.metrics()
+
+        counters = snapshot["counters"]
+        assert counters["ingest.points_total"] == 2 * 150
+        assert counters["storage.segments_written_total"] > 0
+        assert counters["query.statements_total"] >= 1
+        assert counters["server.completed_total"] >= 1
+        histograms = snapshot["histograms"]
+        assert histograms["server.query_seconds"]["count"] >= 1
+        assert histograms["query.execute_seconds"]["count"] >= 1
+
+    def test_metrics_op_and_stats_op_coexist(self, fresh_registry):
+        """`stats` stays the cheap server-local view; `metrics` is the
+        process-wide registry. Both answer on one connection."""
+        db = make_db(n_series=2, n_points=100)
+        with _Harness(db, max_inflight=2) as (host, port):
+            with ServerClient(host, port) as client:
+                client.query("SELECT COUNT_S(*) FROM Segment")
+                stats = client.stats()
+                counters = snapshot_counters(client)
+        assert stats["counters"]["completed"] == 1
+        assert counters["server.completed_total"] == 1
+
+
+class TestMetricsSubcommand:
+    def test_cli_prints_and_writes_json(self, fresh_registry, tmp_path):
+        from repro.__main__ import run_metrics
+
+        json_path = tmp_path / "metrics.json"
+        db = make_db(n_series=2, n_points=100)
+        with _Harness(db, max_inflight=2) as (host, port):
+            with ServerClient(host, port) as client:
+                client.query("SELECT COUNT_S(*) FROM Segment")
+            out = io.StringIO()
+            code = run_metrics(
+                ["--host", host, "--port", str(port),
+                 "--json", str(json_path)],
+                out,
+            )
+        assert code == 0
+        text = out.getvalue()
+        assert "server.completed_total 1" in text
+        assert "ingest.points_total 200" in text
+        payload = json.loads(json_path.read_text())
+        assert payload["counters"]["server.completed_total"] == 1
+
+    def test_cli_reports_unreachable_server(self):
+        from repro.__main__ import run_metrics
+
+        out = io.StringIO()
+        code = run_metrics(["--port", "1"], out)
+        assert code == 1
+        assert "cannot reach server" in out.getvalue()
