@@ -34,7 +34,7 @@ def ingest(group, split_fraction):
     db = ModelarDB(
         Configuration(error_bound=1.0, dynamic_split_fraction=split_fraction)
     )
-    db.ingest_groups([group])
+    db.ingest([group])
     return db
 
 

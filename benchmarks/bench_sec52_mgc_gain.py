@@ -20,9 +20,9 @@ BOUNDS = ERROR_BOUNDS
 def ingest(series, bound, grouped):
     db = ModelarDB(Configuration(error_bound=bound))
     if grouped:
-        db.ingest_groups([TimeSeriesGroup(1, series)])
+        db.ingest([TimeSeriesGroup(1, series)])
     else:
-        db.ingest_groups(singleton_groups(series))
+        db.ingest(singleton_groups(series))
     return db.size_bytes()
 
 

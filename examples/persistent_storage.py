@@ -13,7 +13,7 @@ directory and queries the persisted segments.
 import tempfile
 from pathlib import Path
 
-from repro import Configuration, FileStorage, ModelarDB
+from repro import Configuration, ModelarDB
 from repro.datasets import generate_ep
 from repro.datasets.ep import EP_CORRELATION
 
@@ -27,19 +27,19 @@ def main():
     with tempfile.TemporaryDirectory() as directory:
         path = Path(directory) / "modelardb"
 
-        db = ModelarDB(
-            config, storage=FileStorage(path), dimensions=dataset.dimensions
-        )
-        db.ingest(dataset.series)
-        before = db.sql("SELECT COUNT_S(*), SUM_S(*) FROM Segment")[0]
-        db.close()
-        print(f"wrote {db.segment_count()} segments to {path}")
+        with ModelarDB.open(
+            path, config=config, dimensions=dataset.dimensions
+        ) as db:
+            db.ingest(dataset.series)
+            before = db.sql("SELECT COUNT_S(*), SUM_S(*) FROM Segment")[0]
+            segments = db.segment_count()
+        print(f"wrote {segments} segments to {path}")
         for file in sorted(path.iterdir()):
             print(f"  {file.name}: {file.stat().st_size} bytes")
 
         # A fresh process would do exactly this: open the directory.
-        reopened = ModelarDB(config, storage=FileStorage(path))
-        after = reopened.sql("SELECT COUNT_S(*), SUM_S(*) FROM Segment")[0]
+        with ModelarDB.open(path, config=config) as reopened:
+            after = reopened.sql("SELECT COUNT_S(*), SUM_S(*) FROM Segment")[0]
         print(f"\nbefore close: {before}")
         print(f"after reopen: {after}")
         assert before == after

@@ -17,6 +17,7 @@ from .modelardb import ModelarDB
 from .models.base import ModelType
 from .models.registry import ModelRegistry
 from .storage.filestore import FileStorage
+from .storage.interface import Storage
 from .storage.memory import MemoryStorage
 
 __version__ = "2.0.0"
@@ -36,6 +37,7 @@ __all__ = [
     "ModelarDB",
     "ModelType",
     "ModelRegistry",
+    "Storage",
     "FileStorage",
     "MemoryStorage",
     "__version__",

@@ -47,10 +47,9 @@ from .core.config import Configuration
 from .core.errors import ModelarError
 from .datasets import generate_ep
 from .datasets.ep import EP_CORRELATION
-from .models.registry import ModelRegistry
+from .modelardb import ModelarDB
 from .obs import maybe_profile
 from .query.engine import QueryEngine
-from .storage.filestore import FileStorage
 
 
 def format_rows(rows: list[dict]) -> str:
@@ -199,16 +198,16 @@ def run_serve(argv: list[str], out) -> int:
 
     arguments = build_serve_parser().parse_args(argv)
 
-    with FileStorage(arguments.directory) as storage:
+    with ModelarDB.open(arguments.directory) as db:
+        storage = db.storage
         if not storage.time_series():
             print(
                 f"error: no time series stored in {arguments.directory}",
                 file=out,
             )
             return 1
-        engine = QueryEngine(storage, ModelRegistry())
         dispatcher = EmbeddedDispatcher(
-            engine,
+            db.engine,
             owned_storage=storage,
             result_cache_capacity=arguments.cache_capacity,
         )
@@ -469,12 +468,13 @@ def _main(argv: list[str] | None = None, out=None) -> int:
               file=out)
         return 1
 
-    with FileStorage(arguments.directory) as storage:
+    with ModelarDB.open(arguments.directory) as db:
+        storage = db.storage
         if not storage.time_series():
             print(f"error: no time series stored in {arguments.directory}",
                   file=out)
             return 1
-        engine = QueryEngine(storage, ModelRegistry())
+        engine = db.engine
 
         if arguments.command:
             run_statement(engine, arguments.command, out)

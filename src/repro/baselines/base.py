@@ -64,6 +64,27 @@ class StorageFormat(ABC):
         self._tids: list[int] = []
 
     # ------------------------------------------------------------------
+    # Lifecycle (the same open/flush/close contract as repro.storage)
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | None = None) -> "StorageFormat":
+        """Open a format instance; path-less formats ignore ``path``."""
+        return cls() if path is None else cls(path)
+
+    def flush(self) -> None:
+        """Make pending writes durable; default defers to the ingest-time
+        :meth:`_finish_ingest` hook, so explicit flushes are no-ops."""
+
+    def close(self) -> None:
+        """Release resources; default is a no-op."""
+
+    def __enter__(self) -> "StorageFormat":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     def ingest(

@@ -24,6 +24,7 @@ from .errors import ConfigurationError
 DEFAULT_MODEL_LENGTH_LIMIT = 50
 DEFAULT_DYNAMIC_SPLIT_FRACTION = 10
 DEFAULT_BULK_WRITE_SIZE = 50_000
+DEFAULT_INGEST_CHUNK_SIZE = 1024
 
 #: Classpath-style names of the models shipped with ModelarDB Core
 #: (Section 3.1), in the order the segment generator tries them.
@@ -49,6 +50,10 @@ class Configuration:
         (Section 4.2). ``0`` disables dynamic splitting.
     bulk_write_size:
         Number of segments buffered before a bulk flush to the store.
+    ingest_chunk_size:
+        Ticks per columnar chunk on the batch ingestion path. Segments
+        are bit-identical at any setting; ``1`` selects the scalar
+        per-tick path (the batch baseline for ``bench_ingest``).
     models:
         Ordered model classpaths tried during ingestion. Names must be
         resolvable via :mod:`repro.models.registry`.
@@ -61,6 +66,7 @@ class Configuration:
     model_length_limit: int = DEFAULT_MODEL_LENGTH_LIMIT
     dynamic_split_fraction: int = DEFAULT_DYNAMIC_SPLIT_FRACTION
     bulk_write_size: int = DEFAULT_BULK_WRITE_SIZE
+    ingest_chunk_size: int = DEFAULT_INGEST_CHUNK_SIZE
     models: tuple[str, ...] = DEFAULT_MODELS
     correlation: list[str] = field(default_factory=list)
 
@@ -81,6 +87,10 @@ class Configuration:
         if self.bulk_write_size < 1:
             raise ConfigurationError(
                 f"bulk_write_size must be >= 1, got {self.bulk_write_size}"
+            )
+        if self.ingest_chunk_size < 1:
+            raise ConfigurationError(
+                f"ingest_chunk_size must be >= 1, got {self.ingest_chunk_size}"
             )
         if not self.models:
             raise ConfigurationError("at least one model must be configured")

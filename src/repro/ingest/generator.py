@@ -28,6 +28,8 @@ from __future__ import annotations
 import struct
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
 from ..core.config import Configuration
 from ..core.errors import IngestionError
 from ..core.segment import SegmentGroup
@@ -62,6 +64,9 @@ class _LazyFitter(ModelFitter):
     def _try_append(self, values) -> bool:
         return True
 
+    def _extend(self, block) -> int:
+        return block.shape[0]
+
     def best_possible_ratio(self) -> float | None:
         """Exact upper bound on the compression ratio, if known."""
         n_values = self.length * self.n_columns
@@ -78,12 +83,14 @@ class _LazyFitter(ModelFitter):
         fitter = self._model_type.fitter(
             self.n_columns, self.error_bound, self.length_limit
         )
-        for _, vector in buffer[:self.length]:
-            if not fitter.append(vector):  # pragma: no cover - always fits
-                raise IngestionError(
-                    f"always-fitting model {self._model_type.name} "
-                    "rejected a buffered value"
-                )
+        covered = np.asarray(
+            [vector for _, vector in buffer[:self.length]], dtype=np.float64
+        )
+        if fitter.extend(None, covered) != self.length:  # pragma: no cover
+            raise IngestionError(
+                f"always-fitting model {self._model_type.name} "
+                "rejected a buffered value"
+            )
         return fitter
 
     def parameters(self) -> bytes:  # pragma: no cover - never encoded
@@ -138,7 +145,11 @@ class SegmentGenerator:
         self._active: tuple[int, ModelFitter] | None = None
         self._pending_models: list[str] = []
         self._quantizer: struct.Struct | None = None
+        self._scale_cache: dict[tuple[int, ...], np.ndarray | None] = {}
         self.last_emitted_ratio: float | None = None
+        #: Lifetime count of emitted segments; the block path uses it to
+        #: detect that a tick's processing flushed something.
+        self.segments_emitted = 0
 
     # ------------------------------------------------------------------
     # Public interface
@@ -165,6 +176,82 @@ class SegmentGenerator:
         vector = self._quantizer.unpack(self._quantizer.pack(*raw))
         self.stats.data_points += len(present)
         self._ingest_vector(timestamp, vector)
+
+    def tick_block(
+        self,
+        timestamps: np.ndarray,
+        matrix: np.ndarray,
+        finite: np.ndarray | None = None,
+        pause_on_emit: bool = False,
+        boundaries: np.ndarray | None = None,
+    ) -> int:
+        """Columnar counterpart of :meth:`tick` over a ``(ticks, n)`` block.
+
+        ``matrix`` columns follow ``subset_tids`` order with NaN marking
+        gaps; ``finite`` may pass a precomputed ``np.isfinite(matrix)``
+        and ``boundaries`` the sorted presence-change row indices (both
+        derived from ``matrix`` when omitted). Consumes leading ticks and
+        returns how many — all of them, unless ``pause_on_emit`` is set
+        and a tick's processing emitted at least one segment, in which
+        case the generator stops right after that tick (the point where
+        the scalar loop's caller inspects ``last_emitted_ratio`` for
+        dynamic splitting). Segments are bit-identical to feeding the
+        same ticks through :meth:`tick`.
+        """
+        if finite is None:
+            finite = np.isfinite(matrix)
+        n = len(timestamps)
+        if boundaries is None:
+            # Presence-run boundaries: segments close whenever the set
+            # of present series changes (gap method 2, Fig. 5).
+            if n > 1:
+                boundaries = (
+                    np.flatnonzero((finite[1:] != finite[:-1]).any(axis=1))
+                    + 1
+                )
+            else:
+                boundaries = np.empty(0, dtype=np.intp)
+        # When pausing at emissions, only a segment's worth of rows is
+        # consumed per round — quantizing a whole run up front would be
+        # thrown-away work, so cap the lookahead at a couple of segments.
+        lookahead = max(2 * self._config.model_length_limit, 64)
+        full_width = matrix.shape[1]
+        consumed = 0
+        while consumed < n:
+            cursor = int(np.searchsorted(boundaries, consumed, side="right"))
+            run_end = int(boundaries[cursor]) if cursor < len(boundaries) else n
+            row_mask = finite[consumed]
+            emitted_before = self.segments_emitted
+            present = tuple(
+                tid
+                for tid, bit in zip(self.subset_tids, row_mask.tolist())
+                if bit
+            )
+            if present != self._present:
+                self.close()
+                self._present = present
+                self._quantizer = struct.Struct(f"<{len(present)}f")
+            if not present:
+                if pause_on_emit and self.segments_emitted > emitted_before:
+                    return consumed + 1
+                consumed = run_end
+                continue
+            if pause_on_emit:
+                run_end = min(run_end, consumed + lookahead)
+            block = matrix[consumed:run_end]
+            if len(present) != full_width:
+                block = block[:, row_mask]
+            rows = self._scale_quantize(block, present)
+            done = self._ingest_rows(
+                timestamps[consumed:run_end],
+                rows,
+                pause_on_emit,
+                self.segments_emitted > emitted_before,
+            )
+            consumed += done
+            if done < run_end - (consumed - done):
+                return consumed  # paused mid-run after an emission
+        return consumed
 
     def close(self) -> None:
         """Flush everything buffered, ending the current segment run."""
@@ -206,6 +293,77 @@ class SegmentGenerator:
         self._active = None
         self._try_pending_models()
 
+    def _scale_quantize(
+        self, block: np.ndarray, present: tuple[int, ...]
+    ) -> np.ndarray:
+        """Apply scaling constants and the float32 storage round trip.
+
+        ``astype(float32)`` rounds exactly like the scalar path's struct
+        pack, and multiplying by a scaling of 1.0 is an IEEE identity, so
+        skipping the all-unity multiply changes nothing.
+        """
+        if present in self._scale_cache:
+            scale = self._scale_cache[present]
+        else:
+            vector = np.array(
+                [self._scalings.get(tid, 1.0) for tid in present]
+            )
+            scale = None if np.all(vector == 1.0) else vector
+            self._scale_cache[present] = scale
+        if scale is not None:
+            block = block * scale
+        return block.astype(np.float32).astype(np.float64)
+
+    def _ingest_rows(
+        self,
+        timestamps: np.ndarray,
+        rows: np.ndarray,
+        pause_on_emit: bool,
+        first_tick_emitted: bool,
+    ) -> int:
+        """Feed quantized rows of one presence run; returns rows consumed.
+
+        Accepted prefixes go through the active fitter's batch kernel;
+        every rejection or cascade restart is exactly one scalar step
+        (:meth:`_ingest_vector`), so model racing, flush selection and
+        stats are shared verbatim with the scalar path.
+        """
+        width = len(self._present)
+        ts_list = timestamps.tolist()
+        if pause_on_emit and first_tick_emitted:
+            # The presence change at this tick already emitted: take the
+            # one tick and let the caller run its split check first.
+            self.stats.data_points += width
+            self._ingest_vector(ts_list[0], tuple(rows[0].tolist()))
+            return 1
+        buffer = self._buffer
+        n = len(rows)
+        i = 0
+        while i < n:
+            emitted_before = self.segments_emitted
+            if self._active is not None:
+                _, fitter = self._active
+                taken = fitter.extend(None, rows[i:])
+                if taken:
+                    # Row views: every buffer consumer treats a vector as
+                    # a float64 sequence, so ndarray rows behave exactly
+                    # like the scalar path's tuples.
+                    buffer.extend(zip(ts_list[i:i + taken], rows[i:i + taken]))
+                    i += taken
+                    if i == n:
+                        break  # acceptance never emits
+                    # A short accept means the fitter is full or row i is
+                    # deterministically rejected (state is unchanged past
+                    # the prefix), so skip the re-extend straight to the
+                    # scalar step.
+            # Cascade restart, or the next row was rejected: one scalar step.
+            self._ingest_vector(ts_list[i], tuple(rows[i].tolist()))
+            i += 1
+            if pause_on_emit and self.segments_emitted > emitted_before:
+                break
+        self.stats.data_points += i * width
+        return i
+
     def _seed_cascade(self) -> None:
         """(Re)start the model cascade over the whole buffer."""
         self._pending_models = list(self._config.models)
@@ -227,6 +385,7 @@ class SegmentGenerator:
         expensive encode is deferred until then (and skipped when the
         model's exact best-case size cannot beat the other candidates).
         """
+        buffer_matrix: np.ndarray | None = None
         while True:
             while self._pending_models:
                 name = self._pending_models.pop(0)
@@ -246,11 +405,23 @@ class SegmentGenerator:
                         self._config.error_bound,
                         self._config.model_length_limit,
                     )
-                covered_all = True
-                for _, vector in self._buffer:
-                    if not fitter.append(vector):
-                        covered_all = False
-                        break
+                if len(self._buffer) == 1:
+                    covered_all = fitter.append(self._buffer[0][1])
+                else:
+                    # Replay through the batch kernel (bit-identical to
+                    # appending row by row, and much faster on long
+                    # buffers).
+                    if buffer_matrix is None or len(buffer_matrix) != len(
+                        self._buffer
+                    ):
+                        buffer_matrix = np.asarray(
+                            [vector for _, vector in self._buffer],
+                            dtype=np.float64,
+                        )
+                    covered_all = (
+                        fitter.extend(None, buffer_matrix)
+                        == len(self._buffer)
+                    )
                 if covered_all:
                     self._active = (mid, fitter)
                     return
@@ -288,6 +459,7 @@ class SegmentGenerator:
             group_tids=self.group_tids,
         )
         self._sink(segment)
+        self.segments_emitted += 1
 
         data_points = length * len(self._present)
         self.stats.record_segment(

@@ -13,6 +13,8 @@ import math
 import time
 from typing import Callable, Iterable, Iterator
 
+import numpy as np
+
 from ..core.config import Configuration
 from ..core.group import TimeSeriesGroup
 from ..core.segment import SegmentGroup
@@ -34,6 +36,10 @@ def record_ingest_stats(stats: IngestStats) -> None:
     registry.counter("ingest.points_total").inc(stats.data_points)
     registry.counter("ingest.splits_total").inc(stats.splits)
     registry.counter("ingest.joins_total").inc(stats.joins)
+    registry.counter("ingest.chunks_total").inc(stats.chunks)
+    registry.counter("ingest.scalar_fallback_ticks_total").inc(
+        stats.fallback_ticks
+    )
     for name, usage in stats.usage.items():
         registry.counter(
             "ingest.segments_total", model=name
@@ -74,6 +80,42 @@ def group_ticks(
         yield timestamp, values
 
 
+def group_tick_blocks(
+    group: TimeSeriesGroup, chunk_size: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(timestamps, matrix)`` columnar chunks over the group grid.
+
+    The columnar counterpart of :func:`group_ticks`: each chunk holds up
+    to ``chunk_size`` consecutive ticks as an int64 timestamp vector and
+    a ``(ticks, n_series)`` float64 matrix in group column order, with
+    NaN wherever a series has no value (in-series gap, not yet started,
+    or already ended). Built with slice copies instead of per-tick dict
+    assembly — this is where the batch path sheds the scalar overhead.
+    """
+    si = group.sampling_interval
+    start = min(ts.start_time for ts in group)
+    end = max(ts.end_time for ts in group)
+    total = (end - start) // si + 1
+    columns = [
+        ((ts.start_time - start) // si, ts.values) for ts in group
+    ]
+    n_series = len(columns)
+    for block_start in range(0, total, chunk_size):
+        block_len = min(chunk_size, total - block_start)
+        matrix = np.full((block_len, n_series), np.nan)
+        for column, (first, values) in enumerate(columns):
+            lo = max(block_start, first)
+            hi = min(block_start + block_len, first + len(values))
+            if lo < hi:
+                matrix[lo - block_start:hi - block_start, column] = (
+                    values[lo - first:hi - first]
+                )
+        timestamps = start + si * np.arange(
+            block_start, block_start + block_len, dtype=np.int64
+        )
+        yield timestamps, matrix
+
+
 class Ingestor:
     """Ingest groups into a storage backend with bulk writes."""
 
@@ -99,8 +141,14 @@ class Ingestor:
         ingestor = GroupIngestor(
             group, self._config, self._registry, self._buffer_write, stats
         )
-        for timestamp, values in group_ticks(group):
-            ingestor.tick(timestamp, values)
+        chunk_size = self._config.ingest_chunk_size
+        if chunk_size > 1:
+            for timestamps, matrix in group_tick_blocks(group, chunk_size):
+                ingestor.tick_block(timestamps, matrix)
+                stats.chunks += 1
+        else:
+            for timestamp, values in group_ticks(group):
+                ingestor.tick(timestamp, values)
         ingestor.finish()
         self._flush()
         record_ingest_stats(stats)

@@ -33,6 +33,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 from ..core.config import Configuration
 from ..core.group import TimeSeriesGroup
 from ..models.registry import ModelRegistry
@@ -58,6 +60,35 @@ def within_double_bound(
     lower_b = value_b - abs(value_b) * percent
     upper_b = value_b + abs(value_b) * percent
     return max(lower_a, lower_b) <= min(upper_a, upper_b)
+
+
+class _BlockRow:
+    """Mapping-like view of one columnar block row (Tid -> value).
+
+    Stands in for the scalar path's per-tick dict inside the split/join
+    window: ``get`` returns ``None`` where the row holds NaN (a gap),
+    matching ``group_ticks`` semantics, without materializing a dict per
+    tick on the block path.
+    """
+
+    __slots__ = ("_index", "_row")
+
+    def __init__(self, index: dict[int, int], row: np.ndarray) -> None:
+        self._index = index
+        self._row = row
+
+    def get(self, tid: int, default=None):
+        column = self._index.get(tid)
+        if column is None:
+            return default
+        value = float(self._row[column])
+        return default if value != value else value
+
+    def __getitem__(self, tid: int) -> float:
+        value = self.get(tid)
+        if value is None:
+            raise KeyError(tid)
+        return value
 
 
 @dataclass
@@ -90,9 +121,15 @@ class GroupIngestor:
         self.stats = stats if stats is not None else IngestStats()
 
         self._scalings = group.scalings()
-        self._recent: deque[tuple[int, dict[int, float | None]]] = deque(
+        self._column_index = {tid: i for i, tid in enumerate(group.tids)}
+        self._recent: deque[tuple[int, Mapping[int, float | None]]] = deque(
             maxlen=config.model_length_limit + 2
         )
+        # Block-path tail of the window, kept as (timestamps, matrix,
+        # first, end) slice references and only materialized into
+        # ``_recent`` when a split/join decision actually reads it.
+        self._recent_pending: list[tuple[np.ndarray, np.ndarray, int, int]] = []
+        self._recent_pending_rows = 0
         self._ratio_sum = 0.0
         self._ratio_count = 0
         self._subgroups: list[_SubGroup] = [
@@ -112,6 +149,8 @@ class GroupIngestor:
         The mapping is kept by reference for the split/join window, so
         callers must pass a fresh mapping per tick.
         """
+        if self._recent_pending:
+            self._sync_recent()
         self._recent.append((timestamp, values))
         for subgroup in self._subgroups:
             subgroup.generator.tick(timestamp, values)
@@ -119,6 +158,72 @@ class GroupIngestor:
             self._maybe_split()
             if len(self._subgroups) > 1:
                 self._maybe_join()
+
+    def tick_block(self, timestamps: np.ndarray, matrix: np.ndarray) -> None:
+        """Columnar ingestion of a ``(ticks, len(group.tids))`` block.
+
+        While the group is unsplit (the overwhelmingly common state) the
+        block flows straight into the sub-generator's batch path, pausing
+        at segment emissions exactly where the scalar loop would run its
+        split check. Once a dynamic split is active the driver falls back
+        to per-tick scalar processing — sub-generators then cover
+        different column subsets and each tick can reshape the partition
+        — counting the fallback in ``stats.fallback_ticks``. Emitted
+        segments are bit-identical to ticking row by row.
+        """
+        n = len(timestamps)
+        finite = np.isfinite(matrix)
+        if n > 1:
+            boundaries = (
+                np.flatnonzero((finite[1:] != finite[:-1]).any(axis=1)) + 1
+            )
+        else:
+            boundaries = np.empty(0, dtype=np.intp)
+        group_tids = self.group.tids
+        # A 1-member group never splits (and a disabled splitter never
+        # consumes ratios), so emissions need no pause in those cases.
+        pause = self._config.splitting_enabled and len(group_tids) >= 2
+        index = self._column_index
+        window = self._recent.maxlen or n
+        offset = 0
+        while offset < n:
+            subgroups = self._subgroups
+            if len(subgroups) != 1 or subgroups[0].tids != group_tids:
+                self.stats.fallback_ticks += 1
+                self.tick(
+                    int(timestamps[offset]),
+                    _BlockRow(index, matrix[offset]),
+                )
+                offset += 1
+                continue
+            cursor = int(np.searchsorted(boundaries, offset, side="right"))
+            consumed = subgroups[0].generator.tick_block(
+                timestamps[offset:],
+                matrix[offset:],
+                finite[offset:],
+                pause_on_emit=pause,
+                boundaries=boundaries[cursor:] - offset,
+            )
+            if pause:
+                # Only the deque's window survives — keep a slice
+                # reference to the tail and materialize rows lazily.
+                first = offset + max(0, consumed - window)
+                end = offset + consumed
+                if first < end:
+                    pending = self._recent_pending
+                    pending.append((timestamps, matrix, first, end))
+                    self._recent_pending_rows += end - first
+                    while (
+                        self._recent_pending_rows
+                        - (pending[0][3] - pending[0][2])
+                        >= window
+                    ):
+                        _, _, f0, e0 = pending.pop(0)
+                        self._recent_pending_rows -= e0 - f0
+                self._maybe_split()
+                if len(self._subgroups) > 1:
+                    self._maybe_join()
+            offset += consumed
 
     def finish(self) -> None:
         """Flush every sub-group at end of stream."""
@@ -246,6 +351,8 @@ class GroupIngestor:
         Returns (overlap length, all-within-double-bound) over the shared
         suffix of the recent window where both series have values.
         """
+        if self._recent_pending:
+            self._sync_recent()
         pairs = []
         for _, values in reversed(self._recent):
             value_a = values.get(tid_a)
@@ -282,11 +389,23 @@ class GroupIngestor:
         start = generator.buffer_start_time
         if start is None:
             return []
+        if self._recent_pending:
+            self._sync_recent()
         return [
             (timestamp, values)
             for timestamp, values in self._recent
             if timestamp >= start
         ]
+
+    def _sync_recent(self) -> None:
+        """Materialize pending block-path rows into the recent window."""
+        index = self._column_index
+        append = self._recent.append
+        for timestamps, matrix, first, end in self._recent_pending:
+            for j, timestamp in enumerate(timestamps[first:end].tolist()):
+                append((timestamp, _BlockRow(index, matrix[first + j])))
+        self._recent_pending.clear()
+        self._recent_pending_rows = 0
 
     def _make_generator(self, tids: tuple[int, ...]) -> SegmentGenerator:
         return SegmentGenerator(

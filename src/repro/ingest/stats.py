@@ -32,6 +32,11 @@ class IngestStats:
     storage_bytes: int = 0
     splits: int = 0
     joins: int = 0
+    #: Columnar chunks fed through the batch ingestion path.
+    chunks: int = 0
+    #: Ticks the batch path handed to the scalar loop because a dynamic
+    #: split was active (sub-generators cover different column subsets).
+    fallback_ticks: int = 0
     usage: dict[str, ModelUsage] = field(default_factory=dict)
     #: Fit attempts per model type — every time a model instance was
     #: offered a data point batch, whether or not it won the emit.
@@ -72,6 +77,8 @@ class IngestStats:
         self.storage_bytes += other.storage_bytes
         self.splits += other.splits
         self.joins += other.joins
+        self.chunks += other.chunks
+        self.fallback_ticks += other.fallback_ticks
         for name, usage in other.usage.items():
             mine = self.usage.setdefault(name, ModelUsage())
             mine.segments += usage.segments

@@ -4,12 +4,19 @@ Ties the subsystems together behind the API most users want:
 
     from repro import Configuration, ModelarDB
 
-    db = ModelarDB(Configuration(error_bound=5.0,
-                                 correlation=["Location 2"]),
-                   dimensions=my_dimensions)
-    db.ingest(my_time_series)
-    db.sql("SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2) "
-           "GROUP BY Tid")
+    with ModelarDB.open("data/db",
+                        config=Configuration(error_bound=5.0,
+                                             correlation=["Location 2"]),
+                        dimensions=my_dimensions) as db:
+        db.ingest(my_time_series)
+        db.sql("SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2) "
+               "GROUP BY Tid")
+
+:meth:`ModelarDB.open` owns the storage wiring: a path opens (or
+creates) a persistent :class:`~repro.storage.FileStorage` directory,
+``None`` selects the in-memory store. Constructing :class:`ModelarDB`
+directly with an explicit ``storage`` remains supported for custom
+backends.
 
 Construction with ``group_compression=False`` disables the partitioner
 (every series becomes its own group), which makes the engine behave as
@@ -19,6 +26,8 @@ paper's main model-based baseline.
 
 from __future__ import annotations
 
+import os
+import warnings
 from typing import Callable, Iterable, Iterator, Sequence
 
 from .core.config import Configuration
@@ -32,6 +41,7 @@ from .models.registry import ModelRegistry
 from .partitioner.grouping import group_from_config
 from .query.engine import QueryEngine
 from .query.views import DataPointRow
+from .storage.filestore import FileStorage
 from .storage.interface import Storage
 from .storage.memory import MemoryStorage
 from .storage.schema import records_for_groups
@@ -81,6 +91,46 @@ class ModelarDB:
         self._flush_listeners: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike | None = None,
+        *,
+        config: Configuration | None = None,
+        dimensions: DimensionSet | None = None,
+        extra_models: Iterable[ModelType] = (),
+        group_compression: bool = True,
+    ) -> "ModelarDB":
+        """Open a ModelarDB instance over a storage directory.
+
+        ``path`` names the :class:`~repro.storage.FileStorage` directory
+        (created on first use, reopened afterwards); ``None`` gives an
+        in-memory instance. The result is a context manager, so the
+        canonical form is::
+
+            with ModelarDB.open("data/db") as db:
+                db.ingest(series)
+        """
+        storage: Storage = (
+            MemoryStorage() if path is None else FileStorage(path)
+        )
+        return cls(
+            config,
+            storage=storage,
+            dimensions=dimensions,
+            extra_models=extra_models,
+            group_compression=group_compression,
+        )
+
+    def __enter__(self) -> "ModelarDB":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     def partition(self, series: Sequence[TimeSeries]) -> list[TimeSeriesGroup]:
@@ -91,12 +141,40 @@ class ModelarDB:
             series, self.config.correlation, self.dimensions
         )
 
-    def ingest(self, series: Sequence[TimeSeries]) -> IngestStats:
-        """Partition and ingest time series end to end."""
-        groups = self.partition(series)
-        return self.ingest_groups(groups)
+    def ingest(
+        self, data: Sequence[TimeSeries] | Sequence[TimeSeriesGroup]
+    ) -> IngestStats:
+        """Ingest time series end to end.
+
+        Accepts either plain :class:`TimeSeries` (partitioned into
+        groups using the configured correlation hints) or
+        pre-partitioned :class:`TimeSeriesGroup` objects (ingested as
+        given). Mixing the two in one call is an error.
+        """
+        items = list(data)
+        grouped = [isinstance(item, TimeSeriesGroup) for item in items]
+        if any(grouped):
+            if not all(grouped):
+                raise TypeError(
+                    "ingest() takes either TimeSeries or TimeSeriesGroup "
+                    "objects, not a mix"
+                )
+            return self._ingest_groups(items)
+        return self._ingest_groups(self.partition(items))
 
     def ingest_groups(
+        self, groups: Sequence[TimeSeriesGroup]
+    ) -> IngestStats:
+        """Deprecated spelling of :meth:`ingest` for pre-built groups."""
+        warnings.warn(
+            "ModelarDB.ingest_groups() is deprecated; ingest() now "
+            "accepts TimeSeriesGroup objects directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._ingest_groups(groups)
+
+    def _ingest_groups(
         self, groups: Sequence[TimeSeriesGroup]
     ) -> IngestStats:
         """Ingest pre-partitioned groups."""

@@ -66,6 +66,63 @@ def value_interval(
     return lower, upper
 
 
+def value_intervals(
+    block: np.ndarray, error_bound: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-tick representable intervals for a ``(ticks, n)`` block.
+
+    The columnar counterpart of :func:`value_interval`: row ``i`` of the
+    returned ``(lowers, uppers)`` pair is exactly what
+    ``value_interval(block[i], error_bound)`` would produce, computed for
+    the whole block at once. Requires finite inputs (the ingestion path
+    strips gaps before fitting).
+    """
+    deviation = np.abs(block)
+    deviation *= error_bound / 100.0
+    bounds = block - deviation
+    lowers = bounds.max(axis=1)
+    np.add(block, deviation, out=bounds)
+    uppers = bounds.min(axis=1)
+    return lowers, uppers
+
+
+def feasible_prefix(lowers: np.ndarray, uppers: np.ndarray) -> int:
+    """Largest ``k`` such that ``[lowers[k-1], uppers[k-1]]`` admits a
+    float32 representative.
+
+    Requires *nested* intervals (``lowers`` non-decreasing, ``uppers``
+    non-increasing — the cumulative intersections built by the PMC-Mean
+    and Swing kernels), which makes feasibility a monotone prefix
+    predicate: once an intersection loses its float32 grid point it never
+    regains one. A vectorized sufficient-width test settles the easy
+    prefix; a binary search over the remainder needs only
+    ``O(log ticks)`` exact :func:`float32_within` calls.
+    """
+    n = len(lowers)
+    if n == 0:
+        return 0
+    widths = uppers - lowers
+    midpoints = (uppers + lowers) / 2.0
+    np.abs(midpoints, out=midpoints)
+    midpoints *= 4.0 * _FLOAT32_RELATIVE_STEP
+    midpoints += 1e-37
+    certain = widths > midpoints
+    # A certainly-feasible row proves (by monotonicity) that the whole
+    # prefix through it is feasible, so search only past the last one.
+    if certain.any():
+        low = n - int(certain[::-1].argmax())
+    else:
+        low = 0
+    high = n
+    while low < high:
+        mid = (low + high + 1) // 2
+        if float32_within(float(lowers[mid - 1]), float(uppers[mid - 1])) is not None:
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
 def to_float32(value: float) -> float:
     """Round one value to float32 precision (cheap struct round trip)."""
     return _FLOAT32_PACK.unpack(_FLOAT32_PACK.pack(value))[0]
@@ -142,6 +199,52 @@ class ModelFitter(ABC):
             return False
         self.length += 1
         return True
+
+    def extend(
+        self, timestamps: np.ndarray | None, matrix: np.ndarray
+    ) -> int:
+        """Batch counterpart of :meth:`append` over a columnar block.
+
+        ``matrix`` is a ``(ticks, n_columns)`` float block (one row per
+        timestamp, columns in group order, all values finite); the
+        optional ``timestamps`` array is positional metadata that the
+        bundled models ignore. Consumes the longest acceptable leading
+        prefix and returns its tick count — by contract the resulting
+        state is *bit-identical* to calling :meth:`append` row by row
+        until the first rejection, so the block and scalar ingestion
+        paths produce the same segments. A return short of ``len(matrix)``
+        means the next row was rejected (or the length limit was hit);
+        as with :meth:`append`, state is unchanged past the accepted
+        prefix.
+        """
+        block = np.asarray(matrix, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != self.n_columns:
+            raise ModelError(
+                f"expected a (ticks, {self.n_columns}) block, "
+                f"got shape {block.shape}"
+            )
+        capacity = self.length_limit - self.length
+        if capacity <= 0 or block.shape[0] == 0:
+            return 0
+        accepted = self._extend(block[:capacity])
+        self.length += accepted
+        return accepted
+
+    def _extend(self, block: np.ndarray) -> int:
+        """Model-specific batch accept; returns the accepted tick count.
+
+        The default falls back to the scalar kernel one row at a time.
+        Vectorized overrides must accept exactly the prefix the scalar
+        kernel would (bit-identical state included) and, like
+        :meth:`_try_append`, must not mutate state past that prefix.
+        ``block`` is already capacity-capped and shape-checked.
+        """
+        accepted = 0
+        for row in block.tolist():
+            if not self._try_append(row):
+                break
+            accepted += 1
+        return accepted
 
     @abstractmethod
     def _try_append(self, values: Sequence[float]) -> bool:

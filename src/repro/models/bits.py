@@ -35,6 +35,27 @@ class BitWriter:
     def write_bit(self, bit: int) -> None:
         self.write(bit & 1, 1)
 
+    def write_big(self, value: int, bits: int) -> None:
+        """Write an arbitrarily wide non-negative ``value`` in one call.
+
+        Equivalent to :meth:`write` without the 64-bit ceiling; whole
+        bytes are flushed through ``int.to_bytes`` instead of one
+        ``append`` per byte, which is what makes bulk bit-packing (the
+        batch Gorilla encoder) cheap.
+        """
+        if bits == 0:
+            return
+        if value < 0 or value >> bits:
+            raise ModelError(f"value does not fit in {bits} bits")
+        accumulator = (self._accumulator << bits) | value
+        pending = self._pending + bits
+        whole, pending = divmod(pending, 8)
+        if whole:
+            self._bytes += (accumulator >> pending).to_bytes(whole, "big")
+            accumulator &= (1 << pending) - 1
+        self._accumulator = accumulator
+        self._pending = pending
+
     @property
     def bit_length(self) -> int:
         return len(self._bytes) * 8 + self._pending
@@ -49,6 +70,62 @@ class BitWriter:
             return bytes(self._bytes)
         tail = (self._accumulator << (8 - self._pending)) & 0xFF
         return bytes(self._bytes) + bytes([tail])
+
+
+def pack_xor_block(
+    writer: BitWriter,
+    xors: list,
+    leadings: list,
+    trailings: list,
+    window_leading: int,
+    window_meaningful: int,
+) -> tuple[int, int]:
+    """Append a run of precomputed Gorilla XOR residues in one pass.
+
+    The batch half of the Gorilla codec: the caller vectorizes the XOR
+    chain and the leading/trailing zero counts over a whole block, and
+    this loop only carries the sequential window state. MSB-first writes
+    concatenate, so packing control bits, window headers and payloads
+    into one accumulated field per value leaves the stream bit-identical
+    to the scalar encoder's separate writes. Returns the updated
+    ``(window_leading, window_meaningful)`` pair.
+    """
+    # Fields accumulate into one big integer, flushed in bulk through
+    # write_big — one BitWriter call per value dominates the encode
+    # otherwise. The periodic flush bounds the cost of big-int shifts.
+    accumulator = 0
+    accumulated_bits = 0
+    window_trailing = 32 - window_leading - window_meaningful
+    for xor, leading, trailing in zip(xors, leadings, trailings):
+        if xor == 0:
+            accumulator <<= 1
+            accumulated_bits += 1
+        else:
+            if leading > 31:
+                leading = 31
+            if (
+                window_leading >= 0
+                and leading >= window_leading
+                and trailing >= window_trailing
+            ):
+                width = 2 + window_meaningful
+                field = (0b10 << window_meaningful) | (xor >> window_trailing)
+            else:
+                meaningful = 32 - leading - trailing
+                prefix = (((0b11 << 5) | leading) << 5) | (meaningful - 1)
+                width = 12 + meaningful
+                field = (prefix << meaningful) | (xor >> trailing)
+                window_leading = leading
+                window_meaningful = meaningful
+                window_trailing = trailing
+            accumulator = (accumulator << width) | field
+            accumulated_bits += width
+        if accumulated_bits >= 8192:
+            writer.write_big(accumulator, accumulated_bits)
+            accumulator = 0
+            accumulated_bits = 0
+    writer.write_big(accumulator, accumulated_bits)
+    return window_leading, window_meaningful
 
 
 class BitReader:

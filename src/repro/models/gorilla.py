@@ -24,7 +24,7 @@ import numpy as np
 
 from ..core.errors import ModelError
 from .base import FittedModel, ModelFitter, ModelType
-from .bits import BitReader, BitWriter
+from .bits import BitReader, BitWriter, pack_xor_block
 
 _BITS = 32
 _LEADING_BITS = 5  # encodes 0..31 leading zeros
@@ -66,6 +66,43 @@ class GorillaFitter(ModelFitter):
         for value in values:
             self._encode(_float_to_bits(value))
         return True
+
+    def _extend(self, block: np.ndarray) -> int:
+        # Lossless fallback: every row fits, so the whole capacity-capped
+        # block is consumed. The XOR chain and zero counts vectorize
+        # (frexp is exact on integers below 2**53); only the sequential
+        # window bookkeeping stays a Python loop, in pack_xor_block.
+        patterns = (
+            np.ascontiguousarray(block, dtype=np.float32)
+            .view(np.uint32)
+            .reshape(-1)
+        )
+        start = 0
+        if self._previous is None:
+            first = int(patterns[0])
+            self._writer.write(first, _BITS)
+            self._previous = first
+            start = 1
+        rest = patterns[start:]
+        if rest.size:
+            shifted = np.empty_like(rest)
+            shifted[0] = self._previous
+            shifted[1:] = rest[:-1]
+            xors = (rest ^ shifted).astype(np.int64)
+            _, high = np.frexp(xors)  # frexp exponent == bit_length
+            leadings = _BITS - high
+            _, low = np.frexp(xors & -xors)
+            trailings = low - 1
+            self._window_leading, self._window_meaningful = pack_xor_block(
+                self._writer,
+                xors.tolist(),
+                leadings.tolist(),
+                trailings.tolist(),
+                self._window_leading,
+                self._window_meaningful,
+            )
+            self._previous = int(rest[-1])
+        return block.shape[0]
 
     def _encode(self, pattern: int) -> None:
         if self._previous is None:

@@ -58,19 +58,46 @@ class MultiFitter(ModelFitter):
             self._rollback()
         return False
 
+    def _extend(self, block: np.ndarray) -> int:
+        # Offer each column its own sub-block; the jointly accepted
+        # prefix is the shortest per-column prefix. Any sub-fitter that
+        # ran past it is rebuilt by replaying the accepted rows — for
+        # deterministic online fitters the replayed state is identical to
+        # the incremental state, so this matches the scalar lock step
+        # (including Fig. 9 case III) bit for bit.
+        accepted = block.shape[0]
+        offered: list[int] = []
+        for column, fitter in enumerate(self._fitters):
+            if accepted == 0:
+                break
+            taken = fitter.extend(None, block[:accepted, column:column + 1])
+            offered.append(taken)
+            if taken < accepted:
+                accepted = taken
+        if accepted:
+            self._accepted.extend(
+                tuple(row) for row in block[:accepted].tolist()
+            )
+        if any(taken != accepted for taken in offered):
+            self._rollback()
+        return accepted
+
     def _rollback(self) -> None:
         """Rebuild sub-fitters from the accepted prefix (Fig. 9, case III)."""
         self._fitters = [
             self._base.fitter(1, self.error_bound, self.length_limit)
             for _ in range(self.n_columns)
         ]
-        for vector in self._accepted:
-            for column, fitter in enumerate(self._fitters):
-                if not fitter.append((vector[column],)):
-                    raise ModelError(
-                        "sub-model rejected a previously accepted value "
-                        "during rollback"
-                    )
+        if not self._accepted:
+            return
+        matrix = np.asarray(self._accepted, dtype=np.float64)
+        for column, fitter in enumerate(self._fitters):
+            replayed = fitter.extend(None, matrix[:, column:column + 1])
+            if replayed != len(self._accepted):
+                raise ModelError(
+                    "sub-model rejected a previously accepted value "
+                    "during rollback"
+                )
 
     def parameters(self) -> bytes:
         if not self._accepted:

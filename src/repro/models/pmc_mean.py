@@ -22,9 +22,11 @@ from .base import (
     FittedModel,
     ModelFitter,
     ModelType,
+    feasible_prefix,
     float32_within,
     to_float32,
     value_interval,
+    value_intervals,
 )
 
 _FORMAT = "<f"
@@ -51,6 +53,32 @@ class PMCMeanFitter(ModelFitter):
         self._sum += sum(values)
         self._count += len(values)
         return True
+
+    def _extend(self, block: np.ndarray) -> int:
+        # Intersecting per-tick intervals is an associative min/max
+        # reduction, so the running bounds after tick i are cumulative
+        # intersections — nested, which makes the float32 feasibility
+        # test a monotone prefix predicate (see feasible_prefix).
+        lowers, uppers = value_intervals(block, self.error_bound)
+        # Seeding the running bounds into the first row makes the
+        # accumulate produce the combined intersections directly.
+        if self._lower > lowers[0]:
+            lowers[0] = self._lower
+        if self._upper < uppers[0]:
+            uppers[0] = self._upper
+        np.maximum.accumulate(lowers, out=lowers)
+        np.minimum.accumulate(uppers, out=uppers)
+        accepted = feasible_prefix(lowers, uppers)
+        if accepted:
+            self._lower = float(lowers[accepted - 1])
+            self._upper = float(uppers[accepted - 1])
+            # The representative divides a sequentially-accumulated sum;
+            # numpy's pairwise summation rounds differently, so add the
+            # accepted rows exactly as the scalar kernel would.
+            for row in block[:accepted].tolist():
+                self._sum += sum(row)
+            self._count += accepted * self.n_columns
+        return accepted
 
     def _representative(self) -> float:
         """The stored constant: the running average clamped into the

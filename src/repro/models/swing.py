@@ -29,9 +29,11 @@ from .base import (
     FittedModel,
     ModelFitter,
     ModelType,
+    feasible_prefix,
     float32_within,
     to_float32,
     value_interval,
+    value_intervals,
 )
 
 _FORMAT = "<ff"
@@ -61,6 +63,52 @@ class SwingFitter(ModelFitter):
         self._slope_lower = slope_lower
         self._slope_upper = slope_upper
         return True
+
+    def _extend(self, block: np.ndarray) -> int:
+        accepted = 0
+        if self._anchor is None:
+            # The anchor derives from the first row alone; reuse the
+            # scalar reduction and vectorize the slope narrowing that
+            # dominates.
+            row = block[0].tolist()
+            lower, upper = value_interval(row, self.error_bound)
+            if lower > upper or not self._fit_anchor(row, lower, upper):
+                return 0
+            accepted = 1
+            block = block[1:]
+            if block.shape[0] == 0:
+                return accepted
+        lowers, uppers = value_intervals(block, self.error_bound)
+        # Row i of the block lands at index self.length + accepted + i of
+        # the segment; the anchor sits at index 0, so each row bounds the
+        # slope by (interval - anchor) / step. An empty per-tick interval
+        # (lower > upper) inverts under the monotone transform and keeps
+        # the cumulative intersection empty, so float32_within rejects it
+        # exactly as the scalar kernel's early lower > upper test does.
+        steps = np.arange(
+            self.length + accepted,
+            self.length + accepted + block.shape[0],
+            dtype=np.float64,
+        )
+        lowers -= self._anchor
+        lowers /= steps
+        slope_lowers = lowers
+        uppers -= self._anchor
+        uppers /= steps
+        slope_uppers = uppers
+        # Seeding the running slope bounds into the first row makes the
+        # accumulate produce the combined intersections directly.
+        if self._slope_lower > slope_lowers[0]:
+            slope_lowers[0] = self._slope_lower
+        if self._slope_upper < slope_uppers[0]:
+            slope_uppers[0] = self._slope_upper
+        np.maximum.accumulate(slope_lowers, out=slope_lowers)
+        np.minimum.accumulate(slope_uppers, out=slope_uppers)
+        narrowed = feasible_prefix(slope_lowers, slope_uppers)
+        if narrowed:
+            self._slope_lower = float(slope_lowers[narrowed - 1])
+            self._slope_upper = float(slope_uppers[narrowed - 1])
+        return accepted + narrowed
 
     def _fit_anchor(self, values, lower: float, upper: float) -> bool:
         """Pin the line's initial point using the PMC reduction."""

@@ -61,6 +61,15 @@ _SPECS = (
         "Dynamic group joins (Algorithm 4).",
     ),
     MetricSpec(
+        "ingest.chunks_total", COUNTER, (),
+        "Columnar chunks fitted through the batch ingestion path.",
+    ),
+    MetricSpec(
+        "ingest.scalar_fallback_ticks_total", COUNTER, (),
+        "Ticks the batch path handed to the scalar loop because a "
+        "dynamic split was active.",
+    ),
+    MetricSpec(
         "ingest.flush_seconds", HISTOGRAM, (),
         "Latency of one bulk write landing in the segment store.",
     ),

@@ -27,10 +27,9 @@ import threading
 from typing import Callable
 
 from ..core.errors import ModelarError
-from ..models.registry import ModelRegistry
+from ..modelardb import ModelarDB
 from ..obs import get_registry
 from ..query.engine import QueryEngine
-from ..storage.filestore import FileStorage
 from ..storage.interface import Storage
 from .protocol import CancelledError, DeadlineError
 from .result_cache import QueryResultCache
@@ -181,15 +180,15 @@ class EmbeddedDispatcher(Dispatcher):
     def open_directory(
         cls, directory: str | os.PathLike, **kwargs
     ) -> "EmbeddedDispatcher":
-        """Open a :class:`FileStorage` directory for serving.
+        """Open a storage directory (via :meth:`ModelarDB.open`) for
+        serving.
 
         The dispatcher owns the store: :meth:`close` (the server's
         shutdown path) closes it, releasing the directory for the next
         ``serve`` invocation.
         """
-        storage = FileStorage(directory)
-        engine = QueryEngine(storage, ModelRegistry())
-        return cls(engine, owned_storage=storage, **kwargs)
+        db = ModelarDB.open(directory)
+        return cls(db.engine, owned_storage=db.storage, **kwargs)
 
     @classmethod
     def for_db(cls, db, **kwargs) -> "EmbeddedDispatcher":

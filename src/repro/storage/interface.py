@@ -9,6 +9,7 @@ backends skip irrelevant partitions instead of filtering in the engine.
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator, Mapping
 
@@ -18,7 +19,23 @@ from .schema import TimeSeriesRecord
 
 
 class Storage(ABC):
-    """Abstract segment group store (Time Series + Model + Segment)."""
+    """Abstract segment group store (Time Series + Model + Segment).
+
+    Besides the three tables, every backend shares one lifecycle
+    contract: :meth:`open` constructs an instance (path-backed or not),
+    :meth:`flush` makes pending writes durable, :meth:`close` releases
+    resources, and instances are context managers closing on scope exit.
+    """
+
+    # -- Lifecycle ---------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | os.PathLike | None = None) -> "Storage":
+        """Open a backend instance.
+
+        Path-backed stores receive ``path`` as their location;
+        memory-backed stores are opened without one.
+        """
+        return cls() if path is None else cls(path)
 
     # -- Time Series table -------------------------------------------------
     @abstractmethod

@@ -26,6 +26,14 @@ class MemoryStorage(Storage):
         self._segments: dict[int, list[SegmentGroup]] = {}
         self._bytes = 0
         self._count = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
 
     def insert_time_series(self, records: Iterable[TimeSeriesRecord]) -> None:
         for record in records:

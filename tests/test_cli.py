@@ -5,7 +5,8 @@ import io
 import numpy as np
 import pytest
 
-from repro import Configuration, FileStorage, ModelarDB, TimeSeries
+from repro import Configuration, ModelarDB, TimeSeries
+from repro.storage import FileStorage
 from repro.__main__ import describe_tables, format_rows, main
 from repro.models import ModelRegistry
 from repro.query.engine import QueryEngine
@@ -16,10 +17,8 @@ def storage_dir(tmp_path_factory):
     directory = tmp_path_factory.mktemp("cli") / "db"
     values = np.float32(5 + np.arange(100) * 0.5)
     series = [TimeSeries(1, 100, np.arange(100) * 100, values)]
-    db = ModelarDB(
-        Configuration(error_bound=0.0), storage=FileStorage(directory)
-    )
-    db.ingest(series)
+    with ModelarDB.open(directory, config=Configuration(error_bound=0.0)) as db:
+        db.ingest(series)
     return directory
 
 

@@ -7,7 +7,6 @@ from repro import (
     Configuration,
     Dimension,
     DimensionSet,
-    FileStorage,
     ModelarDB,
     TimeSeries,
 )
@@ -91,27 +90,27 @@ class TestPersistence:
     def test_file_storage_survives_reopen(self, tmp_path):
         series, dimensions = build_dataset()
         config = Configuration(error_bound=1.0, correlation=["Location 1"])
-        db = ModelarDB(
-            config, storage=FileStorage(tmp_path / "db"), dimensions=dimensions
-        )
-        db.ingest(series)
-        expected = db.sql("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid")
-        db.close()
+        with ModelarDB.open(
+            tmp_path / "db", config=config, dimensions=dimensions
+        ) as db:
+            db.ingest(series)
+            expected = db.sql("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid")
 
-        reopened = ModelarDB(config, storage=FileStorage(tmp_path / "db"))
-        rows = reopened.sql("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid")
+        with ModelarDB.open(tmp_path / "db", config=config) as reopened:
+            rows = reopened.sql(
+                "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid"
+            )
         assert rows == pytest.approx(expected)
 
     def test_reopened_store_preserves_dimensions(self, tmp_path):
         series, dimensions = build_dataset()
         config = Configuration(error_bound=1.0, correlation=["Location 1"])
-        db = ModelarDB(
-            config, storage=FileStorage(tmp_path / "db"), dimensions=dimensions
-        )
-        db.ingest(series)
-        db.close()
+        with ModelarDB.open(
+            tmp_path / "db", config=config, dimensions=dimensions
+        ) as db:
+            db.ingest(series)
 
-        reopened = ModelarDB(config, storage=FileStorage(tmp_path / "db"))
+        reopened = ModelarDB.open(tmp_path / "db", config=config)
         rows = reopened.sql(
             "SELECT Park, COUNT_S(*) FROM Segment GROUP BY Park"
         )

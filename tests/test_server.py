@@ -339,13 +339,8 @@ class TestErrorFrames:
 
 class TestServerShutdown:
     def test_stop_closes_owned_storage(self, tmp_path):
-        from repro import FileStorage
-
         directory = tmp_path / "db"
-        db = ModelarDB(
-            Configuration(error_bound=0.0),
-            storage=FileStorage(directory),
-        )
+        db = ModelarDB.open(directory, config=Configuration(error_bound=0.0))
         db.ingest([
             TimeSeries(
                 1, 100, np.arange(50) * 100,

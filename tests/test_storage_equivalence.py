@@ -51,13 +51,13 @@ def ingest_workload(storage):
     for hole in (range(40, 55), range(150, 170)):
         for i in hole:
             gappy[i] = None
-    db.ingest_groups([
+    db.ingest([
         correlated_group(gid=1, n_series=3, n_points=260, seed=8),
         correlated_group(gid=2, n_series=1, n_points=400, seed=9),
     ])
     # A two-series group where one member drops out twice: its segments
     # carry non-empty gap sets while the other series keeps going.
-    db.ingest_groups([
+    db.ingest([
         TimeSeriesGroup(3, [make_series(9, gappy), make_series(10, steady)])
     ])
     return db
