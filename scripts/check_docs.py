@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency check, run by the CI lint job.
 
-Two contracts, both cheap and both static:
+Three contracts, all cheap and all static:
 
 1. ``docs/METRICS.md`` must list exactly the metrics declared in
    ``repro.obs.catalog.CATALOG`` — same names, same kinds, same label
@@ -14,6 +14,11 @@ Two contracts, both cheap and both static:
    parsers in ``repro.__main__`` — and every registered subcommand must
    be documented there. A flag renamed or removed without the operator
    guide following along fails CI.
+
+3. The reprolint rule table in ``docs/DEVELOPMENT.md`` must list
+   exactly the rules registered in ``repro.analysis.rules`` — same ids,
+   same names — and every rule must have its own ``#### RPR0xx``
+   section. Adding or renaming a rule without documenting it fails CI.
 
 Exits non-zero with one line per problem.
 """
@@ -29,10 +34,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.__main__ import SUBCOMMAND_PARSERS, build_main_parser  # noqa: E402
+from repro.analysis.rules import ALL_RULE_SPECS  # noqa: E402
 from repro.obs.catalog import CATALOG  # noqa: E402
 
 METRICS_DOC = REPO_ROOT / "docs" / "METRICS.md"
 OPERATIONS_DOC = REPO_ROOT / "docs" / "OPERATIONS.md"
+DEVELOPMENT_DOC = REPO_ROOT / "docs" / "DEVELOPMENT.md"
 
 #: ``| `name` | kind | labels | description |`` rows of the catalog table.
 _METRIC_ROW = re.compile(
@@ -142,14 +149,67 @@ def check_operations() -> list[str]:
     return problems
 
 
+#: ``| RPR00x | `name` | guards |`` rows of the DEVELOPMENT.md rule table.
+_RULE_ROW = re.compile(
+    r"^\|\s*(?P<id>RPR\d{3})\s*\|\s*`(?P<name>[a-z0-9-]+)`\s*\|"
+)
+_RULE_SECTION = re.compile(r"^####\s+(?P<id>RPR\d{3})\b", re.MULTILINE)
+
+
+def documented_rules(text: str) -> dict[str, str]:
+    """rule id -> documented name for every rule-table row."""
+    rows: dict[str, str] = {}
+    for line in text.splitlines():
+        match = _RULE_ROW.match(line.strip())
+        if match is not None:
+            rows[match.group("id")] = match.group("name")
+    return rows
+
+
+def check_development() -> list[str]:
+    problems: list[str] = []
+    text = DEVELOPMENT_DOC.read_text()
+    documented = documented_rules(text)
+    declared = {spec.id: spec.name for spec in ALL_RULE_SPECS}
+    for rule_id in sorted(set(declared) - set(documented)):
+        problems.append(
+            f"DEVELOPMENT.md: rule {rule_id} is registered in "
+            "repro/analysis/rules.py but missing from the rule table"
+        )
+    for rule_id in sorted(set(documented) - set(declared)):
+        problems.append(
+            f"DEVELOPMENT.md: rule {rule_id} is documented but not "
+            "registered in repro/analysis/rules.py"
+        )
+    for rule_id in sorted(set(documented) & set(declared)):
+        if documented[rule_id] != declared[rule_id]:
+            problems.append(
+                f"DEVELOPMENT.md: rule {rule_id} documented as "
+                f"{documented[rule_id]!r} but registered as "
+                f"{declared[rule_id]!r}"
+            )
+    sections = set(_RULE_SECTION.findall(text))
+    for rule_id in sorted(set(declared) - sections):
+        problems.append(
+            f"DEVELOPMENT.md: rule {rule_id} has no '#### {rule_id} — ...' "
+            "section"
+        )
+    if not documented:
+        problems.append("DEVELOPMENT.md: no rule table rows found")
+    return problems
+
+
 def main() -> int:
-    problems = check_metrics() + check_operations()
+    problems = check_metrics() + check_operations() + check_development()
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"{len(problems)} docs consistency problem(s)", file=sys.stderr)
         return 1
-    print("docs consistency: METRICS.md and OPERATIONS.md match the code")
+    print(
+        "docs consistency: METRICS.md, OPERATIONS.md and DEVELOPMENT.md "
+        "match the code"
+    )
     return 0
 
 

@@ -1,0 +1,40 @@
+"""reprolint: project-specific static analysis for the repro codebase.
+
+The generic linter (ruff) catches generic defects; this package encodes
+the *system's own* cross-cutting contracts as enforceable rules — the
+invariants that, when silently broken, invalidate experiments rather
+than crash tests:
+
+``RPR001``  deterministic paths stay deterministic (no wall clock, no
+            unseeded RNG inside the model kernels / ingestion /
+            serialization);
+``RPR002``  every metric name recorded at a call site is declared in
+            the catalog (closing the call-site gap the docs checker
+            leaves);
+``RPR003``  lock discipline: no blocking calls while holding a lock,
+            no self-deadlocks, and a whole-program lock-acquisition-
+            order graph with cycle detection;
+``RPR004``  types crossing the cluster RPC boundary stay picklable;
+``RPR005``  no bare/broad ``except`` without a justification tag;
+``RPR006``  no per-tick scalar fallback loops reintroduced inside the
+            vectorized batch kernels.
+
+Run it as ``python -m repro.analysis [paths...]``; configuration lives
+in the ``[tool.reprolint]`` table of ``pyproject.toml``. Suppress one
+finding with a same-line ``# reprolint: disable=RPR0xx`` comment —
+suppressions that suppress nothing are themselves reported (RPR000).
+"""
+
+from __future__ import annotations
+
+from .engine import Config, Finding, Report, run_analysis
+from .rules import ALL_RULE_SPECS, RULES
+
+__all__ = [
+    "ALL_RULE_SPECS",
+    "Config",
+    "Finding",
+    "Report",
+    "RULES",
+    "run_analysis",
+]

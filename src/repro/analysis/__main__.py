@@ -1,0 +1,67 @@
+"""CLI for reprolint: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error. ``--output FILE``
+always writes the JSON report (independent of ``--format``), so one
+blocking CI invocation yields both the human log and the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import Config, run_analysis
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific invariant linter (reprolint).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: [tool.reprolint] "
+        "paths in pyproject.toml)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root holding pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE, whatever --format is",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"error: --root {args.root} is not a directory", file=sys.stderr)
+        return 2
+    config = Config.from_pyproject(root)
+    try:
+        report = run_analysis(root, args.paths or None, config)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.output:
+        Path(args.output).write_text(report.to_json() + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

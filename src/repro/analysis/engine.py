@@ -1,0 +1,333 @@
+"""The reprolint rule engine: file walking, suppressions, reporting.
+
+The engine is rule-agnostic. It parses every analyzed file once into an
+:class:`ast.Module` plus a per-line comment map (comments are invisible
+to the AST, so suppression handling needs the token stream), hands the
+resulting :class:`FileContext` to each rule, folds in whole-program
+findings from rules that keep cross-file state (the lock-order graph,
+the metric-declaration set), applies ``# reprolint: disable=RPR0xx``
+suppressions, and reports suppressions that suppressed nothing as
+engine findings (``RPR000``).
+
+Exit-code contract of :func:`run_analysis` callers: 0 when clean, 1
+when findings remain, 2 on usage errors (see ``__main__``).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from .rules import Rule
+
+#: Engine-level diagnostics: unused suppressions and unparsable files.
+ENGINE_RULE_ID = "RPR000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>RPR\d{3}(?:\s*,\s*RPR\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+#: Defaults mirrored by the ``[tool.reprolint]`` table in pyproject.toml
+#: (kept in code so the linter still runs on Python 3.10 installations
+#: without tomllib and on trees without a pyproject).
+_DEFAULT_PATHS = ("src", "benchmarks", "scripts")
+_DEFAULT_DETERMINISTIC = (
+    "src/repro/models",
+    "src/repro/ingest",
+    "src/repro/storage/serialization.py",
+)
+_DEFAULT_KERNELS = ("src/repro/models",)
+_DEFAULT_CATALOG = "repro.obs.catalog:CATALOG"
+_DEFAULT_RPC_TYPES = (
+    "PartialResult",
+    "IngestStats",
+    "ModelUsage",
+    "Fault",
+    "FaultPlan",
+    "TimeSeries",
+    "TimeSeriesGroup",
+    "Dimension",
+    "DimensionSet",
+    "Configuration",
+    "Query",
+    "SegmentGroup",
+    "ClusterIngestReport",
+    "ClusterQueryReport",
+)
+
+
+@dataclass
+class Config:
+    """Resolved ``[tool.reprolint]`` configuration."""
+
+    paths: tuple[str, ...] = _DEFAULT_PATHS
+    deterministic_paths: tuple[str, ...] = _DEFAULT_DETERMINISTIC
+    kernel_paths: tuple[str, ...] = _DEFAULT_KERNELS
+    metrics_catalog: str = _DEFAULT_CATALOG
+    rpc_types: tuple[str, ...] = _DEFAULT_RPC_TYPES
+
+    @classmethod
+    def from_pyproject(cls, root: Path) -> "Config":
+        """Read the ``[tool.reprolint]`` table; defaults when absent."""
+        pyproject = root / "pyproject.toml"
+        if not pyproject.is_file():
+            return cls()
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # Python 3.10: run on defaults
+            return cls()
+        with pyproject.open("rb") as handle:
+            table = tomllib.load(handle).get("tool", {}).get("reprolint", {})
+        config = cls()
+        mapping = {
+            "paths": "paths",
+            "deterministic-paths": "deterministic_paths",
+            "kernel-paths": "kernel_paths",
+            "rpc-types": "rpc_types",
+        }
+        for key, attr in mapping.items():
+            if key in table:
+                setattr(config, attr, tuple(table[key]))
+        if "metrics-catalog" in table:
+            config.metrics_catalog = str(table["metrics-catalog"])
+        return config
+
+
+class FileContext:
+    """Everything a rule needs about one analyzed file."""
+
+    def __init__(self, root: Path, path: Path, source: str) -> None:
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.module = self.rel.removesuffix(".py").replace("/", ".")
+        self.source = source
+        self.tree = ast.parse(source, filename=self.rel)
+        #: line number -> full comment text (including the ``#``).
+        self.comments: dict[int, str] = {}
+        reader = io.StringIO(source).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except tokenize.TokenError:  # pragma: no cover - ast parsed already
+            pass
+        self._aliases: dict[str, str] | None = None
+
+    # -- scoping -------------------------------------------------------
+    def in_scope(self, prefixes: Sequence[str]) -> bool:
+        """Whether this file lives under any of the path prefixes."""
+        for prefix in prefixes:
+            clean = prefix.rstrip("/")
+            if self.rel == clean or self.rel.startswith(clean + "/"):
+                return True
+        return False
+
+    # -- name resolution -----------------------------------------------
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> canonical dotted prefix, from the imports."""
+        if self._aliases is None:
+            aliases: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for name in node.names:
+                        local = name.asname or name.name.partition(".")[0]
+                        target = name.name if name.asname else local
+                        aliases[local] = target
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    if node.level:  # relative import: outside our scope
+                        continue
+                    for name in node.names:
+                        local = name.asname or name.name
+                        aliases[local] = f"{node.module}.{name.name}"
+            self._aliases = aliases
+        return self._aliases
+
+    def dotted(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of an expression, if it is one.
+
+        ``np.random.default_rng`` with ``import numpy as np`` resolves
+        to ``numpy.random.default_rng``; non-name expressions (calls,
+        subscripts) resolve to None.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.aliases.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, object]:
+        by_rule: dict[str, int] = {}
+        for finding in self.findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return {
+            "tool": "reprolint",
+            "version": 1,
+            "files_checked": self.files_checked,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "counts_by_rule": dict(sorted(by_rule.items())),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        if self.findings:
+            lines.append(
+                f"reprolint: {len(self.findings)} finding(s) in "
+                f"{self.files_checked} file(s)"
+            )
+        else:
+            lines.append(
+                f"reprolint: clean — {self.files_checked} file(s), 0 findings"
+            )
+        return "\n".join(lines)
+
+
+def iter_python_files(root: Path, paths: Sequence[str]) -> Iterator[Path]:
+    """Every ``.py`` file under the given paths, ``__pycache__`` skipped."""
+    seen: set[Path] = set()
+    for raw in paths:
+        target = (root / raw).resolve()
+        if target.is_file() and target.suffix == ".py":
+            candidates: Iterable[Path] = [target]
+        elif target.is_dir():
+            candidates = sorted(target.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts or candidate in seen:
+                continue
+            seen.add(candidate)
+            yield candidate
+
+
+def _suppressions(ctx: FileContext) -> dict[int, set[str]]:
+    """line -> rule ids disabled on that line."""
+    table: dict[int, set[str]] = {}
+    for line, comment in ctx.comments.items():
+        match = _SUPPRESS_RE.search(comment)
+        if match is not None:
+            rules = {part.strip() for part in match.group("rules").split(",")}
+            table.setdefault(line, set()).update(rules)
+    return table
+
+
+def run_analysis(
+    root: Path,
+    paths: Sequence[str] | None = None,
+    config: Config | None = None,
+    rules: Sequence["Rule"] | None = None,
+) -> Report:
+    """Analyze the tree under ``root`` and return the findings.
+
+    ``rules`` defaults to fresh instances of every registered rule;
+    pass a subset to run one rule in isolation (tests).
+    """
+    from .rules import RULES
+
+    config = config if config is not None else Config.from_pyproject(root)
+    active = (
+        list(rules)
+        if rules is not None
+        else [rule_type(config) for rule_type in RULES]
+    )
+    report = Report()
+    raw_findings: list[Finding] = []
+    suppression_table: dict[str, dict[int, set[str]]] = {}
+    for path in iter_python_files(root, paths or config.paths):
+        source = path.read_text(encoding="utf-8")
+        try:
+            ctx = FileContext(root, path, source)
+        except SyntaxError as error:
+            raw_findings.append(
+                Finding(
+                    ENGINE_RULE_ID,
+                    path.relative_to(root).as_posix(),
+                    error.lineno or 1,
+                    (error.offset or 1) - 1,
+                    f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        report.files_checked += 1
+        suppression_table[ctx.rel] = _suppressions(ctx)
+        for rule in active:
+            raw_findings.extend(rule.check(ctx))
+    for rule in active:
+        raw_findings.extend(rule.finalize())
+
+    used: set[tuple[str, int, str]] = set()
+    for finding in raw_findings:
+        disabled = suppression_table.get(finding.path, {}).get(
+            finding.line, set()
+        )
+        if finding.rule in disabled:
+            used.add((finding.path, finding.line, finding.rule))
+        else:
+            report.findings.append(finding)
+    for rel, table in suppression_table.items():
+        for line, rule_ids in sorted(table.items()):
+            for rule_id in sorted(rule_ids):
+                if (rel, line, rule_id) not in used:
+                    report.findings.append(
+                        Finding(
+                            ENGINE_RULE_ID,
+                            rel,
+                            line,
+                            0,
+                            f"unused suppression: no {rule_id} finding on "
+                            "this line — remove the disable comment",
+                        )
+                    )
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

@@ -1,0 +1,856 @@
+"""The reprolint rule pack: RPR001–RPR006.
+
+Each rule encodes one of the codebase's cross-cutting contracts (see the
+package docstring). Rules are instantiated per run with the resolved
+:class:`~repro.analysis.engine.Config`; ``check`` sees one file at a
+time, ``finalize`` runs after the walk for rules that need whole-program
+state (the metric-declaration set, the lock-acquisition-order graph).
+
+Known, accepted limitations (static analysis is approximate by design):
+
+* RPR002 only checks *literal* metric names; f-string names are left to
+  the runtime catalog enforcement in ``obs.registry``.
+* RPR003 tracks lexical lock regions and same-class ``self.method()``
+  indirection; calls through other objects are modeled only via the
+  blocking-method name list.
+* RPR004 inspects declared field annotations and ``__init__``
+  assignments, not runtime attribute injection.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import ClassVar, Iterator
+
+from .engine import ENGINE_RULE_ID, Config, FileContext, Finding
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Static description of a rule, for docs verification."""
+
+    id: str
+    name: str
+    summary: str
+
+
+class Rule:
+    """Base class: one invariant, checked per file plus a final pass."""
+
+    id: ClassVar[str]
+    name: ClassVar[str]
+    summary: ClassVar[str]
+
+    def __init__(self, config: Config) -> None:
+        self.config = config
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        return []
+
+    def finalize(self) -> list[Finding]:
+        return []
+
+
+# ---------------------------------------------------------------------------
+# RPR001 — determinism
+# ---------------------------------------------------------------------------
+
+#: Calls that read the wall clock or ambient entropy. ``time.perf_counter``
+#: and ``time.monotonic`` are allowed: they feed metrics, not data.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "numpy.random.rand",
+    "numpy.random.randn",
+    "numpy.random.random",
+    "numpy.random.randint",
+    "numpy.random.normal",
+    "numpy.random.uniform",
+    "numpy.random.choice",
+    "numpy.random.shuffle",
+    "numpy.random.permutation",
+    "numpy.random.seed",
+}
+_ENTROPY_PREFIXES = ("random.", "secrets.")
+
+
+class NoWallClockRule(Rule):
+    """RPR001: deterministic paths must not read clocks or unseeded RNG.
+
+    The paper's lossless-reconstruction guarantees (Gorilla/PMC-Mean/
+    Swing) and the batch/scalar bit-equivalence tests both assume that
+    fitting, ingestion, and serialization are pure functions of their
+    inputs.
+    """
+
+    id = "RPR001"
+    name = "no-wallclock-rng"
+    summary = (
+        "no wall-clock reads or unseeded RNG inside models/, ingest/, "
+        "or storage serialization"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if not ctx.in_scope(self.config.deterministic_paths):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            ctx.rel,
+                            node.lineno,
+                            node.col_offset,
+                            "unseeded np.random.default_rng() in a "
+                            "deterministic path — pass an explicit seed",
+                        )
+                    )
+                continue
+            if dotted in _WALL_CLOCK or dotted.startswith(_ENTROPY_PREFIXES):
+                findings.append(
+                    Finding(
+                        self.id,
+                        ctx.rel,
+                        node.lineno,
+                        node.col_offset,
+                        f"non-deterministic call {dotted}() in a "
+                        "deterministic path",
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR002 — metric names
+# ---------------------------------------------------------------------------
+
+_INSTRUMENT_METHODS = {"counter", "gauge", "histogram"}
+
+
+class MetricCatalogRule(Rule):
+    """RPR002: literal metric names at call sites must be declared.
+
+    ``scripts/check_docs.py`` keeps docs/METRICS.md equal to the
+    catalog; this closes the remaining gap — a call site asking the
+    registry for an undeclared name, which today only fails at runtime
+    when that code path executes.
+    """
+
+    id = "RPR002"
+    name = "metric-name-in-catalog"
+    summary = (
+        "every literal registry.counter/gauge/histogram() name exists "
+        "in obs/catalog.py or a literal .declare() call"
+    )
+
+    def __init__(self, config: Config) -> None:
+        super().__init__(config)
+        self._pending: list[tuple[str, Finding]] = []
+        self._declared: set[str] = set()
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue  # f-string names: runtime enforcement covers them
+            if func.attr == "declare":
+                self._declared.add(first.value)
+            elif func.attr in _INSTRUMENT_METHODS:
+                self._pending.append(
+                    (
+                        first.value,
+                        Finding(
+                            self.id,
+                            ctx.rel,
+                            node.lineno,
+                            node.col_offset,
+                            f'metric "{first.value}" is not declared in '
+                            "the metrics catalog",
+                        ),
+                    )
+                )
+        return []
+
+    def _catalog_names(self) -> set[str] | None:
+        module_name, _, attr = self.config.metrics_catalog.partition(":")
+        try:
+            import importlib
+
+            catalog = getattr(importlib.import_module(module_name), attr)
+            return set(catalog)
+        except Exception:  # broad-ok: missing catalog disables the rule
+            return None
+
+    def finalize(self) -> list[Finding]:
+        catalog = self._catalog_names()
+        if catalog is None:
+            return []
+        known = catalog | self._declared
+        return [finding for name, finding in self._pending if name not in known]
+
+
+# ---------------------------------------------------------------------------
+# RPR003 — lock discipline
+# ---------------------------------------------------------------------------
+
+#: Identifier component that marks an expression as a lock: ``_lock``,
+#: ``lock_a``, ``cache_lock``, ``mutex`` — but not ``unlock``/``locked``.
+_LOCK_NAME = re.compile(r"(?:^|_)(lock|mutex)(?:$|_)", re.IGNORECASE)
+
+#: Method names that block (or may acquire another lock) when called.
+_BLOCKING_METHODS = {
+    "sleep",
+    "recv",
+    "recv_into",
+    "sendall",
+    "accept",
+    "connect",
+    "result",
+    "join",
+    "acquire",
+    "wait",
+    "urlopen",
+    "sql",
+    "execute_partial",
+    # Registry instruments serialize on their own internal lock, and the
+    # registry lookup methods take the registry lock — calling either
+    # while holding an unrelated lock couples independent lock domains.
+    "inc",
+    "record",
+    "counter",
+    "gauge",
+    "histogram",
+}
+_SAFE_DOTTED_PREFIXES = ("os.path.", "posixpath.", "ntpath.", "shlex.")
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "open",
+}
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class LockDisciplineRule(Rule):
+    """RPR003: no blocking calls under a lock; lock order is acyclic.
+
+    Lexical ``with <...lock>:`` blocks define held-lock regions. Inside
+    a region the rule flags blocking calls (I/O, RPC, joins, metric
+    instruments with their own locks), re-acquisition of the held lock
+    (``threading.Lock`` is non-reentrant — instant deadlock), including
+    through same-class ``self.method()`` calls, and records every
+    outer→inner acquisition as an edge in a whole-program graph whose
+    cycles are reported in the final pass.
+    """
+
+    id = "RPR003"
+    name = "lock-discipline"
+    summary = (
+        "no blocking calls or re-acquisition while holding a lock; the "
+        "whole-program lock-acquisition-order graph stays acyclic"
+    )
+
+    def __init__(self, config: Config) -> None:
+        super().__init__(config)
+        #: (outer lock, inner lock) -> first location that creates it.
+        self._edges: dict[tuple[str, str], tuple[str, int]] = {}
+
+    # -- lock identity -------------------------------------------------
+    @staticmethod
+    def _terminal_name(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def _lock_identity(
+        self, node: ast.expr, ctx: FileContext, cls: str | None
+    ) -> str | None:
+        """Canonical identity of a lock expression, or None if not one."""
+        terminal = self._terminal_name(node)
+        if terminal is None or not _LOCK_NAME.search(terminal):
+            return None
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            owner = f"{ctx.module}.{cls}" if cls else ctx.module
+            return f"{owner}.{node.attr}"
+        if isinstance(node, ast.Name):
+            return f"{ctx.module}.{node.id}"
+        # An attribute chain rooted in an import resolves to one canonical
+        # dotted name in every file, so module-level locks reached through
+        # imports participate in the cross-file acquisition-order graph.
+        base = node
+        while isinstance(base, ast.Attribute):
+            base = base.value
+        if isinstance(base, ast.Name) and base.id in ctx.aliases:
+            dotted = ctx.dotted(node)
+            if dotted is not None:
+                return dotted
+        return f"{ctx.module}.{ast.unparse(node)}"
+
+    # -- per-file check ------------------------------------------------
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls_name, func in self._iter_functions(ctx.tree):
+            method_locks = self._method_locks(ctx, cls_name)
+            for stmt in func.body:
+                self._scan(stmt, [], ctx, cls_name, method_locks, findings)
+        return findings
+
+    @staticmethod
+    def _iter_functions(
+        tree: ast.Module,
+    ) -> Iterator[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for node in tree.body:
+            if isinstance(node, _FUNCTION_NODES):
+                yield None, node
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, _FUNCTION_NODES):
+                        yield node.name, item
+
+    def _method_locks(
+        self, ctx: FileContext, cls_name: str | None
+    ) -> dict[str, set[str]]:
+        """Method name -> lock identities it lexically acquires."""
+        if cls_name is None:
+            return {}
+        cache_key = (ctx.rel, cls_name)
+        cached = getattr(self, "_method_lock_cache", None)
+        if cached is None:
+            cached = {}
+            self._method_lock_cache: dict[
+                tuple[str, str], dict[str, set[str]]
+            ] = cached
+        if cache_key in cached:
+            return cached[cache_key]
+        table: dict[str, set[str]] = {}
+        for node in ctx.tree.body:
+            if not (isinstance(node, ast.ClassDef) and node.name == cls_name):
+                continue
+            for item in node.body:
+                if not isinstance(item, _FUNCTION_NODES):
+                    continue
+                acquired: set[str] = set()
+                for sub in ast.walk(item):
+                    if isinstance(sub, (ast.With, ast.AsyncWith)):
+                        for with_item in sub.items:
+                            identity = self._lock_identity(
+                                with_item.context_expr, ctx, cls_name
+                            )
+                            if identity is not None:
+                                acquired.add(identity)
+                if acquired:
+                    table[item.name] = acquired
+        cached[cache_key] = table
+        return table
+
+    def _scan(
+        self,
+        node: ast.AST,
+        held: list[str],
+        ctx: FileContext,
+        cls: str | None,
+        method_locks: dict[str, set[str]],
+        findings: list[Finding],
+    ) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: list[str] = []
+            for item in node.items:
+                identity = self._lock_identity(item.context_expr, ctx, cls)
+                if identity is None:
+                    self._scan(
+                        item.context_expr, held, ctx, cls, method_locks, findings
+                    )
+                    continue
+                if identity in held:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            ctx.rel,
+                            item.context_expr.lineno,
+                            item.context_expr.col_offset,
+                            f"re-acquires {identity} already held — "
+                            "threading.Lock is non-reentrant (deadlock)",
+                        )
+                    )
+                elif held:
+                    self._edges.setdefault(
+                        (held[-1], identity),
+                        (ctx.rel, item.context_expr.lineno),
+                    )
+                acquired.append(identity)
+            inner = held + acquired
+            for child in node.body:
+                self._scan(child, inner, ctx, cls, method_locks, findings)
+            return
+        if isinstance(node, (*_FUNCTION_NODES, ast.Lambda)):
+            # A nested def/lambda runs later, outside this lock region.
+            for child in ast.iter_child_nodes(node):
+                self._scan(child, [], ctx, cls, method_locks, findings)
+            return
+        if isinstance(node, ast.Call) and held:
+            self._check_call(node, held, ctx, cls, method_locks, findings)
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, held, ctx, cls, method_locks, findings)
+
+    def _check_call(
+        self,
+        node: ast.Call,
+        held: list[str],
+        ctx: FileContext,
+        cls: str | None,
+        method_locks: dict[str, set[str]],
+        findings: list[Finding],
+    ) -> None:
+        func = node.func
+        dotted = ctx.dotted(func)
+        if dotted in _BLOCKING_DOTTED:
+            findings.append(
+                Finding(
+                    self.id,
+                    ctx.rel,
+                    node.lineno,
+                    node.col_offset,
+                    f"blocking call {dotted}() while holding {held[-1]}",
+                )
+            )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        # Same-class indirection: self.m() where m acquires locks.
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in method_locks
+        ):
+            for inner in sorted(method_locks[func.attr]):
+                if inner in held:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            ctx.rel,
+                            node.lineno,
+                            node.col_offset,
+                            f"self.{func.attr}() re-acquires {inner} "
+                            "already held — threading.Lock is "
+                            "non-reentrant (deadlock)",
+                        )
+                    )
+                else:
+                    self._edges.setdefault(
+                        (held[-1], inner), (ctx.rel, node.lineno)
+                    )
+        if func.attr not in _BLOCKING_METHODS:
+            return
+        if func.attr == "join" and isinstance(func.value, ast.Constant):
+            return  # "sep".join(...) — string join, not thread join
+        if dotted is not None and dotted.startswith(_SAFE_DOTTED_PREFIXES):
+            return
+        findings.append(
+            Finding(
+                self.id,
+                ctx.rel,
+                node.lineno,
+                node.col_offset,
+                f"blocking call .{func.attr}() while holding {held[-1]}",
+            )
+        )
+
+    # -- whole-program cycle detection ---------------------------------
+    def finalize(self) -> list[Finding]:
+        graph: dict[str, list[str]] = {}
+        for outer, inner in self._edges:
+            graph.setdefault(outer, []).append(inner)
+        for targets in graph.values():
+            targets.sort()
+        findings: list[Finding] = []
+        seen_cycles: set[tuple[str, ...]] = set()
+        state: dict[str, int] = {}  # 1 = on stack, 2 = done
+        stack: list[str] = []
+
+        def visit(lock: str) -> None:
+            state[lock] = 1
+            stack.append(lock)
+            for target in graph.get(lock, ()):
+                mark = state.get(target)
+                if mark == 1:
+                    cycle = stack[stack.index(target):]
+                    pivot = cycle.index(min(cycle))
+                    canonical = tuple(cycle[pivot:] + cycle[:pivot])
+                    if canonical in seen_cycles:
+                        continue
+                    seen_cycles.add(canonical)
+                    path, line = self._edges[
+                        (cycle[-1], target)
+                    ]
+                    chain = " -> ".join((*canonical, canonical[0]))
+                    findings.append(
+                        Finding(
+                            self.id,
+                            path,
+                            line,
+                            0,
+                            f"lock-acquisition-order cycle: {chain}",
+                        )
+                    )
+                elif mark is None:
+                    visit(target)
+            stack.pop()
+            state[lock] = 2
+
+        for lock in sorted(graph):
+            if lock not in state:
+                visit(lock)
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR004 — pickle safety across the RPC boundary
+# ---------------------------------------------------------------------------
+
+#: Canonical dotted names whose instances cannot cross a pickle boundary.
+#: Annotation names are resolved through the file's import aliases first,
+#: so a project-local class that happens to be called ``Condition`` (the
+#: SQL WHERE clause) is not confused with ``threading.Condition``.
+_UNPICKLABLE_TYPES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Event",
+    "threading.Thread",
+    "multiprocessing.Process",
+    "multiprocessing.Queue",
+    "multiprocessing.Lock",
+    "socket.socket",
+    "queue.Queue",
+    "queue.SimpleQueue",
+    "typing.Callable",
+    "typing.Generator",
+    "typing.Iterator",
+    "typing.IO",
+    "typing.TextIO",
+    "typing.BinaryIO",
+    "collections.abc.Callable",
+    "collections.abc.Generator",
+    "collections.abc.Iterator",
+    "io.IOBase",
+    "io.TextIOWrapper",
+    "io.BufferedReader",
+    "io.BufferedWriter",
+}
+_UNPICKLABLE_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Event",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "socket.socket",
+    "socket.create_connection",
+    "open",
+}
+
+
+class PickleSafetyRule(Rule):
+    """RPR004: RPC payload types carry only picklable state.
+
+    Everything listed in ``rpc-types`` crosses the ProcessCluster
+    boundary through ``cluster/pool.py``; a lock, socket, generator, or
+    lambda smuggled into a field turns into a runtime PicklingError on
+    whichever code path first ships the object.
+    """
+
+    id = "RPR004"
+    name = "rpc-pickle-safety"
+    summary = (
+        "types crossing the cluster RPC boundary must not hold locks, "
+        "sockets, generators, lambdas, or open files"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name not in self.config.rpc_types:
+                continue
+            findings.extend(self._check_class(node, ctx))
+        return findings
+
+    def _check_class(
+        self, node: ast.ClassDef, ctx: FileContext
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign):
+                culprit = self._unpicklable_annotation(stmt.annotation, ctx)
+                if culprit is not None:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            ctx.rel,
+                            stmt.lineno,
+                            stmt.col_offset,
+                            f"RPC type {node.name} declares field with "
+                            f"unpicklable annotation ({culprit})",
+                        )
+                    )
+            elif isinstance(stmt, _FUNCTION_NODES) and stmt.name == "__init__":
+                findings.extend(self._check_init(stmt, node.name, ctx))
+        return findings
+
+    @staticmethod
+    def _unpicklable_annotation(
+        annotation: ast.expr, ctx: FileContext
+    ) -> str | None:
+        """The first banned dotted name inside the annotation, if any.
+
+        String annotations (``"Lock | None"``) are parsed as expressions
+        so deferred annotations get the same treatment.
+        """
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        for node in ast.walk(annotation):
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                dotted = ctx.dotted(node)
+                if dotted in _UNPICKLABLE_TYPES:
+                    return dotted
+        return None
+
+    def _check_init(
+        self,
+        init: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls_name: str,
+        ctx: FileContext,
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                for target in node.targets
+            ):
+                continue
+            reason: str | None = None
+            value = node.value
+            if isinstance(value, ast.Lambda):
+                reason = "a lambda"
+            elif isinstance(value, ast.GeneratorExp):
+                reason = "a generator expression"
+            elif isinstance(value, ast.Call):
+                dotted = ctx.dotted(value.func)
+                if dotted in _UNPICKLABLE_FACTORIES:
+                    reason = f"{dotted}()"
+            if reason is not None:
+                findings.append(
+                    Finding(
+                        self.id,
+                        ctx.rel,
+                        node.lineno,
+                        node.col_offset,
+                        f"RPC type {cls_name} stores {reason} on self — "
+                        "not picklable across the cluster boundary",
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR005 — justified broad excepts
+# ---------------------------------------------------------------------------
+
+_JUSTIFICATION = re.compile(r"#.*\b(pragma:|broad-ok:|noqa:)")
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+class BroadExceptRule(Rule):
+    """RPR005: bare/broad ``except`` needs a same-line justification.
+
+    A swallowed exception in this codebase does not crash a test — it
+    silently corrupts an experiment (the loadgen error-counting bug is
+    the canonical example). ``# broad-ok: <reason>`` — or an existing
+    ``# pragma:`` / ``# noqa: <code> - <reason>`` tag — on the
+    ``except`` line states why broad is right.
+    """
+
+    id = "RPR005"
+    name = "justified-broad-except"
+    summary = (
+        "no bare `except:` / `except Exception:` without a same-line "
+        "`# broad-ok:` (or `# pragma:` / `# noqa:`) justification"
+    )
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        node = handler.type
+        if node is None:
+            return True
+        names = node.elts if isinstance(node, ast.Tuple) else [node]
+        return any(
+            isinstance(name, ast.Name) and name.id in _BROAD_NAMES
+            for name in names
+        )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node):
+                continue
+            comment = ctx.comments.get(node.lineno, "")
+            if _JUSTIFICATION.search(comment):
+                continue
+            label = (
+                "bare except:"
+                if node.type is None
+                else f"broad except {ast.unparse(node.type)}:"
+            )
+            findings.append(
+                Finding(
+                    self.id,
+                    ctx.rel,
+                    node.lineno,
+                    node.col_offset,
+                    f"{label} without a `# broad-ok: <reason>` tag",
+                )
+            )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR006 — no scalar loops in batch kernels
+# ---------------------------------------------------------------------------
+
+
+class ScalarLoopRule(Rule):
+    """RPR006: batch kernels must stay vectorized.
+
+    The columnar ingestion path exists because per-tick Python loops
+    were the bottleneck; a ``for`` loop feeding ``append``/``_try_append``
+    row by row inside an ``extend`` kernel silently reverts that win
+    while staying bit-identical, so only a linter catches it.
+    """
+
+    id = "RPR006"
+    name = "no-scalar-loop-in-kernels"
+    summary = (
+        "no per-tick `for` loop feeding append/_try_append inside the "
+        "batch kernels' extend/_extend functions"
+    )
+
+    _KERNEL_FUNCTIONS = {"extend", "_extend"}
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if not ctx.in_scope(self.config.kernel_paths):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            if node.name not in self._KERNEL_FUNCTIONS:
+                continue
+            for loop in ast.walk(node):
+                if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                    continue
+                if self._loop_appends(loop):
+                    findings.append(
+                        Finding(
+                            self.id,
+                            ctx.rel,
+                            loop.lineno,
+                            loop.col_offset,
+                            "per-tick scalar loop feeding append/"
+                            f"_try_append inside batch kernel "
+                            f"{node.name}() — vectorize it",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _loop_appends(loop: ast.For | ast.AsyncFor) -> bool:
+        for stmt in loop.body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr == "_try_append":
+                    return True
+                if (
+                    func.attr == "append"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                ):
+                    return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+RULES: tuple[type[Rule], ...] = (
+    NoWallClockRule,
+    MetricCatalogRule,
+    LockDisciplineRule,
+    PickleSafetyRule,
+    BroadExceptRule,
+    ScalarLoopRule,
+)
+
+#: Every rule id the tool can emit, engine diagnostics included —
+#: ``scripts/check_docs.py`` verifies docs/DEVELOPMENT.md against this.
+ALL_RULE_SPECS: tuple[RuleSpec, ...] = (
+    RuleSpec(
+        ENGINE_RULE_ID,
+        "engine-diagnostics",
+        "unused `# reprolint: disable=` suppressions and unparsable files",
+    ),
+    *(RuleSpec(rule.id, rule.name, rule.summary) for rule in RULES),
+)

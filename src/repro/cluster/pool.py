@@ -147,7 +147,7 @@ def _worker_main(
         try:
             value = _dispatch(node, method, payload)
             ok = True
-        except Exception as exc:  # ship errors as text, not pickles
+        except Exception as exc:  # broad-ok: ship errors as text, not pickles
             value = f"{type(exc).__name__}: {exc}"
             ok = False
         elapsed = time.perf_counter() - started
@@ -284,7 +284,7 @@ class ProcessCluster:
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close()
-        except Exception:
+        except Exception:  # broad-ok: nothing to do in a GC finalizer
             pass
 
     def close(self) -> None:

@@ -13,7 +13,7 @@ so the constructor accepts level names in that order, while the numeric
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from .errors import DimensionError
 
@@ -194,7 +194,7 @@ class DimensionSet:
     def __len__(self) -> int:
         return len(self._dimensions)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Dimension]:
         return iter(self._dimensions.values())
 
     def __getitem__(self, name: str) -> Dimension:
@@ -219,7 +219,7 @@ class DimensionSet:
         for dimension in self:
             for level_name in dimension.level_names[1:]:
                 counts[level_name] = counts.get(level_name, 0) + 1
-        columns = []
+        columns: list[str] = []
         for dimension in self:
             for level_name in dimension.level_names[1:]:
                 if counts[level_name] > 1:

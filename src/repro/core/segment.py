@@ -91,7 +91,7 @@ class SegmentGroup:
     @property
     def member_tids(self) -> tuple[int, ...]:
         """Tids actually represented (group minus gaps), in column order."""
-        cached = self.__dict__.get("_member_tids")
+        cached: tuple[int, ...] | None = self.__dict__.get("_member_tids")
         if cached is None:
             cached = tuple(
                 tid for tid in self.group_tids if tid not in self.gaps
@@ -207,7 +207,7 @@ def explode(
         When given, only rows for these Tids are produced (post-rewrite
         filtering: the store was queried by Gid, the query asked for Tids).
     """
-    rows = []
+    rows: list[SegmentRow] = []
     for column, tid in enumerate(segment.member_tids):
         if tids is not None and tid not in tids:
             continue

@@ -17,8 +17,12 @@ import math
 from typing import Iterable, Iterator, NamedTuple, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from .errors import TimeSeriesError
+
+_IntArray = npt.NDArray[np.int64]
+_FloatArray = npt.NDArray[np.float64]
 
 #: Sentinel used in the public API for a gap value (``⊥`` in the paper).
 GAP = None
@@ -75,8 +79,8 @@ class TimeSeries:
         self,
         tid: int,
         sampling_interval: int,
-        timestamps: Sequence[int] | np.ndarray,
-        values: Sequence[float | None] | np.ndarray,
+        timestamps: Sequence[int] | _IntArray,
+        values: Sequence[float | None] | _FloatArray,
         scaling: float = 1.0,
         name: str = "",
     ) -> None:
@@ -110,14 +114,14 @@ class TimeSeries:
     # Basic accessors
     # ------------------------------------------------------------------
     @property
-    def timestamps(self) -> np.ndarray:
+    def timestamps(self) -> _IntArray:
         """Regularized int64 timestamps (read-only view)."""
         view = self._timestamps.view()
         view.flags.writeable = False
         return view
 
     @property
-    def values(self) -> np.ndarray:
+    def values(self) -> _FloatArray:
         """Regularized float64 values with NaN at gaps (read-only view)."""
         view = self._values.view()
         view.flags.writeable = False
@@ -214,14 +218,14 @@ class TimeSeries:
             name=self.name,
         )
 
-    def scaled_values(self) -> np.ndarray:
+    def scaled_values(self) -> _FloatArray:
         """Values multiplied by the scaling constant (ingestion form)."""
         return self._values * self.scaling
 
 
 def _regularize(
-    timestamps: np.ndarray, values: np.ndarray, si: int
-) -> tuple[np.ndarray, np.ndarray]:
+    timestamps: _IntArray, values: _FloatArray, si: int
+) -> tuple[_IntArray, _FloatArray]:
     """Convert an irregular series with implicit gaps to regular-with-gaps.
 
     Validates strict time ordering and SI congruence, then materialises

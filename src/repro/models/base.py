@@ -23,9 +23,12 @@ from abc import ABC, abstractmethod
 from typing import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..core.errors import ModelError
 from ..core.segment import SEGMENT_OVERHEAD_BYTES
+
+_FloatArray = npt.NDArray[np.float64]
 
 #: Raw cost of one uncompressed data point: int64 timestamp + float32 value.
 RAW_POINT_BYTES = 12
@@ -67,8 +70,8 @@ def value_interval(
 
 
 def value_intervals(
-    block: np.ndarray, error_bound: float
-) -> tuple[np.ndarray, np.ndarray]:
+    block: _FloatArray, error_bound: float
+) -> tuple[_FloatArray, _FloatArray]:
     """Per-tick representable intervals for a ``(ticks, n)`` block.
 
     The columnar counterpart of :func:`value_interval`: row ``i`` of the
@@ -86,7 +89,7 @@ def value_intervals(
     return lowers, uppers
 
 
-def feasible_prefix(lowers: np.ndarray, uppers: np.ndarray) -> int:
+def feasible_prefix(lowers: _FloatArray, uppers: _FloatArray) -> int:
     """Largest ``k`` such that ``[lowers[k-1], uppers[k-1]]`` admits a
     float32 representative.
 
@@ -125,7 +128,7 @@ def feasible_prefix(lowers: np.ndarray, uppers: np.ndarray) -> int:
 
 def to_float32(value: float) -> float:
     """Round one value to float32 precision (cheap struct round trip)."""
-    return _FLOAT32_PACK.unpack(_FLOAT32_PACK.pack(value))[0]
+    return float(_FLOAT32_PACK.unpack(_FLOAT32_PACK.pack(value))[0])
 
 
 def float32_within(lower: float, upper: float) -> float | None:
@@ -201,7 +204,9 @@ class ModelFitter(ABC):
         return True
 
     def extend(
-        self, timestamps: np.ndarray | None, matrix: np.ndarray
+        self,
+        timestamps: npt.NDArray[np.int64] | None,
+        matrix: npt.ArrayLike,
     ) -> int:
         """Batch counterpart of :meth:`append` over a columnar block.
 
@@ -230,7 +235,7 @@ class ModelFitter(ABC):
         self.length += accepted
         return accepted
 
-    def _extend(self, block: np.ndarray) -> int:
+    def _extend(self, block: _FloatArray) -> int:
         """Model-specific batch accept; returns the accepted tick count.
 
         The default falls back to the scalar kernel one row at a time.
@@ -240,7 +245,9 @@ class ModelFitter(ABC):
         ``block`` is already capacity-capped and shape-checked.
         """
         accepted = 0
-        for row in block.tolist():
+        # This IS the documented scalar fallback, not a regression — the
+        # vectorized kernels override it.
+        for row in block.tolist():  # reprolint: disable=RPR006
             if not self._try_append(row):
                 break
             accepted += 1
@@ -280,14 +287,14 @@ class FittedModel(ABC):
         self.length = length
 
     @abstractmethod
-    def values(self) -> np.ndarray:
+    def values(self) -> _FloatArray:
         """Reconstruct all values as a ``(length, n_columns)`` array."""
 
     def value_at(self, index: int, column: int) -> float:
         """Reconstruct a single value (defaults to full reconstruction)."""
         return float(self.values()[index, column])
 
-    def column_values(self, column: int) -> np.ndarray:
+    def column_values(self, column: int) -> _FloatArray:
         return self.values()[:, column]
 
     # ------------------------------------------------------------------

@@ -46,15 +46,20 @@ class SegmentCache:
         self, mid: int, parameters: bytes, n_columns: int, length: int
     ) -> FittedModel:
         key = (mid, parameters, n_columns, length)
+        # The counter instruments carry their own internal lock; bump
+        # them only after releasing the cache lock (lock discipline,
+        # RPR003).
         with self._lock:
             model = self._entries.get(key)
             if model is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                self._hits_total.inc()
-                return model
-            self.misses += 1
-            self._misses_total.inc()
+            else:
+                self.misses += 1
+        if model is not None:
+            self._hits_total.inc()
+            return model
+        self._misses_total.inc()
         # Decode outside the lock: it can be expensive (Gorilla walks the
         # bit stream) and two threads racing on one key is harmless.
         model = self._registry.decode(mid, parameters, n_columns, length)

@@ -74,6 +74,11 @@ class LoadReport:
     errors: int = 0
     cache_hits: int = 0
     latencies: list[float] = field(default_factory=list)
+    #: Error responses per server error code; worker crashes count
+    #: under "client-crash" so a dead client is never silent.
+    errors_by_code: dict[str, int] = field(default_factory=dict)
+    #: The first error observed across all clients, verbatim.
+    first_error: str | None = None
 
     @property
     def throughput_qps(self) -> float:
@@ -99,11 +104,13 @@ class LoadReport:
             "latency_p50_ms": round(percentile(ordered, 0.50) * 1000, 3),
             "latency_p95_ms": round(percentile(ordered, 0.95) * 1000, 3),
             "latency_p99_ms": round(percentile(ordered, 0.99) * 1000, 3),
+            "errors_by_code": dict(sorted(self.errors_by_code.items())),
+            "first_error": self.first_error,
         }
 
     def summary(self) -> str:
         data = self.to_dict()
-        return (
+        text = (
             f"{data['clients']:>3} clients: "
             f"{data['throughput_qps']:>9.1f} q/s  "
             f"p50 {data['latency_p50_ms']:.2f} ms  "
@@ -112,6 +119,9 @@ class LoadReport:
             f"({data['completed']} ok, {data['rejected_busy']} busy, "
             f"{data['errors']} errors)"
         )
+        if self.first_error is not None:
+            text += f"  first error: {self.first_error}"
+        return text
 
 
 def _client_loop(
@@ -130,6 +140,8 @@ def _client_loop(
     errors = 0
     cache_hits = 0
     latencies: list[float] = []
+    errors_by_code: dict[str, int] = {}
+    first_error: str | None = None
     try:
         with ServerClient(host, port) as client:
             # Connect first; the measurement window opens for every
@@ -157,14 +169,31 @@ def _client_loop(
                     time.sleep(_BUSY_BACKOFF_SECONDS)
                 else:
                     errors += 1
-    except Exception:
+                    error = response.get("error", {})
+                    code = str(error.get("code", "unknown"))
+                    errors_by_code[code] = errors_by_code.get(code, 0) + 1
+                    if first_error is None:
+                        first_error = (
+                            f"{code}: {error.get('message', '<no message>')}"
+                        )
+    except Exception as exc:  # broad-ok: recorded in the report below
         errors += 1
+        code = "client-crash"
+        errors_by_code[code] = errors_by_code.get(code, 0) + 1
+        if first_error is None:
+            first_error = f"{code}: {type(exc).__name__}: {exc}"
     with lock:
         report.completed += completed
         report.rejected_busy += rejected
         report.errors += errors
         report.cache_hits += cache_hits
         report.latencies.extend(latencies)
+        for code, count in errors_by_code.items():
+            report.errors_by_code[code] = (
+                report.errors_by_code.get(code, 0) + count
+            )
+        if first_error is not None and report.first_error is None:
+            report.first_error = first_error
 
 
 def run_load(

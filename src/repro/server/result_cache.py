@@ -73,16 +73,21 @@ class QueryResultCache:
 
     def get(self, sql: str) -> list[dict] | None:
         key = normalize_sql(sql)
+        # The counter instruments carry their own internal lock; bump
+        # them only after releasing the cache lock (lock discipline,
+        # RPR003) — same pattern as invalidate() below.
         with self._lock:
             rows = self._entries.get(key)
             if rows is None:
                 self.misses += 1
-                self._misses_total.inc()
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            self._hits_total.inc()
-            return rows
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if rows is None:
+            self._misses_total.inc()
+            return None
+        self._hits_total.inc()
+        return rows
 
     def put(self, sql: str, rows: list[dict], generation: int) -> None:
         """Store a result computed while ``generation`` was current.

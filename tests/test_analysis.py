@@ -1,0 +1,712 @@
+"""Tests for the reprolint invariant linter (:mod:`repro.analysis`).
+
+Each rule gets the four-quadrant treatment — a positive hit, a clean
+pass, a suppressed hit, and an unused suppression — on fixture trees
+written under ``tmp_path`` (path-scoped rules need files at the right
+relative locations, e.g. ``src/repro/models/``). The end-to-end tests
+run the real CLI: the actual repository tree must be clean, and each
+rule's fixture violation must make ``python -m repro.analysis`` exit
+non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Config, Report, run_analysis
+from repro.analysis.rules import (
+    ALL_RULE_SPECS,
+    RULES,
+    BroadExceptRule,
+    LockDisciplineRule,
+    MetricCatalogRule,
+    NoWallClockRule,
+    PickleSafetyRule,
+    ScalarLoopRule,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: A real catalog metric name, so RPR002 clean fixtures stay clean even
+#: as the catalog evolves (the test fails loudly if it disappears).
+KNOWN_METRIC = "ingest.points_total"
+
+
+def analyze(
+    tmp_path: Path, files: dict[str, str], rule: type | None = None
+) -> Report:
+    """Write dedented fixture files under tmp_path and lint them."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    config = Config()
+    rules = None if rule is None else [rule(config)]
+    return run_analysis(tmp_path, ["."], config, rules=rules)
+
+
+def rule_ids(report: Report) -> list[str]:
+    return [finding.rule for finding in report.findings]
+
+
+class TestEngine:
+    def test_clean_report(self, tmp_path):
+        report = analyze(tmp_path, {"src/ok.py": "x = 1\n"})
+        assert report.clean
+        assert report.files_checked == 1
+        assert report.to_dict()["counts_by_rule"] == {}
+
+    def test_unused_suppression_is_reported(self, tmp_path):
+        report = analyze(
+            tmp_path, {"src/ok.py": "x = 1  # reprolint: disable=RPR001\n"}
+        )
+        assert rule_ids(report) == ["RPR000"]
+        assert "unused suppression" in report.findings[0].message
+
+    def test_unparsable_file_is_reported(self, tmp_path):
+        report = analyze(tmp_path, {"src/bad.py": "def broken(:\n"})
+        assert rule_ids(report) == ["RPR000"]
+        assert "does not parse" in report.findings[0].message
+
+    def test_multi_rule_suppression_comment(self, tmp_path):
+        source = """
+            import time
+
+            def f():
+                time.time()  # reprolint: disable=RPR001, RPR002
+        """
+        report = analyze(
+            tmp_path, {"src/repro/models/x.py": source}, NoWallClockRule
+        )
+        # RPR001 is suppressed; the RPR002 half suppressed nothing.
+        assert rule_ids(report) == ["RPR000"]
+        assert "RPR002" in report.findings[0].message
+
+    def test_pycache_is_skipped(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {
+                "src/__pycache__/junk.py": "import time\ntime.time()\n",
+                "src/ok.py": "x = 1\n",
+            },
+        )
+        assert report.clean
+        assert report.files_checked == 1
+
+    def test_json_report_shape(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/repro/models/x.py": "import time\ntime.time()\n"},
+            NoWallClockRule,
+        )
+        data = json.loads(report.to_json())
+        assert data["tool"] == "reprolint"
+        assert data["counts_by_rule"] == {"RPR001": 1}
+        (finding,) = data["findings"]
+        assert finding["path"] == "src/repro/models/x.py"
+        assert finding["rule"] == "RPR001"
+        assert finding["line"] == 2
+
+    def test_rule_registry_is_complete(self):
+        ids = [spec.id for spec in ALL_RULE_SPECS]
+        assert ids == sorted(ids)
+        assert ids[0] == "RPR000"
+        assert len(ids) == len(RULES) + 1
+
+
+class TestRPR001WallClock:
+    def test_wall_clock_in_models_is_flagged(self, tmp_path):
+        source = """
+            import time
+
+            def fit():
+                return time.time()
+        """
+        report = analyze(
+            tmp_path, {"src/repro/models/x.py": source}, NoWallClockRule
+        )
+        assert rule_ids(report) == ["RPR001"]
+
+    def test_datetime_now_via_from_import(self, tmp_path):
+        source = """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+        """
+        report = analyze(
+            tmp_path, {"src/repro/ingest/x.py": source}, NoWallClockRule
+        )
+        assert rule_ids(report) == ["RPR001"]
+
+    def test_unseeded_default_rng_is_flagged(self, tmp_path):
+        source = """
+            import numpy as np
+
+            def jitter():
+                return np.random.default_rng()
+        """
+        report = analyze(
+            tmp_path, {"src/repro/models/x.py": source}, NoWallClockRule
+        )
+        assert rule_ids(report) == ["RPR001"]
+
+    def test_seeded_rng_and_perf_counter_are_clean(self, tmp_path):
+        source = """
+            import time
+
+            import numpy as np
+
+            def fit():
+                rng = np.random.default_rng(42)
+                started = time.perf_counter()
+                return rng, started
+        """
+        report = analyze(
+            tmp_path, {"src/repro/models/x.py": source}, NoWallClockRule
+        )
+        assert report.clean
+
+    def test_wall_clock_outside_scope_is_clean(self, tmp_path):
+        source = "import time\n\n\ndef now():\n    return time.time()\n"
+        report = analyze(
+            tmp_path, {"src/repro/server/x.py": source}, NoWallClockRule
+        )
+        assert report.clean
+
+    def test_suppressed(self, tmp_path):
+        source = """
+            import time
+
+            def fit():
+                return time.time()  # reprolint: disable=RPR001
+        """
+        report = analyze(
+            tmp_path, {"src/repro/models/x.py": source}, NoWallClockRule
+        )
+        assert report.clean
+
+
+class TestRPR002MetricNames:
+    def test_undeclared_literal_is_flagged(self, tmp_path):
+        source = """
+            def instrument(registry):
+                return registry.counter("definitely.not.in.catalog_total")
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, MetricCatalogRule)
+        assert rule_ids(report) == ["RPR002"]
+
+    def test_catalog_name_is_clean(self, tmp_path):
+        source = f"""
+            def instrument(registry):
+                return registry.counter("{KNOWN_METRIC}")
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, MetricCatalogRule)
+        assert report.clean
+
+    def test_literal_declare_makes_name_known(self, tmp_path):
+        source = """
+            def setup(registry):
+                registry.declare("adhoc.test_total", "counter", "doc")
+                return registry.counter("adhoc.test_total")
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, MetricCatalogRule)
+        assert report.clean
+
+    def test_non_literal_name_is_skipped(self, tmp_path):
+        source = """
+            def instrument(registry, name):
+                return registry.counter(f"server.{name}_total")
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, MetricCatalogRule)
+        assert report.clean
+
+    def test_suppressed(self, tmp_path):
+        source = """
+            def instrument(registry):
+                return registry.counter("nope.nope_total")  # reprolint: disable=RPR002
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, MetricCatalogRule)
+        assert report.clean
+
+
+class TestRPR003LockDiscipline:
+    def test_blocking_call_under_lock(self, tmp_path):
+        source = """
+            import threading
+            import time
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def get(self):
+                    with self._lock:
+                        time.sleep(0.1)
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, LockDisciplineRule)
+        assert rule_ids(report) == ["RPR003"]
+        assert "time.sleep" in report.findings[0].message
+
+    def test_metric_inc_under_lock(self, tmp_path):
+        source = """
+            class Cache:
+                def get(self):
+                    with self._lock:
+                        self._hits_total.inc()
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, LockDisciplineRule)
+        assert rule_ids(report) == ["RPR003"]
+
+    def test_inc_outside_lock_is_clean(self, tmp_path):
+        source = """
+            class Cache:
+                def get(self):
+                    with self._lock:
+                        hit = True
+                    self._hits_total.inc()
+                    return hit
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, LockDisciplineRule)
+        assert report.clean
+
+    def test_open_in_with_under_lock(self, tmp_path):
+        source = """
+            class Store:
+                def dump(self, path):
+                    with self._lock:
+                        with open(path) as handle:
+                            return handle.read()
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, LockDisciplineRule)
+        assert "RPR003" in rule_ids(report)
+
+    def test_string_join_under_lock_is_clean(self, tmp_path):
+        source = """
+            class Cache:
+                def keys(self):
+                    with self._lock:
+                        return ", ".join(self._entries)
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, LockDisciplineRule)
+        assert report.clean
+
+    def test_self_deadlock_via_nested_with(self, tmp_path):
+        source = """
+            class Cache:
+                def get(self):
+                    with self._lock:
+                        with self._lock:
+                            return 1
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, LockDisciplineRule)
+        assert rule_ids(report) == ["RPR003"]
+        assert "re-acquires" in report.findings[0].message
+
+    def test_self_deadlock_via_method_indirection(self, tmp_path):
+        source = """
+            class Cache:
+                def size(self):
+                    with self._lock:
+                        return len(self._entries)
+
+                def stats(self):
+                    with self._lock:
+                        return {"size": self.size()}
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, LockDisciplineRule)
+        assert rule_ids(report) == ["RPR003"]
+        assert "self.size()" in report.findings[0].message
+
+    def test_nested_def_escapes_lock_region(self, tmp_path):
+        source = """
+            import time
+
+            class Cache:
+                def schedule(self):
+                    with self._lock:
+                        def later():
+                            time.sleep(1.0)
+                        return later
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, LockDisciplineRule)
+        assert report.clean
+
+    def test_cross_file_lock_order_cycle(self, tmp_path):
+        shared = """
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+        """
+        forward = """
+            import shared
+
+            def f():
+                with shared.lock_a:
+                    with shared.lock_b:
+                        pass
+        """
+        backward = """
+            import shared
+
+            def g():
+                with shared.lock_b:
+                    with shared.lock_a:
+                        pass
+        """
+        report = analyze(
+            tmp_path,
+            {
+                "src/shared.py": shared,
+                "src/forward.py": forward,
+                "src/backward.py": backward,
+            },
+            LockDisciplineRule,
+        )
+        assert rule_ids(report) == ["RPR003"]
+        assert "cycle" in report.findings[0].message
+        assert "shared.lock_a" in report.findings[0].message
+
+    def test_consistent_lock_order_is_clean(self, tmp_path):
+        source = """
+            import shared
+
+            def f():
+                with shared.lock_a:
+                    with shared.lock_b:
+                        pass
+
+            def g():
+                with shared.lock_a:
+                    with shared.lock_b:
+                        pass
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, LockDisciplineRule)
+        assert report.clean
+
+    def test_suppressed(self, tmp_path):
+        source = """
+            class Cache:
+                def get(self):
+                    with self._lock:
+                        self._hits_total.inc()  # reprolint: disable=RPR003
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, LockDisciplineRule)
+        assert report.clean
+
+
+class TestRPR004PickleSafety:
+    def test_lock_in_init_of_rpc_type(self, tmp_path):
+        source = """
+            import threading
+
+            class FaultPlan:
+                def __init__(self):
+                    self._lock = threading.Lock()
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, PickleSafetyRule)
+        assert rule_ids(report) == ["RPR004"]
+
+    def test_lambda_field_in_rpc_type(self, tmp_path):
+        source = """
+            class IngestStats:
+                def __init__(self):
+                    self.key = lambda row: row[0]
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, PickleSafetyRule)
+        assert rule_ids(report) == ["RPR004"]
+
+    def test_threading_annotation_in_rpc_type(self, tmp_path):
+        source = """
+            from dataclasses import dataclass
+            from threading import Lock
+
+            @dataclass
+            class PartialResult:
+                guard: Lock
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, PickleSafetyRule)
+        assert rule_ids(report) == ["RPR004"]
+
+    def test_project_local_condition_class_is_clean(self, tmp_path):
+        # The SQL layer's own Condition dataclass must not be confused
+        # with threading.Condition (alias-resolved, not name-matched).
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Condition:
+                column: str
+
+            @dataclass(frozen=True)
+            class Query:
+                where: tuple[Condition, ...] = ()
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, PickleSafetyRule)
+        assert report.clean
+
+    def test_non_rpc_type_with_lock_is_clean(self, tmp_path):
+        source = """
+            import threading
+
+            class LocalCache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, PickleSafetyRule)
+        assert report.clean
+
+    def test_suppressed(self, tmp_path):
+        source = """
+            import threading
+
+            class FaultPlan:
+                def __init__(self):
+                    self._lock = threading.Lock()  # reprolint: disable=RPR004
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, PickleSafetyRule)
+        assert report.clean
+
+
+class TestRPR005BroadExcept:
+    def test_bare_except_is_flagged(self, tmp_path):
+        source = """
+            def f():
+                try:
+                    return 1
+                except:
+                    return 0
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, BroadExceptRule)
+        assert rule_ids(report) == ["RPR005"]
+
+    def test_broad_except_is_flagged(self, tmp_path):
+        source = """
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    return 0
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, BroadExceptRule)
+        assert rule_ids(report) == ["RPR005"]
+
+    def test_specific_except_is_clean(self, tmp_path):
+        source = """
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    return 0
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, BroadExceptRule)
+        assert report.clean
+
+    def test_broad_ok_tag_is_clean(self, tmp_path):
+        source = """
+            def f():
+                try:
+                    return 1
+                except Exception:  # broad-ok: errors recorded upstream
+                    return 0
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, BroadExceptRule)
+        assert report.clean
+
+    def test_noqa_tag_is_clean(self, tmp_path):
+        source = """
+            def f():
+                try:
+                    return 1
+                except Exception:  # noqa: BLE001 - reported, not raised
+                    return 0
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, BroadExceptRule)
+        assert report.clean
+
+    def test_suppressed(self, tmp_path):
+        source = """
+            def f():
+                try:
+                    return 1
+                except Exception:  # reprolint: disable=RPR005
+                    return 0
+        """
+        report = analyze(tmp_path, {"src/x.py": source}, BroadExceptRule)
+        assert report.clean
+
+
+class TestRPR006ScalarLoops:
+    def test_scalar_loop_in_extend_is_flagged(self, tmp_path):
+        source = """
+            class Fitter:
+                def _extend(self, block):
+                    accepted = 0
+                    for row in block.tolist():
+                        if not self._try_append(row):
+                            break
+                        accepted += 1
+                    return accepted
+        """
+        report = analyze(
+            tmp_path, {"src/repro/models/x.py": source}, ScalarLoopRule
+        )
+        assert rule_ids(report) == ["RPR006"]
+
+    def test_vectorized_extend_is_clean(self, tmp_path):
+        source = """
+            import numpy as np
+
+            class Fitter:
+                def _extend(self, block):
+                    lowers = block.max(axis=1)
+                    np.maximum.accumulate(lowers, out=lowers)
+                    return int(len(lowers))
+        """
+        report = analyze(
+            tmp_path, {"src/repro/models/x.py": source}, ScalarLoopRule
+        )
+        assert report.clean
+
+    def test_loop_outside_kernel_function_is_clean(self, tmp_path):
+        source = """
+            class Fitter:
+                def replay(self, rows):
+                    for row in rows:
+                        self._try_append(row)
+        """
+        report = analyze(
+            tmp_path, {"src/repro/models/x.py": source}, ScalarLoopRule
+        )
+        assert report.clean
+
+    def test_loop_outside_models_path_is_clean(self, tmp_path):
+        source = """
+            class Buffer:
+                def _extend(self, block):
+                    for row in block:
+                        self._try_append(row)
+        """
+        report = analyze(
+            tmp_path, {"src/repro/server/x.py": source}, ScalarLoopRule
+        )
+        assert report.clean
+
+    def test_suppressed(self, tmp_path):
+        source = """
+            class Fitter:
+                def _extend(self, block):
+                    for row in block.tolist():  # reprolint: disable=RPR006
+                        self._try_append(row)
+        """
+        report = analyze(
+            tmp_path, {"src/repro/models/x.py": source}, ScalarLoopRule
+        )
+        assert report.clean
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the CLI on fixture trees and on the real repository
+# ---------------------------------------------------------------------------
+
+#: One violating fixture per rule, used to prove the CLI gate actually
+#: blocks: each must make `python -m repro.analysis` exit non-zero.
+VIOLATIONS: dict[str, tuple[str, str]] = {
+    "RPR001": (
+        "src/repro/models/v.py",
+        "import time\n\n\ndef f():\n    return time.time()\n",
+    ),
+    "RPR002": (
+        "src/v.py",
+        'def f(registry):\n    return registry.counter("no.such_total")\n',
+    ),
+    "RPR003": (
+        "src/v.py",
+        "class C:\n    def f(self):\n        with self._lock:\n"
+        "            self._hits_total.inc()\n",
+    ),
+    "RPR004": (
+        "src/v.py",
+        "import threading\n\n\nclass FaultPlan:\n    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n",
+    ),
+    "RPR005": (
+        "src/v.py",
+        "def f():\n    try:\n        return 1\n    except Exception:\n"
+        "        return 0\n",
+    ),
+    "RPR006": (
+        "src/repro/models/v.py",
+        "class C:\n    def _extend(self, block):\n        for row in block:\n"
+        "            self._try_append(row)\n",
+    ),
+}
+
+
+def run_cli(*args: str, cwd: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestCLI:
+    @pytest.mark.parametrize("rule_id", sorted(VIOLATIONS))
+    def test_each_rule_fixture_fails_the_gate(self, tmp_path, rule_id):
+        rel, source = VIOLATIONS[rule_id]
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        result = run_cli("src", "--root", str(tmp_path), cwd=tmp_path)
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert rule_id in result.stdout
+
+    def test_clean_tree_exits_zero_and_writes_report(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        out = tmp_path / "report.json"
+        result = run_cli(
+            "src",
+            "--root",
+            str(tmp_path),
+            "--format",
+            "json",
+            "--output",
+            str(out),
+            cwd=tmp_path,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert data == json.loads(result.stdout)
+        assert data["files_checked"] == 1
+        assert data["findings"] == []
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        result = run_cli(
+            "no/such/dir", "--root", str(tmp_path), cwd=tmp_path
+        )
+        assert result.returncode == 2
+
+    def test_real_tree_is_clean(self):
+        result = run_cli(
+            "src", "benchmarks", "scripts", "--root", str(REPO_ROOT),
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 findings" in result.stdout

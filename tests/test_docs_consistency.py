@@ -42,6 +42,9 @@ class TestDocsAreConsistent:
     def test_operations_commands_parse(self, checker):
         assert checker.check_operations() == []
 
+    def test_reprolint_rule_table_matches_registry(self, checker):
+        assert checker.check_development() == []
+
     def test_main_exits_zero(self, checker, capsys):
         assert checker.main() == 0
         assert "match the code" in capsys.readouterr().out
@@ -101,6 +104,48 @@ class TestCheckerCatchesDrift:
         monkeypatch.setattr(checker, "OPERATIONS_DOC", doc)
         problems = checker.check_operations()
         assert any("does not parse" in p for p in problems)
+
+    def test_renamed_rule_is_reported_both_ways(
+        self, checker, monkeypatch, tmp_path
+    ):
+        """Rename a rule in a copy of the doc table: the registered id
+        keeps matching, but the name mismatch is reported."""
+        text = checker.DEVELOPMENT_DOC.read_text()
+        doc = tmp_path / "DEVELOPMENT.md"
+        doc.write_text(text.replace("`lock-discipline`", "`lock-rules`"))
+        monkeypatch.setattr(checker, "DEVELOPMENT_DOC", doc)
+        problems = checker.check_development()
+        assert any(
+            "RPR003" in p and "'lock-rules'" in p for p in problems
+        )
+
+    def test_removed_rule_row_is_reported(
+        self, checker, monkeypatch, tmp_path
+    ):
+        text = checker.DEVELOPMENT_DOC.read_text()
+        kept = "\n".join(
+            line
+            for line in text.splitlines()
+            if not line.lstrip().startswith("| RPR006")
+        )
+        doc = tmp_path / "DEVELOPMENT.md"
+        doc.write_text(kept)
+        monkeypatch.setattr(checker, "DEVELOPMENT_DOC", doc)
+        problems = checker.check_development()
+        assert any(
+            "RPR006" in p and "missing from the rule table" in p
+            for p in problems
+        )
+
+    def test_missing_rule_section_is_reported(
+        self, checker, monkeypatch, tmp_path
+    ):
+        text = checker.DEVELOPMENT_DOC.read_text()
+        doc = tmp_path / "DEVELOPMENT.md"
+        doc.write_text(text.replace("#### RPR004", "#### removed"))
+        monkeypatch.setattr(checker, "DEVELOPMENT_DOC", doc)
+        problems = checker.check_development()
+        assert any("RPR004" in p and "no '####" in p for p in problems)
 
     def test_metrics_cli_exit_is_nonzero_on_drift(self, checker, monkeypatch):
         catalog = dict(checker.CATALOG)
