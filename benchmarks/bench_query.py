@@ -1,0 +1,217 @@
+"""Query benchmark: row-at-a-time vs columnar read path.
+
+Not a paper figure — the paper reports end-to-end query latency per
+system (Fig. 15–16) but never isolates the read path's own execution
+strategy — yet the columnar path (block decode via
+``FittedModel.values_block``, vectorized predicate masks, and the
+model-parameter aggregate fold) exists purely for this axis, so it
+needs a measured baseline. The workload splits along the pushdown
+boundary:
+
+- **aggregate** statements answerable from segment metadata, where the
+  win is the vectorized multi-series fold;
+- **point scans** that must materialize values, where the win is
+  decoding each segment once into a ``(ticks × series)`` block instead
+  of reconstructing point by point.
+
+Both strategies share one plan, so rows are verified bit-identical
+before anything is timed. Interleaved best-of-N cancels machine noise
+out of the ratio. Writes a ``BENCH_query.json`` artifact::
+
+    python benchmarks/bench_query.py            # ~1 min
+    python benchmarks/bench_query.py --smoke    # seconds (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import struct
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Configuration, ModelarDB  # noqa: E402
+from repro.core.group import TimeSeriesGroup  # noqa: E402
+from repro.core.timeseries import TimeSeries  # noqa: E402
+from repro.query.engine import QueryEngine  # noqa: E402
+
+SAMPLING_INTERVAL = 100
+N_SERIES = 16
+
+#: (name, kind, statement) — the kind labels which half of the pushdown
+#: boundary the statement exercises.
+WORKLOAD = (
+    (
+        "aggregate_full",
+        "aggregate",
+        "SELECT COUNT(*), SUM(*), MIN(*), MAX(*), AVG(*) FROM DataPoint",
+    ),
+    (
+        "aggregate_grouped",
+        "aggregate",
+        "SELECT Tid, SUM(*), AVG(*) FROM DataPoint GROUP BY Tid",
+    ),
+    (
+        "aggregate_time_sliced",
+        "aggregate",
+        None,  # filled in once the time span is known
+    ),
+    (
+        "scan_predicate",
+        "point_scan",
+        "SELECT Tid, TS, Value FROM DataPoint WHERE Value > 100.0",
+    ),
+    (
+        "aggregate_value_filtered",
+        "point_scan",
+        "SELECT SUM(*), COUNT(*) FROM DataPoint WHERE Value > 100.0",
+    ),
+)
+
+
+def regime_group(n_series: int, n_points: int, seed: int) -> TimeSeriesGroup:
+    """Correlated holds and ramps with jitter — same regime the
+    ingestion benchmark uses, so segments look like production ones."""
+    rng = np.random.default_rng(seed)
+    shared = np.empty(n_points)
+    level = 100.0
+    i = 0
+    while i < n_points:
+        if rng.random() < 0.5:
+            run = min(int(rng.integers(100, 300)), n_points - i)
+            shared[i:i + run] = level
+        else:
+            run = min(int(rng.integers(50, 150)), n_points - i)
+            slope = rng.uniform(-0.02, 0.02)
+            shared[i:i + run] = level + slope * np.arange(run)
+            level = shared[i + run - 1]
+        i += run
+    timestamps = np.arange(n_points, dtype=np.int64) * SAMPLING_INTERVAL
+    series = []
+    for tid in range(1, n_series + 1):
+        offset = rng.uniform(-0.05, 0.05)
+        jitter = rng.normal(0.0, 0.002, n_points)
+        values = np.float32(shared + offset + jitter)
+        series.append(TimeSeries(tid, SAMPLING_INTERVAL, timestamps, values))
+    return TimeSeriesGroup(1, series)
+
+
+def build_db(n_points: int) -> ModelarDB:
+    db = ModelarDB.open(config=Configuration(error_bound=1.0))
+    db.ingest([regime_group(N_SERIES, n_points, seed=23)])
+    return db
+
+
+def statements(n_points: int):
+    span = n_points * SAMPLING_INTERVAL
+    filled = []
+    for name, kind, sql in WORKLOAD:
+        if sql is None:
+            sql = (
+                "SELECT SUM(*), AVG(*) FROM DataPoint "
+                f"WHERE TS >= {span // 4} AND TS <= {3 * span // 4}"
+            )
+        filled.append((name, kind, sql))
+    return filled
+
+
+def row_bits(rows: list[dict]):
+    return [
+        {
+            key: struct.pack("<d", value) if isinstance(value, float) else value
+            for key, value in row.items()
+        }
+        for row in rows
+    ]
+
+
+def time_sql(engine: QueryEngine, sql: str) -> float:
+    started = time.perf_counter()
+    engine.sql(sql)
+    return time.perf_counter() - started
+
+
+def measure(db: ModelarDB, n_points: int, repeats: int) -> list[dict]:
+    """Two engines over the same storage, differing only in strategy."""
+    row_engine = QueryEngine(db.storage, db.registry, columnar=False)
+    col_engine = QueryEngine(db.storage, db.registry, columnar=True)
+    runs = []
+    for name, kind, sql in statements(n_points):
+        row_rows = row_engine.sql(sql)  # warm caches and verify first
+        col_rows = col_engine.sql(sql)
+        assert row_bits(col_rows) == row_bits(row_rows), (
+            f"{name}: columnar result is not bit-identical to the row path"
+        )
+        row_best = col_best = float("inf")
+        for _ in range(repeats):
+            row_best = min(row_best, time_sql(row_engine, sql))
+            col_best = min(col_best, time_sql(col_engine, sql))
+        runs.append(
+            {
+                "name": name,
+                "kind": kind,
+                "sql": sql,
+                "rows": len(row_rows),
+                "row_seconds": round(row_best, 6),
+                "columnar_seconds": round(col_best, 6),
+                "speedup": round(row_best / col_best, 3),
+            }
+        )
+    return runs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--points", type=int, default=60_000,
+        help=f"ticks per series ({N_SERIES} series total)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="interleaved repetitions; best of N is reported",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short CI run: 4k points, two repetitions",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_query.json",
+        help="path of the JSON artifact",
+    )
+    arguments = parser.parse_args(argv)
+    n_points = 4_000 if arguments.smoke else arguments.points
+    repeats = 2 if arguments.smoke else arguments.repeats
+
+    print(f"ingesting {N_SERIES} series × {n_points:,} points ...")
+    db = build_db(n_points)
+    runs = measure(db, n_points, repeats)
+    for run in runs:
+        print(
+            f"  {run['name']:<26} row {run['row_seconds'] * 1000:9.2f} ms   "
+            f"columnar {run['columnar_seconds'] * 1000:9.2f} ms   "
+            f"speedup {run['speedup']:.2f}x"
+        )
+
+    artifact = {
+        "benchmark": "query execution (row vs columnar read path)",
+        "generated_unix": int(time.time()),
+        "smoke": arguments.smoke,
+        "workload": "correlated holds+ramps, 1% error bound",
+        "series": N_SERIES,
+        "points_per_series": n_points,
+        "repeats": repeats,
+        "runs": runs,
+    }
+    output = Path(arguments.output)
+    output.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

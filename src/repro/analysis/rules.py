@@ -770,20 +770,23 @@ class BroadExceptRule(Rule):
 class ScalarLoopRule(Rule):
     """RPR006: batch kernels must stay vectorized.
 
-    The columnar ingestion path exists because per-tick Python loops
-    were the bottleneck; a ``for`` loop feeding ``append``/``_try_append``
-    row by row inside an ``extend`` kernel silently reverts that win
-    while staying bit-identical, so only a linter catches it.
+    The columnar ingestion and read paths exist because per-tick Python
+    loops were the bottleneck. Inside an ``extend`` kernel, a ``for``
+    loop feeding ``append``/``_try_append`` row by row silently reverts
+    that win; inside a ``values_block`` decode kernel, a loop of
+    ``value_at`` calls reconstructs the block one scalar at a time. Both
+    stay bit-identical, so only a linter catches the regression.
     """
 
     id = "RPR006"
     name = "no-scalar-loop-in-kernels"
     summary = (
-        "no per-tick `for` loop feeding append/_try_append inside the "
-        "batch kernels' extend/_extend functions"
+        "no per-tick `for` loop feeding append/_try_append or calling "
+        "value_at inside the batch kernels' extend/_extend/values_block "
+        "functions"
     )
 
-    _KERNEL_FUNCTIONS = {"extend", "_extend"}
+    _KERNEL_FUNCTIONS = {"extend", "_extend", "values_block"}
 
     def check(self, ctx: FileContext) -> list[Finding]:
         if not ctx.in_scope(self.config.kernel_paths):
@@ -797,22 +800,22 @@ class ScalarLoopRule(Rule):
             for loop in ast.walk(node):
                 if not isinstance(loop, (ast.For, ast.AsyncFor)):
                     continue
-                if self._loop_appends(loop):
+                if self._loop_scalar_calls(loop):
                     findings.append(
                         Finding(
                             self.id,
                             ctx.rel,
                             loop.lineno,
                             loop.col_offset,
-                            "per-tick scalar loop feeding append/"
-                            f"_try_append inside batch kernel "
+                            "per-tick scalar loop (append/_try_append/"
+                            f"value_at) inside batch kernel "
                             f"{node.name}() — vectorize it",
                         )
                     )
         return findings
 
     @staticmethod
-    def _loop_appends(loop: ast.For | ast.AsyncFor) -> bool:
+    def _loop_scalar_calls(loop: ast.For | ast.AsyncFor) -> bool:
         for stmt in loop.body:
             for node in ast.walk(stmt):
                 if not isinstance(node, ast.Call):
@@ -820,7 +823,7 @@ class ScalarLoopRule(Rule):
                 func = node.func
                 if not isinstance(func, ast.Attribute):
                     continue
-                if func.attr == "_try_append":
+                if func.attr in ("_try_append", "value_at"):
                     return True
                 if (
                     func.attr == "append"

@@ -38,7 +38,9 @@ class WorkerNode:
         self.groups: list[TimeSeriesGroup] = []
         self._pending: list[TimeSeriesGroup] = []
         self.stats = IngestStats()
-        self._engine = QueryEngine(self.storage, self.registry)
+        self._engine = QueryEngine(
+            self.storage, self.registry, columnar=config.columnar_read
+        )
 
     # ------------------------------------------------------------------
     @property

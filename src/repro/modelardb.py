@@ -87,7 +87,11 @@ class ModelarDB:
         self.group_compression = group_compression
         self.stats = IngestStats()
         self.groups: list[TimeSeriesGroup] = []
-        self._engine = QueryEngine(self.storage, self.registry)
+        self._engine = QueryEngine(
+            self.storage,
+            self.registry,
+            columnar=self.config.columnar_read,
+        )
         self._flush_listeners: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------------

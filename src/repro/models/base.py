@@ -297,6 +297,19 @@ class FittedModel(ABC):
     def column_values(self, column: int) -> _FloatArray:
         return self.values()[:, column]
 
+    def values_block(self, first: int, last: int) -> _FloatArray:
+        """Reconstruct rows ``first..last`` (inclusive) as a
+        ``(last - first + 1, n_columns)`` block.
+
+        The batch decode kernel of the columnar read path, the read-side
+        mirror of :meth:`ModelFitter.extend`: by contract the result is
+        bit-identical to ``values()[first:last + 1]``, so row-at-a-time
+        and block execution reconstruct the same floats. Models with a
+        closed form override it to generate only the requested slice
+        instead of the whole segment.
+        """
+        return self.values()[first:last + 1]
+
     # ------------------------------------------------------------------
     # Aggregate hooks. The defaults reconstruct; models with closed forms
     # (constant, linear) override them with O(1) implementations, which is

@@ -6,6 +6,8 @@ layout of the original Gorilla paper [28].
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.errors import ModelError
 
 
@@ -126,6 +128,58 @@ def pack_xor_block(
             accumulated_bits = 0
     writer.write_big(accumulator, accumulated_bits)
     return window_leading, window_meaningful
+
+
+def unpack_xor_block(data: bytes, count: int) -> np.ndarray:
+    """Decode ``count`` Gorilla float32 bit patterns in one pass.
+
+    The batch half of the decoder, mirroring :func:`pack_xor_block`: the
+    sequential control-bit walk happens once per segment, emitting every
+    value's bit pattern into one ``<u4`` array that the caller
+    reinterprets as float32 in bulk — instead of a struct round trip per
+    value. Bit reads are inlined on local state, so decoding costs one
+    Python-level loop over values rather than several reader calls each.
+    """
+    patterns = np.empty(count, dtype="<u4")
+    if count == 0:
+        return patterns
+    total_bits = len(data) * 8
+    position = 0
+
+    def read(bits: int) -> int:
+        nonlocal position
+        end = position + bits
+        if end > total_bits:
+            raise ModelError("bit stream exhausted")
+        value = 0
+        cursor = position
+        remaining = bits
+        while remaining:
+            byte = data[cursor // 8]
+            offset = cursor % 8
+            available = 8 - offset
+            take = available if available < remaining else remaining
+            value = (value << take) | (
+                (byte >> (available - take)) & ((1 << take) - 1)
+            )
+            cursor += take
+            remaining -= take
+        position = end
+        return value
+
+    previous = read(32)
+    patterns[0] = previous
+    window_leading = -1
+    window_meaningful = 0
+    for index in range(1, count):
+        if read(1):
+            if read(1):
+                window_leading = read(5)
+                window_meaningful = read(5) + 1
+            window_trailing = 32 - window_leading - window_meaningful
+            previous ^= read(window_meaningful) << window_trailing
+        patterns[index] = previous
+    return patterns
 
 
 class BitReader:

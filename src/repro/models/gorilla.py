@@ -24,7 +24,7 @@ import numpy as np
 
 from ..core.errors import ModelError
 from .base import FittedModel, ModelFitter, ModelType
-from .bits import BitReader, BitWriter, pack_xor_block
+from .bits import BitWriter, pack_xor_block, unpack_xor_block
 
 _BITS = 32
 _LEADING_BITS = 5  # encodes 0..31 leading zeros
@@ -160,23 +160,15 @@ class FittedGorilla(FittedModel):
         return self._decoded
 
     def _decode(self) -> np.ndarray:
-        reader = BitReader(self._parameters)
+        # Array-at-once unpack: the sequential control-bit walk emits
+        # raw uint32 patterns (unpack_xor_block, mirroring the encoder's
+        # pack_xor_block), and the bit-pattern -> float32 -> float64
+        # conversion happens vectorized over the whole segment instead of
+        # one struct round trip per value. float32 -> float64 widening is
+        # exact, so the block is bit-identical to the scalar decode.
         count = self.length * self.n_columns
-        flat = np.empty(count, dtype=np.float64)
-        previous = 0
-        window_leading = -1
-        window_meaningful = 0
-        for i in range(count):
-            if i == 0:
-                previous = reader.read(_BITS)
-            elif reader.read_bit():
-                if reader.read_bit():
-                    window_leading = reader.read(_LEADING_BITS)
-                    window_meaningful = reader.read(_LENGTH_BITS) + 1
-                window_trailing = _BITS - window_leading - window_meaningful
-                xor = reader.read(window_meaningful) << window_trailing
-                previous ^= xor
-            flat[i] = _bits_to_float(previous)
+        patterns = unpack_xor_block(self._parameters, count)
+        flat = patterns.view("<f4").astype(np.float64)
         return flat.reshape(self.length, self.n_columns)
 
 

@@ -119,6 +119,10 @@ class FittedPMCMean(FittedModel):
     def value_at(self, index: int, column: int) -> float:
         return self.value
 
+    def values_block(self, first: int, last: int) -> np.ndarray:
+        # Level fill: one constant for every (tick, column) of the slice.
+        return np.full((last - first + 1, self.n_columns), self.value)
+
     def slice_sum(self, first: int, last: int, column: int) -> float:
         return self.value * (last - first + 1)
 

@@ -161,6 +161,13 @@ class FittedSwing(FittedModel):
     def value_at(self, index: int, column: int) -> float:
         return self.intercept + self.slope * index
 
+    def values_block(self, first: int, last: int) -> np.ndarray:
+        # Linear ramp over the requested indices only. Elementwise the
+        # arithmetic is exactly value_at's `intercept + slope * index`,
+        # so the block is bit-identical to values()[first:last + 1].
+        line = self.intercept + self.slope * np.arange(first, last + 1)
+        return np.repeat(line[:, np.newaxis], self.n_columns, axis=1)
+
     def slice_sum(self, first: int, last: int, column: int) -> float:
         # Arithmetic series: n * (first value + last value) / 2.
         count = last - first + 1

@@ -107,6 +107,25 @@ _SPECS = (
         "query.segment_cache_misses_total", COUNTER, (),
         "Decoded-model cache misses (model decoded from parameters).",
     ),
+    MetricSpec(
+        "query.pushdown_subtrees_total", COUNTER, ("decision",),
+        "Select-list subtrees routed per plan, by pushdown decision "
+        "(segment = answered from model parameters, materialize = "
+        "reconstructs data points).",
+    ),
+    MetricSpec(
+        "query.rows_skipped_materialization_total", COUNTER, (),
+        "Data points whose reconstruction was skipped because the "
+        "aggregate folded model parameters directly.",
+    ),
+    MetricSpec(
+        "query.columnar_blocks_total", COUNTER, (),
+        "(ticks x series) blocks decoded by the columnar read path.",
+    ),
+    MetricSpec(
+        "query.block_decode_seconds", HISTOGRAM, (),
+        "Per-scan time spent decoding segments into columnar blocks.",
+    ),
     # -- storage --------------------------------------------------------
     MetricSpec(
         "storage.segments_written_total", COUNTER, (),
@@ -215,6 +234,10 @@ _SPECS = (
     MetricSpec(
         "server.result_cache_invalidations_total", COUNTER, (),
         "Whole-cache invalidations triggered by ingestion flushes.",
+    ),
+    MetricSpec(
+        "server.columnar_responses_total", COUNTER, (),
+        "Query responses encoded with the columnar wire format.",
     ),
 )
 

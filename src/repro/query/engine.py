@@ -18,7 +18,6 @@ during iterate, as the paper specifies.
 
 from __future__ import annotations
 
-import datetime as dt
 import re
 import threading
 import time
@@ -32,11 +31,28 @@ from ..obs import SpanRecorder, annotate, get_registry, span
 from ..storage.interface import Storage
 from .aggregates import Aggregate, aggregate_by_name
 from .cache import SegmentCache
+from .columnar import compare as _compare
+from .columnar import iter_blocks
+from .columnar import point_mask as _point_mask
 from .metadata import MetadataCache
-from .rewriter import Predicates, RewrittenQuery, rewrite
+from .rewriter import (
+    Predicates,
+    PushdownDecision,
+    RewrittenQuery,
+    decide_pushdown,
+    rewrite,
+)
 from .rollup import format_bucket, parse_cube_function, rollup_segment
-from .sql import Call, Column, Condition, Query, Star, parse
+from .sql import Call, Column, Condition, Query, Star, parse, parse_timestamp
 from .views import DataPointRow, DataPointView, SegmentView
+
+__all__ = [
+    "QueryEngine",
+    "PartialResult",
+    "merge_partial_results",
+    "parse_timestamp",
+    "EXPLAIN_ANALYZE_RE",
+]
 
 _NUMPY_LEVEL_UNIT = {
     "MINUTE": "m",
@@ -52,23 +68,6 @@ EXPLAIN_ANALYZE_RE = re.compile(
 )
 
 
-def parse_timestamp(value: object) -> int:
-    """A TS literal: epoch milliseconds, or an ISO-ish UTC date string."""
-    if isinstance(value, int):
-        return value
-    if isinstance(value, float):
-        return int(value)
-    if isinstance(value, str):
-        for pattern in ("%Y-%m-%d %H:%M:%S", "%Y-%m-%d %H:%M", "%Y-%m-%d"):
-            try:
-                moment = dt.datetime.strptime(value, pattern)
-            except ValueError:
-                continue
-            moment = moment.replace(tzinfo=dt.timezone.utc)
-            return int(moment.timestamp() * 1000)
-    raise QueryError(f"cannot interpret {value!r} as a timestamp")
-
-
 class QueryEngine:
     """SQL and programmatic query execution over one segment store."""
 
@@ -77,12 +76,24 @@ class QueryEngine:
         storage: Storage,
         registry: ModelRegistry,
         cache_capacity: int = 4096,
+        columnar: bool = True,
     ) -> None:
         self._storage = storage
         self._registry = registry
         self._segment_cache = SegmentCache(registry, cache_capacity)
         self._metadata: MetadataCache | None = None
         self._metadata_lock = threading.Lock()
+        # Execution strategy only: the columnar path runs over
+        # (ticks × series) blocks, the row path one value at a time.
+        # Plans (pushdown decisions included) are shared, and both
+        # strategies fold with identical arithmetic and order, so
+        # results are bit-identical either way.
+        self._columnar = columnar
+
+    @property
+    def columnar(self) -> bool:
+        """Whether the block (columnar) execution strategy is active."""
+        return self._columnar
 
     # ------------------------------------------------------------------
     # Public interface
@@ -233,11 +244,12 @@ class QueryEngine:
         try:
             with span("plan"):
                 plan, row_predicates = self._plan(query)
-                self._observe_plan(plan, registry)
+                decisions = decide_pushdown(query)
+                self._observe_plan(plan, decisions, registry)
             if query.is_aggregate:
                 _validate_aggregate_select(query)
                 with span("scan"):
-                    if query.view == "segment":
+                    if all(d.segment_only for d in decisions):
                         partial = self._accumulate_segment(query, plan)
                     else:
                         partial = self._accumulate_point(
@@ -262,7 +274,12 @@ class QueryEngine:
                 time.perf_counter() - started
             )
 
-    def _observe_plan(self, plan: RewrittenQuery, registry) -> None:
+    def _observe_plan(
+        self,
+        plan: RewrittenQuery,
+        decisions: tuple[PushdownDecision, ...],
+        registry,
+    ) -> None:
         """Record the push-down outcome of one rewritten query."""
         total_gids = len(self.metadata.all_gids())
         scanned = len(plan.gids)
@@ -270,9 +287,17 @@ class QueryEngine:
         registry.counter("query.partitions_pruned_total").inc(
             max(total_gids - scanned, 0)
         )
+        for decision in decisions:
+            registry.counter(
+                "query.pushdown_subtrees_total", decision=decision.route
+            ).inc()
         annotate(
             partitions=f"{scanned}/{total_gids}",
             tids=len(plan.tids),
+            pushdown=",".join(
+                f"{decision.subtree}:{decision.route}"
+                for decision in decisions
+            ),
         )
 
     def execute_partial(self, query: Query) -> "PartialResult | list[dict]":
@@ -287,7 +312,9 @@ class QueryEngine:
                 )
             return self._execute_segment_selection(query, plan)
         _validate_aggregate_select(query)
-        if query.view == "segment":
+        # The same plan-level routing as execute(): workers and the
+        # single-node engine take identical pushdown decisions.
+        if all(d.segment_only for d in decide_pushdown(query)):
             return self._accumulate_segment(query, plan)
         return self._accumulate_point(query, plan, row_predicates)
 
@@ -343,6 +370,8 @@ class QueryEngine:
         simple: dict[tuple, list] = {}
         cubes: dict[tuple, list] = {}
         specs = [_CallSpec.from_call(call) for call in calls]
+        has_cube = any(spec.level is not None for spec in specs)
+        use_block_fold = self._columnar and not has_cube
 
         metadata = self.metadata
         scalings = metadata.scalings()
@@ -350,6 +379,7 @@ class QueryEngine:
         tids = set(plan.tids)
         cache = self._segment_cache
         segments_scanned = 0
+        rows_skipped = 0
         from .views import _clip
 
         for segment in self._storage.segments(
@@ -362,19 +392,32 @@ class QueryEngine:
             if clipped is None:
                 continue
             first, last = clipped
-            model = None
-            for column, tid in enumerate(segment.member_tids):
-                if tid not in tids:
-                    continue
-                if model is None:
-                    model = cache.decode(
-                        segment.mid,
-                        segment.parameters,
-                        segment.n_columns,
-                        segment.length,
+            selected = [
+                (column, tid)
+                for column, tid in enumerate(segment.member_tids)
+                if tid in tids
+            ]
+            if not selected:
+                continue
+            model = cache.decode(
+                segment.mid,
+                segment.parameters,
+                segment.n_columns,
+                segment.length,
+            )
+            if model.constant_time_aggregates:
+                # Answered from model parameters alone: every data point
+                # this segment represents for the selected series stays
+                # unmaterialised.
+                rows_skipped += len(selected) * (last - first + 1)
+                if use_block_fold:
+                    self._fold_segment_fast(
+                        specs, simple, selected, model, first, last,
+                        group_columns, scalings, dimension_rows,
                     )
-                    if model.constant_time_aggregates:
-                        model = _ColumnSharedModel(model)
+                    continue
+                model = _ColumnSharedModel(model)
+            for column, tid in selected:
                 key = _group_key(
                     tid, dimension_rows.get(tid, {}), group_columns
                 )
@@ -408,11 +451,91 @@ class QueryEngine:
                             scaling,
                             spec.level,
                         )
-        get_registry().counter("query.segments_scanned_total").inc(
-            segments_scanned
+        registry = get_registry()
+        registry.counter("query.segments_scanned_total").inc(segments_scanned)
+        registry.counter("query.rows_skipped_materialization_total").inc(
+            rows_skipped
         )
-        annotate(segments=segments_scanned)
+        annotate(
+            segments=segments_scanned,
+            rows_skipped_materialization=rows_skipped,
+            mode="columnar" if self._columnar else "row",
+        )
         return PartialResult(specs, group_columns, simple, cubes)
+
+    def _fold_segment_fast(
+        self,
+        specs: list["_CallSpec"],
+        simple: dict[tuple, list],
+        selected: list[tuple[int, int]],
+        model,
+        first: int,
+        last: int,
+        group_columns: tuple[str, ...],
+        scalings: dict[int, float],
+        dimension_rows: dict[int, dict[str, str]],
+    ) -> None:
+        """Vectorised constant-time fold of one segment (columnar mode).
+
+        The slice aggregate of a constant/linear group model is column
+        independent, so it is computed once and divided by all member
+        scalings in one numpy operation. Each element of the result is
+        ``raw / scaling`` in float64 — the very division the row path
+        performs per series — and ``tolist()`` hands back the identical
+        Python floats, so folding them with the same ``min``/``max``/
+        ``+`` arithmetic keeps both modes bit-identical.
+        """
+        ticks = last - first + 1
+        scale = np.array(
+            [scalings.get(tid, 1.0) for _, tid in selected]
+        )
+        folds: list[list[float] | None] = []
+        for spec in specs:
+            name = spec.aggregate.name
+            if name == "COUNT":
+                folds.append(None)
+            elif name in ("SUM", "AVG"):
+                folds.append((model.slice_sum(first, last, 0) / scale).tolist())
+            elif name == "MIN":
+                folds.append((model.slice_min(first, last, 0) / scale).tolist())
+            elif name == "MAX":
+                folds.append((model.slice_max(first, last, 0) / scale).tolist())
+            else:  # pragma: no cover - the registry only has the five above
+                folds.append(None)
+        for position, (column, tid) in enumerate(selected):
+            key = _group_key(tid, dimension_rows.get(tid, {}), group_columns)
+            states = simple.get(key)
+            if states is None:
+                states = [s.aggregate.initialize() for s in specs]
+                simple[key] = states
+            for index, spec in enumerate(specs):
+                name = spec.aggregate.name
+                if name == "COUNT":
+                    states[index] = states[index] + ticks
+                elif name == "SUM":
+                    states[index] = states[index] + folds[index][position]
+                elif name == "MIN":
+                    value = folds[index][position]
+                    state = states[index]
+                    states[index] = (
+                        value if state is None else min(state, value)
+                    )
+                elif name == "MAX":
+                    value = folds[index][position]
+                    state = states[index]
+                    states[index] = (
+                        value if state is None else max(state, value)
+                    )
+                elif name == "AVG":
+                    total, count = states[index]
+                    states[index] = (
+                        total + folds[index][position], count + ticks
+                    )
+                else:  # pragma: no cover - defensive; registry is closed
+                    states[index] = spec.aggregate.iterate(
+                        states[index], model, first, last, column,
+                        scalings.get(tid, 1.0),
+                    )
 
     # -- Data Point View aggregates ----------------------------------------
     def _accumulate_point(
@@ -427,14 +550,14 @@ class QueryEngine:
         simple: dict[tuple, list] = {}
         cubes: dict[tuple, list] = {}
 
-        for row, timestamps, values in self._data_point_view().arrays(plan):
+        for tid, dimensions, timestamps, values in self._series_arrays(plan):
             mask = _point_mask(timestamps, values, point_conditions)
             if mask is not None:
                 timestamps = timestamps[mask]
                 values = values[mask]
             if len(values) == 0:
                 continue
-            key = _group_key(row.tid, row.dimensions, group_columns)
+            key = _group_key(tid, dimensions, group_columns)
             for index, spec in enumerate(specs):
                 if spec.level is None:
                     states = simple.setdefault(
@@ -450,6 +573,31 @@ class QueryEngine:
                     )
         return PartialResult(specs, group_columns, simple, cubes)
 
+    def _series_arrays(
+        self, plan: RewrittenQuery
+    ) -> Iterator[tuple[int, dict[str, str], np.ndarray, np.ndarray]]:
+        """(tid, dimensions, timestamps, scaled values) per series slice.
+
+        Both strategies visit the same (segment, series) pairs in the
+        same order and produce elementwise bit-identical arrays; the
+        columnar strategy just decodes each segment once into a block
+        instead of regenerating the reconstruction per member column.
+        """
+        if self._columnar:
+            scalings = self.metadata.scalings()
+            dimension_rows = self.metadata.dimension_rows()
+            for block in iter_blocks(self._storage, self._segment_cache, plan):
+                for column, tid in block.series:
+                    yield (
+                        tid,
+                        dimension_rows.get(tid, {}),
+                        block.timestamps,
+                        block.column(column, scalings.get(tid, 1.0)),
+                    )
+            return
+        for row, timestamps, values in self._data_point_view().arrays(plan):
+            yield row.tid, row.dimensions, timestamps, values
+
     # -- Selections ---------------------------------------------------------
     def _execute_point_selection(
         self,
@@ -460,6 +608,10 @@ class QueryEngine:
         columns = _selection_columns(
             query, ["Tid", "TS", "Value"], self.metadata
         )
+        if self._columnar:
+            return self._point_selection_columnar(
+                columns, plan, point_conditions
+            )
         results = []
         for point in self._data_point_view().rows(plan):
             if not _point_matches(point, point_conditions):
@@ -476,6 +628,51 @@ class QueryEngine:
                 else:
                     row[column] = point.dimensions.get(column)
             results.append(row)
+        return results
+
+    def _point_selection_columnar(
+        self,
+        columns: list[str],
+        plan: RewrittenQuery,
+        point_conditions: list[Condition],
+    ) -> list[dict]:
+        """Block-at-a-time point selection.
+
+        WHERE evaluates as one boolean mask per (block, series) instead
+        of one comparison per point, and the surviving timestamps/values
+        convert to Python scalars in two batched ``tolist()`` calls. Row
+        dicts come out in the row path's exact order: segment by segment,
+        member series by member series, tick ascending.
+        """
+        scalings = self.metadata.scalings()
+        dimension_rows = self.metadata.dimension_rows()
+        results: list[dict] = []
+        for block in iter_blocks(self._storage, self._segment_cache, plan):
+            for column_index, tid in block.series:
+                values = block.column(column_index, scalings.get(tid, 1.0))
+                mask = _point_mask(block.timestamps, values, point_conditions)
+                timestamps = block.timestamps
+                if mask is not None:
+                    timestamps = timestamps[mask]
+                    values = values[mask]
+                if len(values) == 0:
+                    continue
+                dimensions = dimension_rows.get(tid, {})
+                timestamp_list = timestamps.tolist()
+                value_list = values.tolist()
+                for position in range(len(value_list)):
+                    row = {}
+                    for column in columns:
+                        name = column.lower()
+                        if name == "tid":
+                            row[column] = tid
+                        elif name == "ts":
+                            row[column] = timestamp_list[position]
+                        elif name == "value":
+                            row[column] = value_list[position]
+                        else:
+                            row[column] = dimensions.get(column)
+                    results.append(row)
         return results
 
     def _execute_segment_selection(
@@ -857,39 +1054,6 @@ def _shape_results(
                     row[spec.label] = spec.aggregate.finalize(state)
             results.append(row)
     return results
-
-
-def _point_mask(
-    timestamps: np.ndarray,
-    values: np.ndarray,
-    conditions: list[Condition],
-) -> np.ndarray | None:
-    mask = None
-    for condition in conditions:
-        name = condition.column.lower()
-        if name in ("ts", "timestamp"):
-            target = timestamps
-            literal = parse_timestamp(condition.value)
-        else:
-            target = values
-            literal = float(condition.value)
-        current = _compare(target, condition.operator, literal)
-        mask = current if mask is None else (mask & current)
-    return mask
-
-
-def _compare(array: np.ndarray, operator: str, literal) -> np.ndarray:
-    if operator == "=":
-        return array == literal
-    if operator == "<":
-        return array < literal
-    if operator == "<=":
-        return array <= literal
-    if operator == ">":
-        return array > literal
-    if operator == ">=":
-        return array >= literal
-    raise QueryError(f"unsupported operator {operator!r}")
 
 
 def _point_matches(point: DataPointRow, conditions: list[Condition]) -> bool:

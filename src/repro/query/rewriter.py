@@ -6,6 +6,13 @@ Tid and member predicates are rewritten to the Gids of the groups that
 contain matching series — that is all the segment store has to index —
 and the original Tid set is kept to filter the exploded per-series rows
 afterwards (Figs. 11 and 12's *Rewriting* step).
+
+The rewriter also decides, per select-list subtree, whether an aggregate
+can be answered *segment-only* — directly from model parameters, without
+reconstructing data points (Section 6.1) — or has to materialize. The
+decision is part of the plan, shared by both execution modes, so the
+row and columnar executors take exactly the same route and stay
+bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .metadata import MetadataCache
+from .sql import Call, Query
 
 
 @dataclass(frozen=True)
@@ -38,6 +46,94 @@ class RewrittenQuery:
     tids: frozenset[int]
     start_time: int | None
     end_time: int | None
+
+
+@dataclass(frozen=True)
+class PushdownDecision:
+    """One select-list subtree's execution route, with its reason.
+
+    ``segment_only`` is True when the subtree is answered from segment
+    metadata and model parameters alone; False when execution has to
+    reconstruct (materialize) data points. ``reason`` is the
+    human-readable justification surfaced by ``EXPLAIN ANALYZE``.
+    """
+
+    subtree: str
+    segment_only: bool
+    reason: str
+
+    @property
+    def route(self) -> str:
+        return "segment" if self.segment_only else "materialize"
+
+
+def decide_pushdown(query: Query) -> tuple[PushdownDecision, ...]:
+    """Per-subtree routing decisions for one parsed query.
+
+    An aggregate subtree is provably segment-answerable when no ``Value``
+    predicate constrains it: Tid/member predicates reduce to a Gid scan
+    plus a Tid filter on exploded rows, and every supported ``TS``
+    predicate narrows the closed query interval, which segment execution
+    absorbs exactly by clipping each segment to the inclusive model index
+    range covering the interval — no reconstructed point is consulted.
+    A ``Value`` predicate, by contrast, filters on reconstructed values,
+    so any aggregate under it must materialize.
+
+    Selections have one decision for their scan: Data Point View
+    selections return points and materialize by definition; Segment View
+    reads (selections and aggregates) never leave segment metadata —
+    ``Value`` predicates do not apply to that view and are ignored there,
+    matching the engine's long-standing semantics.
+    """
+    value_conditions = [
+        condition
+        for condition in query.where
+        if condition.column.lower() == "value"
+    ]
+    if not query.is_aggregate:
+        if query.view == "segment":
+            decision = PushdownDecision(
+                "scan", True, "segment view selections read segment metadata"
+            )
+        else:
+            decision = PushdownDecision(
+                "scan", False, "point selections return reconstructed points"
+            )
+        return (decision,)
+    decisions = []
+    for item in query.select:
+        if not isinstance(item, Call):
+            continue
+        subtree = f"{item.function}({item.argument})"
+        if query.view == "segment":
+            decisions.append(
+                PushdownDecision(
+                    subtree,
+                    True,
+                    "segment view aggregates fold model parameters",
+                )
+            )
+        elif value_conditions:
+            predicate = value_conditions[0]
+            decisions.append(
+                PushdownDecision(
+                    subtree,
+                    False,
+                    "Value predicate "
+                    f"({predicate.column} {predicate.operator} "
+                    f"{predicate.value}) filters reconstructed points",
+                )
+            )
+        else:
+            decisions.append(
+                PushdownDecision(
+                    subtree,
+                    True,
+                    "no Value predicate; TS bounds clip segment index "
+                    "ranges exactly",
+                )
+            )
+    return tuple(decisions)
 
 
 def rewrite(predicates: Predicates, cache: MetadataCache) -> RewrittenQuery:

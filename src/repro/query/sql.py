@@ -17,10 +17,28 @@ M-AGG and P/R all parse with it.
 
 from __future__ import annotations
 
+import datetime as dt
 import re
 from dataclasses import dataclass
 
 from ..core.errors import QueryError
+
+
+def parse_timestamp(value: object) -> int:
+    """A TS literal: epoch milliseconds, or an ISO-ish UTC date string."""
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return int(value)
+    if isinstance(value, str):
+        for pattern in ("%Y-%m-%d %H:%M:%S", "%Y-%m-%d %H:%M", "%Y-%m-%d"):
+            try:
+                moment = dt.datetime.strptime(value, pattern)
+            except ValueError:
+                continue
+            moment = moment.replace(tzinfo=dt.timezone.utc)
+            return int(moment.timestamp() * 1000)
+    raise QueryError(f"cannot interpret {value!r} as a timestamp")
 
 _TOKEN = re.compile(
     r"""

@@ -19,6 +19,7 @@ import itertools
 import socket
 
 from .protocol import (
+    WIRE_COLUMNAR,
     ServerError,
     raise_for_error,
     recv_frame,
@@ -29,7 +30,13 @@ _CLIENT_IDS = itertools.count(1)
 
 
 class ServerClient:
-    """A blocking protocol client over one connection."""
+    """A blocking protocol client over one connection.
+
+    ``columnar=True`` (the default) advertises the columnar response
+    format on query requests; ``recv_frame`` decodes either body
+    transparently, and servers that predate the format simply ignore
+    the ``accept`` field and answer JSON.
+    """
 
     def __init__(
         self,
@@ -37,6 +44,7 @@ class ServerClient:
         port: int,
         connect_timeout: float = 10.0,
         socket_timeout: float | None = 60.0,
+        columnar: bool = True,
     ) -> None:
         self._sock = socket.create_connection(
             (host, port), timeout=connect_timeout
@@ -45,6 +53,7 @@ class ServerClient:
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._id_prefix = f"c{next(_CLIENT_IDS)}"
         self._requests = itertools.count(1)
+        self._accept = [WIRE_COLUMNAR] if columnar else None
 
     # ------------------------------------------------------------------
     def request(self, payload: dict) -> dict:
@@ -68,6 +77,8 @@ class ServerClient:
     ) -> dict:
         """Raw response for a query (no raise on structured errors)."""
         payload = {"op": "query", "sql": sql}
+        if self._accept is not None:
+            payload["accept"] = self._accept
         if timeout is not None:
             payload["timeout"] = timeout
         if query_id is not None:

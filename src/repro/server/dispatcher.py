@@ -32,7 +32,7 @@ from ..obs import get_registry
 from ..query.engine import QueryEngine
 from ..storage.interface import Storage
 from .protocol import CancelledError, DeadlineError
-from .result_cache import QueryResultCache
+from .result_cache import CachedResult, QueryResultCache
 
 #: ``EXPLAIN ANALYZE`` results are measurements of one execution — a
 #: cached breakdown would report a stale timing, so they bypass the
@@ -134,6 +134,9 @@ class Dispatcher:
                 token.raise_if_cancelled()
         rows = self._run(sql)
         if cacheable:
+            # CachedResult memoises the columnar wire encoding, so every
+            # hit on this entry serves byte-identical frames for free.
+            rows = CachedResult(rows)
             self.result_cache.put(sql, rows, generation)
         return rows, False
 

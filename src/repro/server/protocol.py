@@ -1,8 +1,10 @@
 """The serving layer's wire protocol.
 
 A connection carries a sequence of *frames*, each a 4-byte big-endian
-length prefix followed by that many bytes of UTF-8 JSON. Requests are
-objects with an ``op`` field:
+length prefix followed by a body. Request bodies are always UTF-8 JSON;
+response bodies are JSON by default, or the compact *columnar* format
+when the request asked for it (see below). Requests are objects with an
+``op`` field:
 
 ``{"op": "query", "sql": "...", "id": "q1", "timeout": 2.5}``
     Execute one SQL statement. ``id`` (optional) names the query so it
@@ -22,6 +24,27 @@ failures reply a structured error frame
 modelled on HTTP status classes (``busy`` -> 503, ``timeout`` -> 408,
 query and protocol errors -> 400, ``cancelled`` -> 499) so clients can
 distinguish back-pressure from bad requests without string matching.
+
+Columnar responses
+------------------
+
+A request may carry ``"accept": ["columnar"]``. When it does — and the
+result rows form a rectangular table — the response body is encoded as
+typed column arrays instead of row-oriented JSON::
+
+    b"RCF1" | u32 header length | header JSON | column buffers...
+
+The header is ``{"meta": {...}, "n_rows": N, "columns": [{"name",
+"enc", "nbytes"}, ...]}`` where ``meta`` holds every response field
+except ``rows``. ``enc`` is ``i8`` (little-endian int64), ``f8``
+(little-endian IEEE float64, NaN/inf included — bit-exact, unlike
+JSON) or ``json`` (a JSON array, the fallback for strings, bools,
+None and mixed columns). Negotiation is best effort per request:
+servers that predate the format ignore ``accept`` and answer JSON,
+clients that never send it get JSON, and non-rectangular results fall
+back to JSON even when columnar was asked for. :func:`decode_body`
+dispatches on the magic (no JSON object can start with ``R``), so
+either body decodes to the same response dict.
 """
 
 from __future__ import annotations
@@ -31,6 +54,8 @@ import socket
 import struct
 from typing import BinaryIO
 
+import numpy as np
+
 from ..core.errors import ModelarError
 
 #: Length prefix: one unsigned 32-bit big-endian integer.
@@ -39,6 +64,14 @@ HEADER = struct.Struct(">I")
 #: Upper bound on a single frame; a prefix above this means the peer is
 #: not speaking the protocol (or a result is unreasonably large).
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Magic prefix of a columnar response body (version 1). A JSON body
+#: always starts with ``{``, so the first byte disambiguates.
+COLUMNAR_MAGIC = b"RCF1"
+
+#: Wire-format names used in request ``accept`` lists.
+WIRE_JSON = "json"
+WIRE_COLUMNAR = "columnar"
 
 
 # ----------------------------------------------------------------------
@@ -174,7 +207,10 @@ def encode_frame(payload: dict) -> bytes:
 
 
 def decode_body(body: bytes) -> dict:
-    """Parse a frame body; raises :class:`BadRequestError` on junk."""
+    """Parse a frame body (JSON or columnar); raises
+    :class:`BadRequestError` on junk."""
+    if body.startswith(COLUMNAR_MAGIC):
+        return _decode_columnar_body(body)
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -182,6 +218,148 @@ def decode_body(body: bytes) -> dict:
     if not isinstance(payload, dict):
         raise BadRequestError("frame must be a JSON object")
     return payload
+
+
+# ----------------------------------------------------------------------
+# Columnar response encoding
+# ----------------------------------------------------------------------
+def negotiated_wire(request: dict) -> str:
+    """The response wire format a request asked for (default JSON)."""
+    accept = request.get("accept")
+    if isinstance(accept, str):
+        accept = (accept,)
+    if isinstance(accept, (list, tuple)) and WIRE_COLUMNAR in accept:
+        return WIRE_COLUMNAR
+    return WIRE_JSON
+
+
+def _column_encoding(values: list) -> str:
+    """The tightest wire encoding holding every value of one column."""
+    types = {type(value) for value in values}
+    if types == {int}:
+        # int64 covers every timestamp/Tid the engine produces; anything
+        # wider falls back to exact JSON integers.
+        if all(-(2 ** 63) <= value < 2 ** 63 for value in values):
+            return "i8"
+        return "json"
+    if types == {float}:
+        return "f8"
+    return "json"
+
+
+def encode_columns(
+    rows: list[dict],
+) -> tuple[list[dict], list[bytes]] | None:
+    """Column descriptors and payload buffers for a rectangular result.
+
+    Returns None when the rows do not form a rectangle (some row is not
+    a dict, or key order differs) — the caller falls back to JSON.
+    """
+    if not rows:
+        return [], []
+    if not isinstance(rows[0], dict):
+        return None
+    names = list(rows[0].keys())
+    for row in rows:
+        if not isinstance(row, dict) or list(row.keys()) != names:
+            return None
+    columns = []
+    buffers = []
+    for name in names:
+        values = [row[name] for row in rows]
+        encoding = _column_encoding(values)
+        if encoding == "i8":
+            buffer = np.asarray(values, dtype="<i8").tobytes()
+        elif encoding == "f8":
+            buffer = np.asarray(values, dtype="<f8").tobytes()
+        else:
+            buffer = json.dumps(
+                values, separators=(",", ":"), default=_json_default
+            ).encode("utf-8")
+        columns.append(
+            {"name": name, "enc": encoding, "nbytes": len(buffer)}
+        )
+        buffers.append(buffer)
+    return columns, buffers
+
+
+def encode_columnar_frame(payload: dict) -> bytes | None:
+    """Length-prefix and columnar-encode one response, if possible.
+
+    Returns None when the payload has no rectangular ``rows`` list or
+    the encoded body would exceed the frame limit; the caller falls
+    back to :func:`encode_frame`. When ``rows`` is a
+    :class:`~repro.server.result_cache.CachedResult` the encoded
+    columns are memoised on it, so a result-cache hit re-serialises to
+    the exact same bytes without re-encoding.
+    """
+    rows = payload.get("rows")
+    if not isinstance(rows, list):
+        return None
+    encoded = getattr(rows, "columnar_columns", None)
+    if encoded is None:
+        encoded = encode_columns(rows)
+        if encoded is None:
+            return None
+        try:
+            rows.columnar_columns = encoded
+        except AttributeError:
+            pass  # plain lists cannot memoise; CachedResult can
+    columns, buffers = encoded
+    meta = {key: value for key, value in payload.items() if key != "rows"}
+    header = json.dumps(
+        {"meta": meta, "n_rows": len(rows), "columns": columns},
+        separators=(",", ":"),
+        default=_json_default,
+    ).encode("utf-8")
+    body = b"".join(
+        (COLUMNAR_MAGIC, HEADER.pack(len(header)), header, *buffers)
+    )
+    if len(body) > MAX_FRAME_BYTES:
+        return None
+    return HEADER.pack(len(body)) + body
+
+
+def _decode_columnar_body(body: bytes) -> dict:
+    """Decode a columnar body back into the response dict."""
+    try:
+        offset = len(COLUMNAR_MAGIC)
+        (header_length,) = HEADER.unpack_from(body, offset)
+        offset += HEADER.size
+        header = json.loads(body[offset:offset + header_length].decode())
+        offset += header_length
+        n_rows = header["n_rows"]
+        names = []
+        column_values = []
+        for column in header["columns"]:
+            nbytes = column["nbytes"]
+            buffer = body[offset:offset + nbytes]
+            if len(buffer) != nbytes:
+                raise ValueError("truncated column buffer")
+            offset += nbytes
+            encoding = column["enc"]
+            if encoding == "i8":
+                values = np.frombuffer(buffer, dtype="<i8").tolist()
+            elif encoding == "f8":
+                values = np.frombuffer(buffer, dtype="<f8").tolist()
+            elif encoding == "json":
+                values = json.loads(buffer.decode("utf-8"))
+            else:
+                raise ValueError(f"unknown column encoding {encoding!r}")
+            if len(values) != n_rows:
+                raise ValueError("column length disagrees with n_rows")
+            names.append(column["name"])
+            column_values.append(values)
+        payload = dict(header["meta"])
+        payload["rows"] = [
+            {name: column_values[index][position]
+             for index, name in enumerate(names)}
+            for position in range(n_rows)
+        ]
+        return payload
+    except (KeyError, TypeError, ValueError, AttributeError,
+            UnicodeDecodeError, json.JSONDecodeError, struct.error) as exc:
+        raise BadRequestError(f"malformed columnar frame: {exc}") from exc
 
 
 async def read_frame(reader) -> dict | None:
@@ -199,10 +377,24 @@ async def read_frame(reader) -> dict | None:
     return decode_body(body)
 
 
-async def write_frame(writer, payload: dict) -> None:
-    """Write one frame to an asyncio stream and drain."""
-    writer.write(encode_frame(payload))
+async def write_frame(writer, payload: dict, wire: str = WIRE_JSON) -> str:
+    """Write one frame to an asyncio stream and drain.
+
+    ``wire`` is the *requested* response format; returns the format
+    actually used (columnar falls back to JSON for non-rectangular
+    payloads, so the caller can count real columnar responses).
+    """
+    frame = None
+    used = WIRE_JSON
+    if wire == WIRE_COLUMNAR:
+        frame = encode_columnar_frame(payload)
+        if frame is not None:
+            used = WIRE_COLUMNAR
+    if frame is None:
+        frame = encode_frame(payload)
+    writer.write(frame)
     await writer.drain()
+    return used
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,23 @@ from ..obs import get_registry
 _DEFAULT_CAPACITY = 256
 
 
+class CachedResult(list):
+    """A result row list that memoises its columnar wire encoding.
+
+    The wire layer (:func:`repro.server.protocol.encode_columnar_frame`)
+    stores the encoded column buffers here the first time the result is
+    serialised, so every result-cache hit re-serialises to the exact
+    same bytes without re-walking the rows. Behaves as a plain list
+    everywhere else.
+    """
+
+    __slots__ = ("columnar_columns",)
+
+    def __init__(self, rows=()) -> None:
+        super().__init__(rows)
+        self.columnar_columns: tuple[list[dict], list[bytes]] | None = None
+
+
 def normalize_sql(text: str) -> str:
     """Canonical cache key: collapse whitespace, upper-case outside
     string literals (which are preserved byte-for-byte)."""

@@ -35,10 +35,12 @@ from ..obs import get_registry
 from .dispatcher import CancelToken, Dispatcher
 from .metrics import LatencyHistogram, ServerCounters
 from .protocol import (
+    WIRE_COLUMNAR,
     BadRequestError,
     BusyError,
     ErrorCode,
     error_response,
+    negotiated_wire,
     read_frame,
     write_frame,
 )
@@ -72,6 +74,9 @@ class QueryServer:
         self.latency = LatencyHistogram()
         self._query_seconds = get_registry().histogram(
             "server.query_seconds"
+        )
+        self._columnar_responses = get_registry().counter(
+            "server.columnar_responses_total"
         )
         self._executor = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="repro-query"
@@ -154,9 +159,13 @@ class QueryServer:
                     break
                 response = await self._handle_request(request)
                 try:
-                    await write_frame(writer, response)
+                    used = await write_frame(
+                        writer, response, negotiated_wire(request)
+                    )
                 except (ConnectionError, OSError):
                     break
+                if used == WIRE_COLUMNAR:
+                    self._columnar_responses.inc()
         except asyncio.CancelledError:
             pass
         finally:

@@ -1,0 +1,210 @@
+"""Row-vs-columnar equivalence: the read path must be bit-identical.
+
+The columnar read path (``Configuration.columnar_read``) decodes stored
+segments into ``(ticks × series)`` blocks and folds aggregates from
+vectorized slices; the row path walks points one at a time. Both share
+one plan — including the per-subtree pushdown decisions — and promise
+the *same bits*: every float in every result row must compare equal at
+the ``struct.pack`` level, for SUM/MIN/MAX/AVG/COUNT over PMC-Mean,
+Swing and Gorilla segments, with lossy error bounds, scaled correlated
+groups, and time ranges that cut segments mid-way.
+
+Uses hypothesis when installed; otherwise the same properties run over
+seeded pseudo-random cases so the suite stays meaningful without the
+dependency.
+"""
+
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro import Configuration, MemoryStorage, ModelarDB, TimeSeries
+from repro.core.group import TimeSeriesGroup
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+#: The acceptance matrix: scalar baseline, prime-sized, default chunks.
+CHUNK_SIZES = (1, 7, 1024)
+
+START = 1_600_000_000_000  # an epoch-ms origin, mid-2020
+SI = 100
+
+
+def bits(value):
+    """A comparable bit pattern for any result cell."""
+    if isinstance(value, float):
+        return struct.pack("<d", value)
+    return value
+
+
+def assert_rows_bit_identical(columnar_rows, row_rows, context=""):
+    assert len(columnar_rows) == len(row_rows), context
+    for left, right in zip(columnar_rows, row_rows):
+        assert list(left.keys()) == list(right.keys()), context
+        for key in left:
+            assert type(left[key]) is type(right[key]), (context, key)
+            assert bits(left[key]) == bits(right[key]), (
+                context, key, left[key], right[key],
+            )
+
+
+def make_values(rng: random.Random, n_ticks: int, n_columns: int):
+    """Constant holds, linear ramps and rough noise — the regimes that
+    select PMC-Mean, Swing and Gorilla respectively."""
+    base = rng.uniform(-50, 50)
+    matrix = np.empty((n_ticks, n_columns))
+    i = 0
+    while i < n_ticks:
+        run = min(n_ticks - i, rng.randint(1, 14))
+        kind = rng.random()
+        if kind < 0.4:  # hold
+            matrix[i:i + run] = base
+        elif kind < 0.8:  # ramp
+            slope = rng.uniform(-1, 1)
+            matrix[i:i + run] = (
+                base + slope * np.arange(run)
+            )[:, np.newaxis]
+            base = matrix[i + run - 1, 0]
+        else:  # noise
+            matrix[i:i + run] = base + np.array(
+                [
+                    [rng.uniform(-5, 5) for _ in range(n_columns)]
+                    for _ in range(run)
+                ]
+            )
+        i += run
+    return np.float64(np.float32(matrix))
+
+
+def build_db(seed, bound, chunk_size, columnar, grouped=True):
+    """One in-memory instance: a correlated group (distinct scalings)
+    plus a singleton series, same data for any (columnar, chunk_size)."""
+    rng = random.Random(seed)
+    n_ticks = rng.randint(40, 260)
+    matrix = make_values(rng, n_ticks, 3)
+    timestamps = np.arange(n_ticks, dtype=np.int64) * SI + START
+    series = [
+        TimeSeries(
+            tid, SI, timestamps, matrix[:, tid - 1],
+            scaling=(1.0, 2.0, 0.5)[tid - 1],
+        )
+        for tid in (1, 2, 3)
+    ]
+    solo = TimeSeries(4, SI, timestamps, matrix[:, 0] * 1.5 + 3.0)
+    config = Configuration(
+        error_bound=bound,
+        model_length_limit=16,
+        ingest_chunk_size=chunk_size,
+        columnar_read=columnar,
+    )
+    db = ModelarDB(config, storage=MemoryStorage())
+    if grouped:
+        db.ingest([TimeSeriesGroup(1, series), TimeSeriesGroup(2, [solo])])
+    else:
+        db.ingest(series + [solo])
+    return db, n_ticks
+
+
+def query_matrix(n_ticks):
+    """Statements covering every aggregate, both views, partial-segment
+    time ranges, Value predicates and selections."""
+    mid = START + (n_ticks // 2) * SI + SI // 2  # cuts a segment mid-way
+    lo = START + 3 * SI + 1  # off-grid: exercises ceiling clipping
+    return [
+        "SELECT COUNT(*), SUM(*), MIN(*), MAX(*), AVG(*) FROM DataPoint",
+        "SELECT Tid, SUM(*), AVG(*) FROM DataPoint GROUP BY Tid",
+        f"SELECT COUNT(*), SUM(*), MIN(*), MAX(*), AVG(*) FROM DataPoint "
+        f"WHERE TS >= {lo} AND TS <= {mid}",
+        f"SELECT Tid, MIN(*), MAX(*) FROM DataPoint "
+        f"WHERE Tid IN (1, 3, 4) AND TS >= {mid} GROUP BY Tid",
+        "SELECT SUM(*), COUNT(*) FROM DataPoint WHERE Value > 0.0",
+        f"SELECT AVG(*) FROM DataPoint WHERE Value <= 10.0 AND TS <= {mid}",
+        "SELECT COUNT_S(*), SUM_S(*), MIN_S(*), MAX_S(*), AVG_S(*) "
+        "FROM Segment",
+        f"SELECT Tid, SUM_S(*) FROM Segment WHERE TS >= {lo} GROUP BY Tid",
+        "SELECT Tid, CUBE_SUM_MINUTE(*) FROM Segment GROUP BY Tid",
+        "SELECT Tid, CUBE_AVG_MINUTE(*) FROM DataPoint GROUP BY Tid",
+        f"SELECT Tid, TS, Value FROM DataPoint "
+        f"WHERE Value >= -5.0 AND TS <= {mid}",
+        "SELECT * FROM Segment WHERE Tid IN (2, 4)",
+    ]
+
+
+def check_equivalence(seed, bound, chunk_size, grouped=True):
+    columnar, n_ticks = build_db(seed, bound, chunk_size, True, grouped)
+    row, _ = build_db(seed, bound, chunk_size, False, grouped)
+    assert columnar.engine.columnar and not row.engine.columnar
+    for sql in query_matrix(n_ticks):
+        assert_rows_bit_identical(
+            columnar.sql(sql),
+            row.sql(sql),
+            context=f"seed={seed} bound={bound} chunk={chunk_size}: {sql}",
+        )
+
+
+class TestSeededEquivalence:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    @pytest.mark.parametrize("bound", (0.0, 5.0))
+    def test_row_and_columnar_agree_bitwise(self, bound, chunk_size):
+        for seed in range(6):
+            check_equivalence(seed, bound, chunk_size)
+
+    def test_singleton_groups_agree_bitwise(self):
+        # No group compression: every series its own (1-column) segment.
+        for seed in range(4):
+            check_equivalence(seed, 10.0, 1024, grouped=False)
+
+    def test_mixed_model_types_are_exercised(self):
+        db, _ = build_db(seed=1, bound=5.0, chunk_size=1024, columnar=True)
+        mids = {segment.mid for segment in db.storage.segments()}
+        assert len(mids) >= 2, "data should select more than one model type"
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+        bound=st.sampled_from((0.0, 1.0, 5.0, 10.0)),
+        chunk_size=st.sampled_from(CHUNK_SIZES),
+    )
+    def test_equivalence_hypothesis(seed, bound, chunk_size):
+        check_equivalence(seed, bound, chunk_size)
+
+
+# ----------------------------------------------------------------------
+# The decode kernels themselves: values_block == values()[first:last+1]
+# ----------------------------------------------------------------------
+class TestValuesBlockContract:
+    def test_blocks_slice_the_full_reconstruction(self):
+        db, _ = build_db(seed=3, bound=5.0, chunk_size=1024, columnar=True)
+        cache = db.engine.segment_cache
+        checked = 0
+        for segment in db.storage.segments():
+            model = cache.decode(
+                segment.mid,
+                segment.parameters,
+                segment.n_columns,
+                segment.length,
+            )
+            full = model.values()
+            for first, last in [
+                (0, segment.length - 1),
+                (0, 0),
+                (segment.length // 2, segment.length - 1),
+            ]:
+                block = model.values_block(first, last)
+                assert block.shape == (last - first + 1, segment.n_columns)
+                assert (
+                    block.tobytes() == full[first:last + 1].tobytes()
+                ), (segment.mid, first, last)
+                checked += 1
+        assert checked > 0

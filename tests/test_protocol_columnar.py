@@ -1,0 +1,268 @@
+"""The columnar wire format: round-trips, negotiation, cache identity.
+
+The format is an optimization, never a semantic change: any payload
+either encodes to typed column buffers (``RCF1`` body) that decode to
+the *same* payload dict, or it refuses (returns ``None``) and the JSON
+encoder handles it. Negotiation is per request — old clients never see
+columnar bodies, old servers ignore the ``accept`` field — and a result
+-cache hit re-serializes to byte-identical frames on both formats.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro import Configuration, ModelarDB, TimeSeries
+from repro.obs import get_registry
+from repro.server import EmbeddedDispatcher, QueryServer, ServerClient, ServerThread
+from repro.server.protocol import (
+    COLUMNAR_MAGIC,
+    HEADER,
+    WIRE_COLUMNAR,
+    WIRE_JSON,
+    BadRequestError,
+    decode_body,
+    encode_columnar_frame,
+    encode_columns,
+    encode_frame,
+    negotiated_wire,
+    send_frame,
+)
+from repro.server.result_cache import CachedResult
+
+
+def roundtrip(payload):
+    frame = encode_columnar_frame(payload)
+    assert frame is not None
+    assert frame[HEADER.size:].startswith(COLUMNAR_MAGIC)
+    return decode_body(frame[HEADER.size:])
+
+
+def column_encodings(payload):
+    """The per-column ``enc`` tags from an encoded frame's header."""
+    frame = encode_columnar_frame(payload)
+    body = frame[HEADER.size:]
+    (header_length,) = HEADER.unpack_from(body, len(COLUMNAR_MAGIC))
+    start = len(COLUMNAR_MAGIC) + HEADER.size
+    header = json.loads(body[start:start + header_length])
+    return {col["name"]: col["enc"] for col in header["columns"]}
+
+
+class TestRoundTrip:
+    def test_empty_result(self):
+        payload = {"ok": True, "rows": [], "cached": False}
+        assert roundtrip(payload) == payload
+
+    def test_single_row(self):
+        payload = {"ok": True, "rows": [{"Tid": 1, "Value": 2.5, "Name": "x"}]}
+        assert roundtrip(payload) == payload
+
+    def test_typed_encodings(self):
+        payload = {
+            "ok": True,
+            "rows": [
+                {"i": 1, "f": 1.5, "s": "a", "b": True, "n": None},
+                {"i": 2, "f": 2.5, "s": "b", "b": False, "n": None},
+            ],
+        }
+        assert roundtrip(payload) == payload
+        encodings = column_encodings(payload)
+        assert encodings["i"] == "i8"
+        assert encodings["f"] == "f8"
+        # Strings, bools and nulls ride the per-column JSON fallback.
+        assert encodings["s"] == encodings["b"] == encodings["n"] == "json"
+
+    def test_large_result_beyond_64k_rows(self):
+        n = 70_000
+        rows = [{"Tid": i % 7, "Value": i * 0.5} for i in range(n)]
+        decoded = roundtrip({"ok": True, "rows": rows})
+        assert len(decoded["rows"]) == n
+        assert decoded["rows"][0] == {"Tid": 0, "Value": 0.0}
+        assert decoded["rows"][-1] == {"Tid": (n - 1) % 7, "Value": (n - 1) * 0.5}
+
+    def test_nan_and_inf_are_bit_exact(self):
+        rows = [
+            {"v": math.nan},
+            {"v": math.inf},
+            {"v": -math.inf},
+            {"v": -0.0},
+            {"v": 5e-324},  # smallest subnormal
+        ]
+        decoded = roundtrip({"ok": True, "rows": rows})
+        for sent, got in zip(rows, decoded["rows"]):
+            assert struct.pack("<d", sent["v"]) == struct.pack("<d", got["v"])
+
+    def test_int64_range_falls_back_to_json_encoding(self):
+        rows = [{"v": 2 ** 63}]  # does not fit i8
+        payload = {"ok": True, "rows": rows}
+        assert roundtrip(payload) == payload
+        assert column_encodings(payload)["v"] == "json"
+
+    def test_meta_fields_survive(self):
+        payload = {
+            "ok": True,
+            "rows": [{"v": 1}],
+            "cached": True,
+            "elapsed": 0.25,
+            "id": "c1-7",
+        }
+        assert roundtrip(payload) == payload
+
+
+class TestRefusals:
+    def test_non_rectangular_rows_refuse(self):
+        payload = {
+            "ok": True,
+            "rows": [{"a": 1}, {"a": 1, "b": 2}],
+        }
+        assert encode_columnar_frame(payload) is None
+        # The JSON encoder remains the correctness fallback.
+        assert decode_body(encode_frame(payload)[HEADER.size:]) == payload
+
+    def test_key_order_mismatch_refuses(self):
+        payload = {"ok": True, "rows": [{"a": 1, "b": 2}, {"b": 2, "a": 1}]}
+        assert encode_columnar_frame(payload) is None
+
+    def test_non_dict_rows_refuse(self):
+        assert encode_columnar_frame({"ok": True, "rows": [1, 2]}) is None
+
+    def test_payload_without_rows_refuses(self):
+        assert encode_columnar_frame({"ok": True, "pong": True}) is None
+
+    def test_malformed_columnar_body_raises_bad_request(self):
+        frame = encode_columnar_frame({"ok": True, "rows": [{"v": 1.0}]})
+        body = frame[HEADER.size:]
+        with pytest.raises(BadRequestError):
+            decode_body(body[: len(body) - 3])  # truncated buffer
+
+    def test_encode_columns_empty(self):
+        assert encode_columns([]) == ([], [])
+
+
+class TestNegotiation:
+    def test_negotiated_wire(self):
+        assert negotiated_wire({"op": "query"}) == WIRE_JSON
+        assert negotiated_wire({"accept": ["json"]}) == WIRE_JSON
+        assert negotiated_wire({"accept": ["columnar"]}) == WIRE_COLUMNAR
+        assert negotiated_wire({"accept": "columnar"}) == WIRE_COLUMNAR
+        assert negotiated_wire({"accept": ["json", "columnar"]}) == WIRE_COLUMNAR
+
+
+# ----------------------------------------------------------------------
+# Against a live server
+# ----------------------------------------------------------------------
+SQL = "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid"
+
+
+def make_db():
+    timestamps = np.arange(200, dtype=np.int64) * 100
+    series = [
+        TimeSeries(tid, 100, timestamps, np.full(200, float(tid)))
+        for tid in (1, 2)
+    ]
+    db = ModelarDB(Configuration(error_bound=0.0))
+    db.ingest(series)
+    return db
+
+
+class _Harness:
+    def __init__(self, db):
+        self.dispatcher = EmbeddedDispatcher.for_db(db)
+        self.server = QueryServer(self.dispatcher)
+        self.thread = ServerThread(self.server)
+
+    def __enter__(self):
+        return self.thread.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.thread.stop()
+
+
+def raw_body(host, port, payload):
+    """One request, returning the raw (undecoded) response body."""
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.settimeout(10)
+        send_frame(sock, payload)
+        header = b""
+        while len(header) < HEADER.size:
+            header += sock.recv(HEADER.size - len(header))
+        (length,) = HEADER.unpack(header)
+        body = b""
+        while len(body) < length:
+            body += sock.recv(length - len(body))
+    return body
+
+
+def columnar_responses():
+    counters = get_registry().snapshot()["counters"]
+    return counters.get("server.columnar_responses_total", 0)
+
+
+class TestLiveNegotiation:
+    def test_accept_controls_the_body_format(self):
+        db = make_db()
+        with _Harness(db) as (host, port):
+            json_body = raw_body(host, port, {"op": "query", "sql": SQL})
+            columnar_body = raw_body(
+                host, port,
+                {"op": "query", "sql": SQL, "accept": ["columnar"]},
+            )
+        assert json_body.startswith(b"{")
+        assert columnar_body.startswith(COLUMNAR_MAGIC)
+        # Same response either way.
+        left, right = decode_body(json_body), decode_body(columnar_body)
+        left.pop("elapsed", None), right.pop("elapsed", None)
+        right.pop("cached", None), left.pop("cached", None)
+        assert left == right
+
+    def test_clients_agree_and_counter_tracks_fast_path(self):
+        db = make_db()
+        expected = db.sql(SQL)
+        before = columnar_responses()
+        with _Harness(db) as (host, port):
+            with ServerClient(host, port, columnar=True) as fast:
+                fast_rows = [fast.query(SQL) for _ in range(3)]
+            with ServerClient(host, port, columnar=False) as legacy:
+                legacy_rows = legacy.query(SQL)
+        assert legacy_rows == expected
+        assert all(rows == expected for rows in fast_rows)
+        assert columnar_responses() - before == 3
+
+    def test_ping_is_json_even_when_columnar_accepted(self):
+        db = make_db()
+        with _Harness(db) as (host, port):
+            body = raw_body(host, port, {"op": "ping", "accept": ["columnar"]})
+        # No list-of-dicts rows to encode: write_frame falls back to JSON.
+        assert body.startswith(b"{")
+        assert decode_body(body)["pong"] is True
+
+
+class TestCacheByteIdentity:
+    def test_cache_hit_reuses_rows_and_bytes(self):
+        db = make_db()
+        dispatcher = EmbeddedDispatcher.for_db(db)
+        first, cached_first = dispatcher.execute(SQL, token=None)
+        second, cached_second = dispatcher.execute(SQL, token=None)
+        assert not cached_first and cached_second
+        assert second is first  # the cache returns the same object
+        assert isinstance(first, CachedResult)
+
+        payload = {"ok": True, "rows": first, "cached": False}
+        frame_a = encode_columnar_frame(payload)
+        # The encoded columns are memoized on the cached rows...
+        assert first.columnar_columns is not None
+        frame_b = encode_columnar_frame(payload)
+        assert frame_a == frame_b  # ...and re-serialize byte-identically
+        # The JSON encoding is also stable across hits.
+        assert encode_frame(payload) == encode_frame(payload)
+        assert decode_body(frame_a[HEADER.size:]) == {
+            "ok": True,
+            "rows": list(first),
+            "cached": False,
+        }
