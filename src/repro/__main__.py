@@ -189,6 +189,27 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--cache-capacity", type=int, default=256,
         help="query-result cache entries (0 disables caching)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help=(
+            "serve through the sharded tier with this many worker "
+            "processes (0 = embedded single-process serving)"
+        ),
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help=(
+            "replicas per shard (with --shards); >= 2 lets queries "
+            "survive a worker crash via retry-on-replica"
+        ),
+    )
+    parser.add_argument(
+        "--rebalance-every", type=int, default=0,
+        help=(
+            "with --shards: auto-rebalance hot shards every N queries "
+            "(0 disables automatic rebalancing)"
+        ),
+    )
     return parser
 
 
@@ -197,6 +218,9 @@ def run_serve(argv: list[str], out) -> int:
     from .server import EmbeddedDispatcher, QueryServer
 
     arguments = build_serve_parser().parse_args(argv)
+    if arguments.shards < 0 or arguments.replicas < 1:
+        print("error: --shards must be >= 0 and --replicas >= 1", file=out)
+        return 1
 
     with ModelarDB.open(arguments.directory) as db:
         storage = db.storage
@@ -206,11 +230,33 @@ def run_serve(argv: list[str], out) -> int:
                 file=out,
             )
             return 1
-        dispatcher = EmbeddedDispatcher(
-            db.engine,
-            owned_storage=storage,
-            result_cache_capacity=arguments.cache_capacity,
-        )
+        if arguments.shards:
+            from .shard import ShardedCluster, ShardedDispatcher
+
+            tier = ShardedCluster(
+                arguments.shards,
+                n_replicas=arguments.replicas,
+                auto_rebalance_interval=arguments.rebalance_every,
+            )
+            placement = tier.load_storage(storage)
+            print(
+                f"sharded tier: {arguments.shards} workers x "
+                f"{arguments.replicas} replicas, "
+                f"{placement['groups']} groups over "
+                f"{len(placement['shards'])} shards",
+                file=out,
+            )
+            dispatcher = ShardedDispatcher(
+                tier,
+                owns_tier=True,
+                result_cache_capacity=arguments.cache_capacity,
+            )
+        else:
+            dispatcher = EmbeddedDispatcher(
+                db.engine,
+                owned_storage=storage,
+                result_cache_capacity=arguments.cache_capacity,
+            )
         server = QueryServer(
             dispatcher,
             host=arguments.host,

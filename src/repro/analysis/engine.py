@@ -84,6 +84,9 @@ _DEFAULT_RPC_TYPES = (
     "SegmentGroup",
     "ClusterIngestReport",
     "ClusterQueryReport",
+    "ShardMap",
+    "SegmentBatch",
+    "ShardQueryReport",
 )
 
 

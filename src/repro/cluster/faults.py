@@ -35,7 +35,9 @@ from dataclasses import dataclass, field
 from ..core.errors import ModelarError
 
 #: RPC methods a fault may target.
-FAULT_METHODS = ("assign", "ingest", "execute", "flush", "ping")
+FAULT_METHODS = (
+    "assign", "ingest", "execute", "load_segments", "flush", "ping"
+)
 
 #: Supported fault kinds.
 FAULT_KINDS = ("crash", "slow", "drop")
@@ -54,6 +56,11 @@ class Fault:
     kind: str
     delay: float = 0.0
     times: int = 1
+    #: Matching requests to let through unharmed before the fault arms.
+    #: ``after=3`` on an ``execute`` crash kills the worker on its 4th
+    #: execute — how the sharded serving tests (and benchmark crash
+    #: scenario) fire a failure *mid-run* rather than on first contact.
+    after: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -70,6 +77,8 @@ class Fault:
             raise FaultPlanError("fault delay must be >= 0")
         if self.times < 1:
             raise FaultPlanError("fault times must be >= 1")
+        if self.after < 0:
+            raise FaultPlanError("fault after must be >= 0")
 
 
 @dataclass
@@ -90,9 +99,20 @@ class FaultPlan:
                 and fault.method == method
                 and fault.times > 0
             ):
+                if fault.after > 0:
+                    fault.after -= 1
+                    return None
                 fault.times -= 1
                 return fault
         return None
+
+    @classmethod
+    def crash_after(
+        cls, worker_id: int, after: int, method: str = "execute"
+    ) -> "FaultPlan":
+        """Kill ``worker_id`` on its ``after + 1``-th ``method`` — a
+        crash that fires mid-run instead of on first contact."""
+        return cls([Fault(worker_id, method, "crash", after=after)])
 
     # -- convenience constructors --------------------------------------
     @classmethod

@@ -37,6 +37,10 @@ class WorkerNode:
         self.storage = storage if storage is not None else MemoryStorage()
         self.groups: list[TimeSeriesGroup] = []
         self._pending: list[TimeSeriesGroup] = []
+        #: Applied ``load_segments`` batch ids. Segment insertion is an
+        #: append, so idempotency must be explicit: a retried (or
+        #: re-shipped) batch is skipped instead of double-appended.
+        self._loaded_batches: set[str] = set()
         self.stats = IngestStats()
         self._engine = QueryEngine(
             self.storage, self.registry, columnar=config.columnar_read
@@ -92,6 +96,26 @@ class WorkerNode:
         self.stats.merge(stats)
         self._engine.refresh_metadata()
         return elapsed
+
+    def load_segments(self, batch) -> int:
+        """Apply one shipped segment batch (sharded serving's load
+        path); returns the number of segments applied.
+
+        ``batch`` is a :class:`~repro.shard.map.SegmentBatch`-shaped
+        object (duck-typed here so the cluster layer does not import
+        the shard layer): ``batch_id``, ``time_series``, ``model_table``
+        and ``segments``. Idempotent by ``batch_id`` — unlike ``assign``
+        /``ingest``, segment insertion appends, so a duplicated RPC
+        must be rejected, not replayed.
+        """
+        if batch.batch_id in self._loaded_batches:
+            return 0
+        self.storage.insert_time_series(batch.time_series)
+        self.storage.insert_model_table(batch.model_table)
+        self.storage.insert_segments(batch.segments)
+        self._loaded_batches.add(batch.batch_id)
+        self._engine.refresh_metadata()
+        return len(batch.segments)
 
     def execute_partial(
         self, query: Query

@@ -102,6 +102,8 @@ def _dispatch(node: WorkerNode, method: str, payload: object) -> object:
     if method == "execute":
         result, _ = node.execute_partial(payload)
         return result
+    if method == "load_segments":
+        return node.load_segments(payload)
     if method == "flush":
         return node.flush()
     if method == "stats":

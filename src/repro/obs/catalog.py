@@ -178,6 +178,42 @@ _SPECS = (
         "Cumulative worker-reported busy seconds, per worker — the "
         "spread across workers is the per-worker lag.",
     ),
+    # -- sharded serving tier (master side) ----------------------------
+    MetricSpec(
+        "shard.queries_total", COUNTER, (),
+        "Queries scatter-gathered by the sharded serving tier.",
+    ),
+    MetricSpec(
+        "shard.subqueries_total", COUNTER, ("shard",),
+        "Routed subqueries answered, per shard.",
+    ),
+    MetricSpec(
+        "shard.shard_busy_seconds_total", COUNTER, ("shard",),
+        "Worker-reported execution seconds, per shard — the skew "
+        "signal the rebalancer acts on.",
+    ),
+    MetricSpec(
+        "shard.failover_retries_total", COUNTER, (),
+        "Subqueries replayed on another replica after an owner died "
+        "mid-scatter.",
+    ),
+    MetricSpec(
+        "shard.lost_workers_total", COUNTER, (),
+        "Workers retired from the shard map (crash or RPC silence).",
+    ),
+    MetricSpec(
+        "shard.rebalances_total", COUNTER, (),
+        "Hot shards moved to a less busy worker.",
+    ),
+    MetricSpec(
+        "shard.map_generation", GAUGE, (),
+        "Current shard-map generation (bumps on every placement "
+        "change; keys the serving result cache).",
+    ),
+    MetricSpec(
+        "shard.merge_seconds", HISTOGRAM, (),
+        "Master-side time merging per-shard partial results.",
+    ),
     # -- server ---------------------------------------------------------
     MetricSpec(
         "server.connections_total", COUNTER, (),

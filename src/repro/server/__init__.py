@@ -26,6 +26,7 @@ from .protocol import (
     BadRequestError,
     BusyError,
     CancelledError,
+    ConnectionLostError,
     DeadlineError,
     ErrorCode,
     RemoteQueryError,
@@ -40,6 +41,7 @@ __all__ = [
     "CancelToken",
     "CancelledError",
     "ClusterDispatcher",
+    "ConnectionLostError",
     "DeadlineError",
     "Dispatcher",
     "EmbeddedDispatcher",

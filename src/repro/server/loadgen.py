@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..workloads.queries import l_agg, p_r, s_agg
 from .client import ServerClient
+from .protocol import ServerError
 
 #: Back-off after a busy rejection, so a saturated closed loop does not
 #: spin on the admission controller.
@@ -134,6 +135,7 @@ def _client_loop(
     start_barrier: threading.Barrier,
     report: LoadReport,
     lock: threading.Lock,
+    columnar: bool = True,
 ) -> None:
     completed = 0
     rejected = 0
@@ -143,7 +145,7 @@ def _client_loop(
     errors_by_code: dict[str, int] = {}
     first_error: str | None = None
     try:
-        with ServerClient(host, port) as client:
+        with ServerClient(host, port, columnar=columnar) as client:
             # Connect first; the measurement window opens for every
             # client at once when the barrier releases.
             start_barrier.wait(timeout=30)
@@ -153,9 +155,22 @@ def _client_loop(
                 sql = statements[index % len(statements)]
                 index += 1
                 started = time.perf_counter()
-                response = client.query_response(
-                    sql, timeout=request_timeout
-                )
+                try:
+                    response = client.query_response(
+                        sql, timeout=request_timeout
+                    )
+                except ServerError as exc:
+                    # Typed transport failure (retries exhausted inside
+                    # the client): tally it under its error code and
+                    # keep the loop alive — the client re-dials on the
+                    # next request.
+                    errors += 1
+                    errors_by_code[exc.code] = (
+                        errors_by_code.get(exc.code, 0) + 1
+                    )
+                    if first_error is None:
+                        first_error = f"{exc.code}: {exc}"
+                    continue
                 elapsed = time.perf_counter() - started
                 if response.get("ok"):
                     completed += 1
@@ -203,9 +218,11 @@ def run_load(
     clients: int = 8,
     duration: float = 5.0,
     request_timeout: float = 30.0,
+    columnar: bool = True,
 ) -> LoadReport:
     """Drive ``clients`` concurrent closed-loop clients for ``duration``
-    seconds and aggregate their outcomes."""
+    seconds and aggregate their outcomes. ``columnar`` selects the
+    response wire format the clients negotiate (RCF1 vs JSON rows)."""
     if clients < 1:
         raise ValueError("clients must be >= 1")
     if not statements:
@@ -232,6 +249,7 @@ def run_load(
                 barrier,
                 report,
                 lock,
+                columnar,
             ),
             daemon=True,
         )

@@ -87,6 +87,7 @@ class ErrorCode:
     CANCELLED = "cancelled"      # an explicit cancel hit the query
     SHUTDOWN = "shutdown"        # the server is stopping
     INTERNAL = "internal"        # unexpected server-side failure
+    CONNECTION = "connection"    # transport lost after client retries
 
 
 #: HTTP-style status for each code (503 = back-pressure, retry later).
@@ -98,6 +99,7 @@ ERROR_STATUS = {
     ErrorCode.CANCELLED: 499,
     ErrorCode.SHUTDOWN: 503,
     ErrorCode.INTERNAL: 500,
+    ErrorCode.CONNECTION: 503,
 }
 
 
@@ -146,6 +148,19 @@ class BadRequestError(ServerError):
     code = ErrorCode.BAD_REQUEST
 
 
+class ConnectionLostError(ServerError):
+    """The transport failed and client-side retries were exhausted.
+
+    Raised *client-side* by :class:`~repro.server.client.ServerClient`
+    (never sent on the wire): a dropped connection surfaces as a typed,
+    error-coded failure the load generator can tally under
+    ``errors_by_code`` instead of a raw :class:`OSError` crashing the
+    client loop. 503-style: the request may simply be retried later.
+    """
+
+    code = ErrorCode.CONNECTION
+
+
 #: Client-side mapping from a received error code to the exception
 #: raised by :class:`~repro.server.client.ServerClient`.
 ERROR_CLASSES = {
@@ -156,6 +171,7 @@ ERROR_CLASSES = {
     ErrorCode.BAD_REQUEST: BadRequestError,
     ErrorCode.SHUTDOWN: BusyError,
     ErrorCode.INTERNAL: ServerError,
+    ErrorCode.CONNECTION: ConnectionLostError,
 }
 
 

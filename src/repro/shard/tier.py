@@ -1,0 +1,759 @@
+"""The shared-nothing sharded serving tier (master side).
+
+:class:`ShardedCluster` fuses the process-cluster substrate
+(:mod:`repro.cluster.pool`: one OS process per worker, retry/backoff
+RPC, injectable faults) with the serving layer's concurrency model.
+Where :class:`~repro.cluster.ProcessCluster` assumes a single-threaded
+master — one scatter at a time over shared reply queues — this tier is
+built to sit under a multi-threaded front-end:
+
+* every worker gets a private :class:`_ShardChannel` whose lock
+  serialises one request/reply exchange at a time, so *different*
+  queries proceed concurrently as long as they touch different workers
+  (and interleave at exchange granularity on shared ones);
+* placement is delegated to a :class:`~repro.shard.map.ShardMap` —
+  consistent-hash Gid→shard, explicit shard→owners replica tuples, and
+  a generation number bumped on every ownership change;
+* the scatter-gather planner routes each query to the shards whose
+  Tids it can touch (via
+  :func:`~repro.cluster.cluster.restrict_query_to_tids` with an
+  explicit forced ``Tid IN`` predicate, so a worker holding several
+  shards' replicas answers exactly for the shard it was asked about),
+  fans the rewritten subqueries out on a thread pool, and merges the
+  returned picklable :class:`~repro.query.engine.PartialResult`s with
+  the engine's associative fold arithmetic;
+* a worker crash *during* a query is survived by retrying the shard's
+  remaining replicas (the ``execute`` RPC is read-only, so a replay is
+  always safe); when every replica of a shard is gone the tier re-ships
+  the shard's retained payloads to the least-busy survivors and asks
+  again — queries are lost only with the last worker;
+* skew is observable (`shard.shard_busy_seconds_total{shard=…}`) and
+  actionable: :meth:`rebalance` moves the hottest shard's primary to
+  the least-busy non-owner, shipping data before publishing the new
+  owner tuple, and bumps the map generation so cached results computed
+  under the old placement die with it.
+
+Data reaches workers on two paths sharing the same placement: raw
+series are partitioned into groups and ingested on every owner of their
+shard (``assign`` + ``ingest``, both idempotent), while an existing
+store is sharded by shipping per-Gid :class:`SegmentBatch` payloads
+(``load_segments``, idempotent by batch id) — the clean cut between
+logical series and physical placement.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import queue
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..core.config import Configuration
+from ..core.dimensions import DimensionSet
+from ..core.errors import ClusterError, QueryError, WorkerFailure, WorkerRPCError
+from ..core.group import TimeSeriesGroup, singleton_groups
+from ..core.timeseries import TimeSeries
+from ..obs import MetricsRegistry, get_registry
+from ..partitioner.grouping import group_from_config
+from ..query.engine import PartialResult, merge_partial_results
+from ..query.sql import Query, parse
+from ..storage.interface import Storage
+from ..cluster.cluster import restrict_query_to_tids
+from ..cluster.faults import FaultPlan
+from ..cluster.pool import _POLL_SECONDS, _start_method, _WorkerHandle
+from .map import SegmentBatch, ShardMap
+
+
+@dataclass
+class ShardQueryReport:
+    """Measured outcome of one scatter-gather execution.
+
+    Pure data (ints, floats, lists, dicts), so it can cross process
+    boundaries like the cluster reports (RPR004-registered).
+    """
+
+    wall_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    #: Worker-reported execution seconds per shard id.
+    shard_seconds: dict[int, float] = field(default_factory=dict)
+    #: Subqueries scattered (shards touched after routing).
+    subqueries: int = 0
+    #: Replica retries performed because an owner died mid-scatter.
+    retries: int = 0
+    #: Shards whose whole replica set died and was re-placed.
+    recovered_shards: list[int] = field(default_factory=list)
+    #: The shard-map generation the query was planned under.
+    generation: int = 0
+
+
+class _ShardChannel:
+    """One worker's RPC endpoint, safe for multi-threaded masters.
+
+    The cluster's per-worker queues carry one request/reply exchange at
+    a time; the channel lock scopes that exchange so concurrent
+    front-end threads never steal each other's replies. Retry/backoff
+    mirrors :meth:`ProcessCluster._await`: a live-but-silent worker is
+    re-asked with a growing timeout (every resend gets a fresh sequence
+    number, any of them answers the call), a dead or exhausted worker
+    raises :class:`WorkerFailure` for the tier to fail over.
+    """
+
+    def __init__(
+        self,
+        handle: _WorkerHandle,
+        timeout: float,
+        max_retries: int,
+        backoff: float,
+    ) -> None:
+        self.handle = handle
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._backoff = backoff
+        self._lock = threading.Lock()
+
+    @property
+    def alive(self) -> bool:
+        return self.handle.alive
+
+    def call(self, method: str, payload: object) -> tuple[object, float]:
+        """One logical RPC; returns (value, worker-reported seconds)."""
+        retries = 0
+        timeouts = 0
+        posts = 1
+        with self._lock:
+            handle = self.handle
+            handle.seq += 1
+            seqs = {handle.seq}
+            handle.requests.put((handle.seq, method, payload))
+            timeout = self._timeout
+            outcome: tuple[object, float] | None = None
+            failure: WorkerFailure | WorkerRPCError | None = None
+            for attempt in range(self._max_retries + 1):
+                deadline = time.monotonic() + timeout
+                while outcome is None and failure is None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        timeouts += 1
+                        break
+                    try:
+                        reply = handle.replies.get(
+                            timeout=min(_POLL_SECONDS, remaining)
+                        )
+                    except queue.Empty:
+                        if not handle.process.is_alive():
+                            failure = WorkerFailure(
+                                handle.worker_id,
+                                f"process exited with code "
+                                f"{handle.process.exitcode} "
+                                f"during {method!r}",
+                            )
+                        continue
+                    rseq, ok, value, elapsed = reply
+                    if rseq not in seqs:
+                        continue  # stale duplicate of an earlier resend
+                    if not ok:
+                        failure = WorkerRPCError(
+                            f"worker {handle.worker_id} failed "
+                            f"{method!r}: {value}"
+                        )
+                    else:
+                        outcome = (value, elapsed)
+                if outcome is not None or failure is not None:
+                    break
+                if not handle.process.is_alive():
+                    failure = WorkerFailure(
+                        handle.worker_id,
+                        f"process exited with code "
+                        f"{handle.process.exitcode} during {method!r}",
+                    )
+                    break
+                if attempt < self._max_retries:
+                    retries += 1
+                    posts += 1
+                    handle.seq += 1
+                    seqs.add(handle.seq)
+                    handle.requests.put((handle.seq, method, payload))
+                    timeout *= self._backoff
+            if outcome is None and failure is None:
+                failure = WorkerFailure(
+                    handle.worker_id,
+                    f"unresponsive to {method!r} after "
+                    f"{self._max_retries} retries with exponential backoff",
+                )
+        # Instruments carry their own locks (RPR003): bump the RPC
+        # traffic counters only after the channel lock is released.
+        registry = get_registry()
+        registry.counter("cluster.rpc_total", method=method).inc(posts)
+        if retries:
+            registry.counter("cluster.rpc_retries_total").inc(retries)
+        if timeouts:
+            registry.counter("cluster.rpc_timeouts_total").inc(timeouts)
+        if failure is not None:
+            raise failure
+        value, elapsed = outcome
+        registry.counter(
+            "cluster.worker_busy_seconds_total",
+            worker=str(self.handle.worker_id),
+        ).inc(elapsed)
+        return value, elapsed
+
+
+class ShardedCluster:
+    """A shard map, N worker processes, and a concurrent scatter layer.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes to spawn.
+    n_shards:
+        Logical shards on the consistent-hash ring (defaults to
+        ``n_workers`` — one primary shard per worker).
+    n_replicas:
+        Workers holding each shard (capped at ``n_workers``). With
+        ``>= 2`` a worker crash during a query is survived by asking
+        the next replica.
+    config / dimensions / storage_root / fault_plan / timeout /
+    max_retries / backoff / start_method:
+        As in :class:`~repro.cluster.ProcessCluster`.
+    auto_rebalance_interval:
+        When ``> 0``, :meth:`maybe_rebalance` (called by the serving
+        dispatcher after each query) runs :meth:`rebalance` every that
+        many queries. ``0`` leaves rebalancing operator-driven.
+    rebalance_threshold:
+        A shard is "hot" when its busy-seconds exceed this multiple of
+        the mean across populated shards.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        n_shards: int | None = None,
+        n_replicas: int = 1,
+        config: Configuration | None = None,
+        dimensions: DimensionSet | None = None,
+        storage_root: str | os.PathLike | None = None,
+        fault_plan: FaultPlan | None = None,
+        group_compression: bool = True,
+        timeout: float = 10.0,
+        max_retries: int = 3,
+        backoff: float = 2.0,
+        start_method: str | None = None,
+        auto_rebalance_interval: int = 0,
+        rebalance_threshold: float = 2.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ClusterError("the sharded tier needs at least one worker")
+        self.config = config if config is not None else Configuration()
+        self.dimensions = (
+            dimensions if dimensions is not None else DimensionSet()
+        )
+        self.group_compression = group_compression
+        self.map = ShardMap(
+            n_shards if n_shards is not None else n_workers,
+            n_workers,
+            n_replicas,
+        )
+        self.auto_rebalance_interval = auto_rebalance_interval
+        self.rebalance_threshold = rebalance_threshold
+        self._ctx = mp.get_context(start_method or _start_method())
+        self._closed = False
+        #: Serialises placement mutations (retire/recover/rebalance) and
+        #: payload shipping. Lock order is admin -> channel, never the
+        #: reverse: query threads take only channel locks.
+        self._admin_lock = threading.Lock()
+        self._listeners: list[Callable[[int], None]] = []
+        #: Per-shard replica rotation. One *global* counter would alias
+        #: with the scatter order (it advances by the shard count per
+        #: query), pinning every shard to one replica; per-shard
+        #: counters cycle each shard through its replicas query by
+        #: query, spreading read load across the replica set.
+        self._rotation: dict[int, itertools.count] = {}
+        #: Retained per-shard payloads, the recovery/rebalance source of
+        #: truth: raw groups (ingest path) and segment batches (load
+        #: path), keyed by shard id.
+        self._shard_groups: dict[int, list[TimeSeriesGroup]] = {}
+        self._shard_batches: dict[int, list[SegmentBatch]] = {}
+        self._shard_tids: dict[int, set[int]] = {}
+        #: Cumulative worker-reported execute seconds, the rebalancer's
+        #: skew signal (reset after each rebalance window).
+        self._shard_busy: dict[int, float] = {}
+        self._worker_busy: dict[int, float] = {}
+        self.queries = 0
+        self.failover_retries = 0
+        self.lost_workers = 0
+        self.rebalances = 0
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._channels: dict[int, _ShardChannel] = {}
+        for worker_id in range(n_workers):
+            storage_dir = None
+            if storage_root is not None:
+                storage_dir = str(Path(storage_root) / f"worker_{worker_id}")
+            handle = _WorkerHandle(
+                worker_id, self._ctx, self.config, storage_dir, fault_plan
+            )
+            self._handles[worker_id] = handle
+            self._channels[worker_id] = _ShardChannel(
+                handle, timeout, max_retries, backoff
+            )
+        self._executor = ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="shard-scatter"
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "ShardedCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:  # broad-ok: nothing to do in a GC finalizer
+            pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=False)
+        for handle in self._handles.values():
+            if handle.alive and handle.process.is_alive():
+                try:
+                    handle.seq += 1
+                    handle.requests.put((handle.seq, "shutdown", None))
+                except Exception:  # pragma: no cover - queue already gone
+                    pass
+        for handle in self._handles.values():
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            handle.alive = False
+            for channel in (handle.requests, handle.replies):
+                channel.close()
+                channel.cancel_join_thread()
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self.map.generation
+
+    @property
+    def live_worker_ids(self) -> list[int]:
+        return [
+            wid for wid, handle in self._handles.items() if handle.alive
+        ]
+
+    @property
+    def tids(self) -> set[int]:
+        owned: set[int] = set()
+        for tids in self._shard_tids.values():
+            owned |= tids
+        return owned
+
+    def add_generation_listener(
+        self, listener: Callable[[int], None]
+    ) -> None:
+        """Call ``listener(generation)`` after every placement change
+        (worker retirement, shard recovery, rebalance). The serving
+        dispatcher hooks its result-cache invalidation here."""
+        self._listeners.append(listener)
+
+    def stats(self) -> dict:
+        return {
+            "map": self.map.to_dict(),
+            "workers_alive": len(self.live_worker_ids),
+            "workers_total": len(self._handles),
+            "queries": self.queries,
+            "failover_retries": self.failover_retries,
+            "lost_workers": self.lost_workers,
+            "rebalances": self.rebalances,
+            "shard_tids": {
+                str(shard): len(tids)
+                for shard, tids in sorted(self._shard_tids.items())
+            },
+        }
+
+    def metrics(self) -> dict:
+        """Master registry merged with every live worker's snapshot."""
+        combined = MetricsRegistry()
+        combined.merge_snapshot(get_registry().snapshot())
+        for wid in self.live_worker_ids:
+            try:
+                snapshot, _ = self._channels[wid].call("metrics", None)
+                combined.merge_snapshot(snapshot)
+            except WorkerFailure:
+                continue  # died while being asked; its metrics died too
+        return combined.snapshot()
+
+    # -- placement -----------------------------------------------------
+    def partition(
+        self, series: Sequence[TimeSeries]
+    ) -> list[TimeSeriesGroup]:
+        if not self.group_compression or not self.config.correlation:
+            return singleton_groups(series)
+        return group_from_config(
+            series, self.config.correlation, self.dimensions
+        )
+
+    def _place_group(self, group: TimeSeriesGroup) -> int:
+        shard = self.map.shard_of(group.gid)
+        self._shard_groups.setdefault(shard, []).append(group)
+        self._shard_tids.setdefault(shard, set()).update(
+            ts.tid for ts in group
+        )
+        return shard
+
+    def _place_batch(self, batch: SegmentBatch) -> int:
+        shard = self.map.shard_of(batch.gid)
+        self._shard_batches.setdefault(shard, []).append(batch)
+        self._shard_tids.setdefault(shard, set()).update(batch.tids)
+        return shard
+
+    # -- data shipping -------------------------------------------------
+    def _ship_shard(self, worker_id: int, shard: int) -> None:
+        """Make ``worker_id`` a full replica of ``shard`` (idempotent:
+        the worker skips groups and batches it already applied)."""
+        channel = self._channels[worker_id]
+        handle = self._handles[worker_id]
+        groups = self._shard_groups.get(shard, ())
+        unshipped = [
+            group
+            for group in groups
+            if group.gid not in handle.shipped_gids
+        ]
+        if unshipped:
+            channel.call(
+                "assign", (unshipped, self.dimensions or None)
+            )
+            handle.shipped_gids.update(group.gid for group in unshipped)
+            for group in unshipped:
+                if group not in handle.groups:
+                    handle.groups.append(group)
+            channel.call("ingest", None)
+        for batch in self._shard_batches.get(shard, ()):
+            if batch.gid in handle.shipped_gids:
+                continue
+            channel.call("load_segments", batch)
+            handle.shipped_gids.add(batch.gid)
+
+    def ingest(self, series: Sequence[TimeSeries]) -> dict:
+        """Partition raw series, place their groups on the map, and
+        ingest each group on every owner of its shard. Returns a small
+        placement summary."""
+        groups = self.partition(series)
+        shards = sorted({self._place_group(group) for group in groups})
+        self._replicate_shards(shards)
+        return {
+            "groups": len(groups),
+            "shards": shards,
+            "data_points": sum(len(ts) for g in groups for ts in g),
+        }
+
+    def load_storage(self, storage: Storage) -> dict:
+        """Shard an existing store: ship each Gid's Time Series rows,
+        model table and segments to its shard's owners as an idempotent
+        :class:`SegmentBatch`. The master retains the batches so a lost
+        replica can always be rebuilt."""
+        metadata = storage.group_metadata()
+        model_table = storage.model_table()
+        records_by_gid: dict[int, list] = {}
+        for record in storage.time_series():
+            records_by_gid.setdefault(record.gid, []).append(record)
+        shards: set[int] = set()
+        for gid in sorted(metadata):
+            batch = SegmentBatch(
+                batch_id=f"gid-{gid}",
+                gid=gid,
+                time_series=records_by_gid.get(gid, []),
+                model_table=model_table,
+                segments=list(storage.segments(gids=[gid])),
+            )
+            shards.add(self._place_batch(batch))
+        self._replicate_shards(sorted(shards))
+        return {
+            "groups": len(metadata),
+            "shards": sorted(shards),
+            "segments": sum(
+                len(batch.segments)
+                for batches in self._shard_batches.values()
+                for batch in batches
+            ),
+        }
+
+    def _replicate_shards(self, shards: Sequence[int]) -> None:
+        with self._admin_lock:
+            for shard in shards:
+                owners = [
+                    wid
+                    for wid in self.map.owners_of(shard)
+                    if self._handles[wid].alive
+                ]
+                if not owners:
+                    raise ClusterError(
+                        f"no live owner to replicate shard {shard} to"
+                    )
+                for wid in owners:
+                    self._ship_shard(wid, shard)
+
+    # -- scatter-gather ------------------------------------------------
+    def sql(self, text: str) -> tuple[list[dict], ShardQueryReport]:
+        return self.execute(parse(text))
+
+    def execute(self, query: Query) -> tuple[list[dict], ShardQueryReport]:
+        """Scatter a query to owning shards, gather partials, merge.
+
+        Failures are handled per shard: a dead owner is retired from
+        the map (generation bump) and the next replica is asked; a
+        shard with no surviving replica is re-placed and re-shipped
+        from the master's retained payloads before the retry.
+        """
+        wall_started = time.perf_counter()
+        report = ShardQueryReport(generation=self.map.generation)
+        plan: list[tuple[int, Query]] = []
+        for shard in sorted(self._shard_tids):
+            routed = restrict_query_to_tids(
+                query, self._shard_tids[shard], force=True
+            )
+            if routed is not None:
+                plan.append((shard, routed))
+        report.subqueries = len(plan)
+        futures = [
+            (shard, self._executor.submit(self._execute_shard, shard, routed))
+            for shard, routed in plan
+        ]
+        outputs: list[tuple[int, object]] = []
+        first_error: Exception | None = None
+        for shard, future in futures:
+            try:
+                result, elapsed, retries, recovered = future.result()
+            except (ClusterError, WorkerRPCError, QueryError) as exc:
+                first_error = first_error or exc
+                continue
+            outputs.append((shard, result))
+            report.shard_seconds[shard] = elapsed
+            report.retries += retries
+            if recovered:
+                report.recovered_shards.append(shard)
+        if first_error is not None:
+            raise first_error
+        merge_started = time.perf_counter()
+        partials: list[PartialResult] = []
+        rows: list[dict] = []
+        for _, result in sorted(outputs, key=lambda entry: entry[0]):
+            if isinstance(result, PartialResult):
+                partials.append(result)
+            else:
+                rows.extend(result)
+        if partials:
+            rows = merge_partial_results(partials)
+        now = time.perf_counter()
+        report.merge_seconds = now - merge_started
+        report.wall_seconds = now - wall_started
+        self.queries += 1
+        self._record_query_metrics(report)
+        return rows, report
+
+    def _record_query_metrics(self, report: ShardQueryReport) -> None:
+        registry = get_registry()
+        registry.counter("shard.queries_total").inc()
+        for shard, elapsed in report.shard_seconds.items():
+            registry.counter(
+                "shard.subqueries_total", shard=str(shard)
+            ).inc()
+            registry.counter(
+                "shard.shard_busy_seconds_total", shard=str(shard)
+            ).inc(elapsed)
+        if report.retries:
+            registry.counter("shard.failover_retries_total").inc(
+                report.retries
+            )
+        registry.gauge("shard.map_generation").set(self.map.generation)
+        registry.histogram("shard.merge_seconds").record(
+            report.merge_seconds
+        )
+
+    def _execute_shard(
+        self, shard: int, routed: Query
+    ) -> tuple[object, float, int, bool]:
+        """Run one shard's subquery on a replica, failing over in place.
+
+        Returns (result, worker seconds, replica retries, recovered).
+        """
+        retries = 0
+        recovered = False
+        for round_ in range(len(self._handles) + 1):
+            owners = [
+                wid
+                for wid in self.map.owners_of(shard)
+                if self._handles[wid].alive
+            ]
+            if not owners:
+                self._recover_shard(shard)
+                recovered = True
+                continue
+            offset = next(self._rotation.setdefault(shard, itertools.count()))
+            for index in range(len(owners)):
+                wid = owners[(offset + index) % len(owners)]
+                channel = self._channels[wid]
+                if not channel.alive:
+                    continue
+                try:
+                    value, elapsed = channel.call("execute", routed)
+                except WorkerFailure:
+                    self._retire_worker(wid)
+                    retries += 1
+                    continue
+                self._note_busy(shard, wid, elapsed)
+                return value, elapsed, retries, recovered
+        raise ClusterError(
+            f"shard {shard} has no answering replica after "
+            f"{retries} retries"
+        )
+
+    def _note_busy(self, shard: int, worker_id: int, elapsed: float) -> None:
+        with self._admin_lock:
+            self._shard_busy[shard] = (
+                self._shard_busy.get(shard, 0.0) + elapsed
+            )
+            self._worker_busy[worker_id] = (
+                self._worker_busy.get(worker_id, 0.0) + elapsed
+            )
+
+    # -- failure handling ----------------------------------------------
+    def _retire_worker(self, worker_id: int) -> None:
+        """Declare a worker dead: fence the process, drop it from every
+        replica set (one generation bump), notify listeners."""
+        with self._admin_lock:
+            handle = self._handles[worker_id]
+            if not handle.alive:
+                return
+            handle.alive = False
+            if handle.process.is_alive():  # unresponsive, not dead
+                handle.process.terminate()
+            self.map.retire_worker(worker_id)
+            self.lost_workers += 1
+            generation = self.map.generation
+        registry = get_registry()
+        registry.counter("shard.lost_workers_total").inc()
+        registry.counter("cluster.worker_failures_total").inc()
+        self._notify(generation)
+
+    def _recover_shard(self, shard: int) -> None:
+        """Re-place a shard whose whole replica set died: ship the
+        retained payloads to the least-busy survivors, then publish the
+        new owner tuple (generation bump)."""
+        with self._admin_lock:
+            if any(
+                self._handles[wid].alive
+                for wid in self.map.owners_of(shard)
+            ):
+                return  # another thread recovered it first
+            live = [
+                wid
+                for wid, handle in self._handles.items()
+                if handle.alive
+            ]
+            if not live:
+                raise ClusterError("no surviving workers in the tier")
+            live.sort(key=lambda wid: self._worker_busy.get(wid, 0.0))
+            targets = live[: self.map.n_replicas]
+            for wid in targets:
+                self._ship_shard(wid, shard)
+            self.map.set_owners(shard, tuple(targets))
+            generation = self.map.generation
+        get_registry().counter("cluster.failovers_total").inc()
+        self._notify(generation)
+
+    def _notify(self, generation: int) -> None:
+        for listener in self._listeners:
+            try:
+                listener(generation)
+            except Exception:  # broad-ok: listeners must not stop serving
+                pass
+
+    # -- rebalancing ---------------------------------------------------
+    def maybe_rebalance(self) -> list[tuple[int, int, int]]:
+        """Auto-trigger hook for the serving dispatcher: rebalance every
+        ``auto_rebalance_interval`` queries (never when 0)."""
+        interval = self.auto_rebalance_interval
+        if interval <= 0 or self.queries == 0:
+            return []
+        if self.queries % interval != 0:
+            return []
+        return self.rebalance()
+
+    def rebalance(
+        self, threshold: float | None = None, max_moves: int = 1
+    ) -> list[tuple[int, int, int]]:
+        """Move hot shards onto the least-busy workers.
+
+        A shard is hot when its accumulated busy-seconds exceed
+        ``threshold`` times the mean over populated shards. For each
+        (up to ``max_moves``) the shard's data is shipped to the
+        least-busy live non-owner, which then becomes the primary; the
+        coldest previous replica drops off the owner tuple. Returns
+        ``(shard, old primary, new primary)`` moves; the busy window
+        resets after any move so decisions use fresh load.
+        """
+        if threshold is None:
+            threshold = self.rebalance_threshold
+        moves: list[tuple[int, int, int]] = []
+        with self._admin_lock:
+            busy = {
+                shard: self._shard_busy.get(shard, 0.0)
+                for shard in self._shard_tids
+            }
+            populated = [s for s in busy if busy[s] > 0.0]
+            if len(populated) < 2:
+                return []
+            mean = sum(busy[s] for s in populated) / len(populated)
+            if mean <= 0.0:
+                return []
+            hot = sorted(
+                (s for s in populated if busy[s] > threshold * mean),
+                key=lambda s: busy[s],
+                reverse=True,
+            )
+            for shard in hot[:max_moves]:
+                owners = [
+                    wid
+                    for wid in self.map.owners_of(shard)
+                    if self._handles[wid].alive
+                ]
+                candidates = [
+                    wid
+                    for wid, handle in self._handles.items()
+                    if handle.alive and wid not in owners
+                ]
+                if not candidates:
+                    continue
+                target = min(
+                    candidates,
+                    key=lambda wid: self._worker_busy.get(wid, 0.0),
+                )
+                self._ship_shard(target, shard)
+                new_owners = ((target,) + tuple(owners))[
+                    : self.map.n_replicas
+                ]
+                self.map.set_owners(shard, new_owners)
+                moves.append(
+                    (shard, owners[0] if owners else -1, target)
+                )
+            if moves:
+                self._shard_busy = {}
+                self.rebalances += len(moves)
+            generation = self.map.generation
+        if moves:
+            registry = get_registry()
+            registry.counter("shard.rebalances_total").inc(len(moves))
+            registry.gauge("shard.map_generation").set(generation)
+            self._notify(generation)
+        return moves
