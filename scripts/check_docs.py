@@ -20,6 +20,14 @@ Three contracts, all cheap and all static:
    same names — and every rule must have its own ``#### RPR0xx``
    section. Adding or renaming a rule without documenting it fails CI.
 
+4. ``docs/QUERYING.md`` must quote the authoritative SQL grammar
+   (``repro.query.sql.GRAMMAR``) verbatim in its ``ebnf`` block, every
+   statement in its ``sql`` blocks must parse against the real parser,
+   and the examples must collectively exercise every keyword and
+   operator the grammar declares, every aggregate the registry knows,
+   and every time-rollup level. A parser change without the SQL
+   reference following along fails CI.
+
 Exits non-zero with one line per problem.
 """
 
@@ -35,11 +43,18 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.__main__ import SUBCOMMAND_PARSERS, build_main_parser  # noqa: E402
 from repro.analysis.rules import ALL_RULE_SPECS  # noqa: E402
+from repro.core.errors import QueryError  # noqa: E402
 from repro.obs.catalog import CATALOG  # noqa: E402
+from repro.query.aggregates import aggregate_names  # noqa: E402
+from repro.query.engine import EXPLAIN_ANALYZE_RE  # noqa: E402
+from repro.query.rollup import DATEPART_LEVELS, TIME_LEVELS  # noqa: E402
+from repro.query.sql import GRAMMAR  # noqa: E402
+from repro.query.sql import parse as parse_sql  # noqa: E402
 
 METRICS_DOC = REPO_ROOT / "docs" / "METRICS.md"
 OPERATIONS_DOC = REPO_ROOT / "docs" / "OPERATIONS.md"
 DEVELOPMENT_DOC = REPO_ROOT / "docs" / "DEVELOPMENT.md"
+QUERYING_DOC = REPO_ROOT / "docs" / "QUERYING.md"
 
 #: ``| `name` | kind | labels | description |`` rows of the catalog table.
 _METRIC_ROW = re.compile(
@@ -199,16 +214,131 @@ def check_development() -> list[str]:
     return problems
 
 
+def fenced_blocks(text: str, language: str) -> list[str]:
+    """The contents of every ```<language> fenced block, in order."""
+    blocks: list[str] = []
+    current: list[str] | None = None
+    fence_language: str | None = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            if fence_language is None:
+                fence_language = stripped[3:].strip()
+                if fence_language == language:
+                    current = []
+            else:
+                if current is not None:
+                    blocks.append("\n".join(current))
+                    current = None
+                fence_language = None
+            continue
+        if current is not None:
+            current.append(line)
+    return blocks
+
+
+def sql_statements(text: str) -> list[str]:
+    """One statement per blank-line-separated paragraph of ```sql blocks.
+
+    ``--`` comments are stripped; continuation lines are joined."""
+    statements: list[str] = []
+    for block in fenced_blocks(text, "sql"):
+        paragraph: list[str] = []
+        for line in block.splitlines() + [""]:
+            line = line.split("--", 1)[0].rstrip()
+            if line.strip():
+                paragraph.append(line.strip())
+            elif paragraph:
+                statements.append(" ".join(paragraph))
+                paragraph = []
+    return statements
+
+
+def check_querying() -> list[str]:
+    problems: list[str] = []
+    text = QUERYING_DOC.read_text()
+
+    grammar_blocks = fenced_blocks(text, "ebnf")
+    if len(grammar_blocks) != 1:
+        problems.append(
+            f"QUERYING.md: expected exactly one ```ebnf grammar block, "
+            f"found {len(grammar_blocks)}"
+        )
+    elif grammar_blocks[0].strip() != "\n".join(GRAMMAR):
+        problems.append(
+            "QUERYING.md: the ```ebnf block differs from "
+            "repro.query.sql.GRAMMAR — update the reference to match "
+            "the parser"
+        )
+
+    statements = sql_statements(text)
+    if not statements:
+        problems.append("QUERYING.md: no ```sql example statements found")
+    for statement in statements:
+        body = statement
+        explain = EXPLAIN_ANALYZE_RE.match(statement)
+        if explain is not None:
+            body = explain.group("statement")
+        try:
+            parse_sql(body)
+        except QueryError as error:
+            problems.append(
+                f"QUERYING.md: example does not parse ({error}): {statement}"
+            )
+
+    # Every keyword and operator terminal of the grammar must be
+    # exercised by at least one example statement.
+    corpus = " ".join(statements).upper()
+    for keyword in sorted(set(re.findall(r"'([A-Za-z]+)'", "\n".join(GRAMMAR)))):
+        if keyword.upper() not in corpus:
+            problems.append(
+                f"QUERYING.md: grammar keyword {keyword!r} never appears "
+                "in an example statement"
+            )
+    for operator in ("=", "<", "<=", ">", ">="):
+        if not any(operator in statement for statement in statements):
+            problems.append(
+                f"QUERYING.md: operator {operator!r} never appears in an "
+                "example statement"
+            )
+
+    # Every aggregate, every rollup level, and the computed Anomaly
+    # column must be covered.
+    for name in aggregate_names():
+        if f"{name}(" not in corpus and f"{name}_S(" not in corpus:
+            problems.append(
+                f"QUERYING.md: aggregate {name!r} never appears in an "
+                "example statement"
+            )
+    for level in (*TIME_LEVELS, *DATEPART_LEVELS):
+        if level not in text.upper():
+            problems.append(
+                f"QUERYING.md: time-rollup level {level!r} is never "
+                "mentioned"
+            )
+    if "ANOMALY" not in corpus:
+        problems.append(
+            "QUERYING.md: the Anomaly column never appears in an example "
+            "statement"
+        )
+    return problems
+
+
 def main() -> int:
-    problems = check_metrics() + check_operations() + check_development()
+    problems = (
+        check_metrics()
+        + check_operations()
+        + check_development()
+        + check_querying()
+    )
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"{len(problems)} docs consistency problem(s)", file=sys.stderr)
         return 1
     print(
-        "docs consistency: METRICS.md, OPERATIONS.md and DEVELOPMENT.md "
-        "match the code"
+        "docs consistency: METRICS.md, OPERATIONS.md, DEVELOPMENT.md "
+        "and QUERYING.md match the code"
     )
     return 0
 

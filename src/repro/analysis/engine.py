@@ -67,7 +67,7 @@ _DEFAULT_DETERMINISTIC = (
     "src/repro/ingest",
     "src/repro/storage/serialization.py",
 )
-_DEFAULT_KERNELS = ("src/repro/models",)
+_DEFAULT_KERNELS = ("src/repro/models", "src/repro/query/analytics.py")
 _DEFAULT_CATALOG = "repro.obs.catalog:CATALOG"
 _DEFAULT_RPC_TYPES = (
     "PartialResult",

@@ -782,11 +782,21 @@ class ScalarLoopRule(Rule):
     name = "no-scalar-loop-in-kernels"
     summary = (
         "no per-tick `for` loop feeding append/_try_append or calling "
-        "value_at inside the batch kernels' extend/_extend/values_block "
-        "functions"
+        "value_at inside the batch kernels (extend/_extend/values_block "
+        "and the analytics forecast/window-bound kernels)"
     )
 
-    _KERNEL_FUNCTIONS = {"extend", "_extend", "values_block"}
+    _KERNEL_FUNCTIONS = {
+        "extend",
+        "_extend",
+        "values_block",
+        # The model-native analytics kernels (query/analytics.py):
+        # per-series/per-window numpy broadcasts that must not regress
+        # into per-tick scalar loops.
+        "forecast_block",
+        "forecast_halfwidths",
+        "window_lower_bounds",
+    }
 
     def check(self, ctx: FileContext) -> list[Finding]:
         if not ctx.in_scope(self.config.kernel_paths):

@@ -20,7 +20,7 @@ be with even assignment and no interference.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from ..core.config import Configuration
@@ -30,6 +30,7 @@ from ..core.group import TimeSeriesGroup, singleton_groups
 from ..core.timeseries import TimeSeries
 from ..models.registry import ModelRegistry
 from ..partitioner.grouping import group_from_config
+from ..query.analytics import merge_analytics_rows
 from ..query.engine import PartialResult, merge_partial_results
 from ..query.sql import Condition, Query, parse
 from ..storage.interface import Storage
@@ -131,7 +132,9 @@ def restrict_query_to_tids(
         for condition in query.where
         if condition.column.lower() != "tid"
     ) + (Condition("Tid", "IN", tuple(sorted(restricted))),)
-    return Query(query.view, query.select, where, query.group_by)
+    # dataclasses.replace keeps every other field (similar_to, limit,
+    # ...) intact — a positional rebuild would silently drop them.
+    return replace(query, where=where)
 
 
 class ModelarCluster:
@@ -235,6 +238,11 @@ class ModelarCluster:
         started = time.perf_counter()
         if partials:
             rows = merge_partial_results(partials)
+        else:
+            # Similarity keeps the global top-k, forecasts re-sort by
+            # (Tid, TS): workers return rows in worker — not Tid —
+            # order. A no-op for plain selections.
+            rows = merge_analytics_rows(query, rows)
         report.merge_seconds = time.perf_counter() - started
         return rows, report
 

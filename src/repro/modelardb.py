@@ -91,6 +91,7 @@ class ModelarDB:
             self.storage,
             self.registry,
             columnar=self.config.columnar_read,
+            error_bound=self.config.error_bound,
         )
         self._flush_listeners: list[Callable[[], None]] = []
 

@@ -123,6 +123,34 @@ _SPECS = (
         "(ticks x series) blocks decoded by the columnar read path.",
     ),
     MetricSpec(
+        "query.analytics_forecasts_total", COUNTER, (),
+        "Forecast points produced by FORECAST(TS, horizon) statements, "
+        "extrapolated from model parameters.",
+    ),
+    MetricSpec(
+        "query.analytics_similarity_total", COUNTER, (),
+        "SIMILAR TO searches executed.",
+    ),
+    MetricSpec(
+        "query.analytics_windows_total", COUNTER, (),
+        "Candidate windows considered by SIMILAR TO searches.",
+    ),
+    MetricSpec(
+        "query.analytics_windows_pruned_total", COUNTER, (),
+        "Candidate windows discarded by the envelope lower bound "
+        "without reconstructing a single data point.",
+    ),
+    MetricSpec(
+        "query.analytics_anomalies_total", COUNTER, (),
+        "Segment boundaries flagged anomalous while computing the "
+        "Segment view's Anomaly column.",
+    ),
+    MetricSpec(
+        "query.analytics_seconds", HISTOGRAM, (),
+        "Execution latency of the analytics stage (forecast "
+        "extrapolation or similarity search).",
+    ),
+    MetricSpec(
         "query.block_decode_seconds", HISTOGRAM, (),
         "Per-scan time spent decoding segments into columnar blocks.",
     ),

@@ -29,6 +29,7 @@ from ..core.errors import QueryError
 from ..models.registry import ModelRegistry
 from ..obs import SpanRecorder, annotate, get_registry, span
 from ..storage.interface import Storage
+from . import analytics
 from .aggregates import Aggregate, aggregate_by_name
 from .cache import SegmentCache
 from .columnar import compare as _compare
@@ -43,7 +44,16 @@ from .rewriter import (
     rewrite,
 )
 from .rollup import format_bucket, parse_cube_function, rollup_segment
-from .sql import Call, Column, Condition, Query, Star, parse, parse_timestamp
+from .sql import (
+    Call,
+    Column,
+    Condition,
+    Forecast,
+    Query,
+    Star,
+    parse,
+    parse_timestamp,
+)
 from .views import DataPointRow, DataPointView, SegmentView
 
 __all__ = [
@@ -77,6 +87,7 @@ class QueryEngine:
         registry: ModelRegistry,
         cache_capacity: int = 4096,
         columnar: bool = True,
+        error_bound: float = 0.0,
     ) -> None:
         self._storage = storage
         self._registry = registry
@@ -89,11 +100,21 @@ class QueryEngine:
         # strategies fold with identical arithmetic and order, so
         # results are bit-identical either way.
         self._columnar = columnar
+        # The ingestion-time relative error bound (percent). Analytics
+        # propagates it into forecast intervals and anomaly tolerances;
+        # the bound is not persisted per segment, so the opener passes
+        # its configuration's value down.
+        self._error_bound = error_bound
 
     @property
     def columnar(self) -> bool:
         """Whether the block (columnar) execution strategy is active."""
         return self._columnar
+
+    @property
+    def error_bound(self) -> float:
+        """The relative error bound (percent) analytics assumes."""
+        return self._error_bound
 
     # ------------------------------------------------------------------
     # Public interface
@@ -243,10 +264,15 @@ class QueryEngine:
         started = time.perf_counter()
         try:
             with span("plan"):
+                _validate_analytics(query)
                 plan, row_predicates = self._plan(query)
                 decisions = decide_pushdown(query)
                 self._observe_plan(plan, decisions, registry)
-            if query.is_aggregate:
+            if query.has_forecast or query.similar_to is not None:
+                with span("scan"):
+                    rows = self._execute_analytics(query, plan)
+                    annotate(rows=len(rows))
+            elif query.is_aggregate:
                 _validate_aggregate_select(query)
                 with span("scan"):
                     if all(d.segment_only for d in decisions):
@@ -304,7 +330,12 @@ class QueryEngine:
         """Worker-side execution: aggregate queries return mergeable
         partial states (the distributed step of Algorithm 5); selections
         return their rows directly."""
+        _validate_analytics(query)
         plan, row_predicates = self._plan(query)
+        if query.has_forecast or query.similar_to is not None:
+            # Plain-data rows; the master's merge_analytics_rows
+            # re-establishes the single-node total order and top-k.
+            return self._execute_analytics(query, plan)
         if not query.is_aggregate:
             if query.view == "datapoint":
                 return self._execute_point_selection(
@@ -336,6 +367,18 @@ class QueryEngine:
                 start, end = _narrow_interval(start, end, condition)
             elif name == "value":
                 point_conditions.append(condition)
+            elif name == "anomaly":
+                if query.view != "segment":
+                    raise QueryError(
+                        "Anomaly is a Segment view column; query "
+                        "'FROM Segment' to filter on it"
+                    )
+                if condition.operator != "=" or condition.value not in (0, 1):
+                    raise QueryError(
+                        "Anomaly predicates support '= 0' and '= 1' only"
+                    )
+                # Applied during segment selection, after flags are
+                # computed; not a storage-level predicate.
             else:
                 if condition.operator != "=":
                     raise QueryError(
@@ -350,6 +393,70 @@ class QueryEngine:
             end_time=end,
         )
         return rewrite(predicates, self.metadata), point_conditions
+
+    # -- Model-native analytics (FORECAST / SIMILAR TO) --------------------
+    def _execute_analytics(
+        self, query: Query, plan: RewrittenQuery
+    ) -> list[dict]:
+        """One Segment View pass into a signature index, then forecast
+        extrapolation or pruned similarity search from model parameters.
+
+        Shared verbatim by both execution modes (the index and kernels
+        have a single code path), so row and columnar engines return
+        bit-identical analytics rows — the PR 6 contract extends to the
+        analytics surface for free.
+        """
+        registry = get_registry()
+        started = time.perf_counter()
+        try:
+            index = analytics.SignatureIndex(
+                self._segment_view().rows(plan)
+            )
+            if query.has_forecast:
+                (item,) = [
+                    item
+                    for item in query.select
+                    if isinstance(item, Forecast)
+                ]
+                rows = analytics.forecast_rows(
+                    index, item.horizon, self._error_bound
+                )
+                registry.counter("query.analytics_forecasts_total").inc(
+                    len(rows)
+                )
+                annotate(
+                    series=len(index.tids),
+                    horizon=item.horizon,
+                    mode="columnar" if self._columnar else "row",
+                )
+                return rows
+            k = (
+                query.limit
+                if query.limit is not None
+                else analytics.DEFAULT_SIMILARITY_K
+            )
+            stats = analytics.SearchStats()
+            rows = analytics.similarity_rows(
+                index, query.similar_to, k, stats
+            )
+            registry.counter("query.analytics_similarity_total").inc()
+            registry.counter("query.analytics_windows_total").inc(
+                stats.windows
+            )
+            registry.counter("query.analytics_windows_pruned_total").inc(
+                stats.windows - stats.verified
+            )
+            annotate(
+                windows=stats.windows,
+                verified=stats.verified,
+                k=k,
+                mode="columnar" if self._columnar else "row",
+            )
+            return rows
+        finally:
+            registry.histogram("query.analytics_seconds").record(
+                time.perf_counter() - started
+            )
 
     # -- Segment View aggregates ------------------------------------------
     def _accumulate_segment(
@@ -682,9 +789,27 @@ class QueryEngine:
             query,
             ["Tid", "StartTime", "EndTime", "SI", "Mid"],
             self.metadata,
+            extra=("Anomaly",),
         )
+        anomaly_conditions = [
+            condition
+            for condition in query.where
+            if condition.column.lower() == "anomaly"
+        ]
+        wants_flags = anomaly_conditions or any(
+            column.lower() == "anomaly" for column in columns
+        )
+        view_rows = list(self._segment_view().rows(plan))
+        flagged: set[tuple[int, int]] = set()
+        if wants_flags:
+            index = analytics.SignatureIndex(view_rows)
+            flagged = analytics.anomaly_starts(index, self._error_bound)
+            get_registry().counter(
+                "query.analytics_anomalies_total"
+            ).inc(len(flagged))
+            annotate(anomalies=len(flagged))
         results = []
-        for view_row in self._segment_view().rows(plan):
+        for view_row in view_rows:
             row = view_row.row
             values = {
                 "tid": row.tid,
@@ -692,7 +817,13 @@ class QueryEngine:
                 "endtime": row.end_time,
                 "si": row.sampling_interval,
                 "mid": row.mid,
+                "anomaly": int((row.tid, row.start_time) in flagged),
             }
+            if any(
+                values["anomaly"] != condition.value
+                for condition in anomaly_conditions
+            ):
+                continue
             shaped = {}
             for column in columns:
                 name = column.lower()
@@ -939,6 +1070,61 @@ def _narrow_interval(
     return start, end
 
 
+def _validate_analytics(query: Query) -> None:
+    """Shape rules of the analytics surface, enforced before planning.
+
+    FORECAST stands alone in its select list (its result schema is
+    fixed), SIMILAR TO selects ``*`` (its result schema is fixed too),
+    and LIMIT is similarity's k — nothing else is ordered, so nothing
+    else may be truncated.
+    """
+    if query.has_forecast:
+        if len(query.select) != 1:
+            raise QueryError(
+                "FORECAST cannot be combined with other select items; "
+                f"its result schema is fixed to {analytics.FORECAST_COLUMNS}"
+            )
+        if query.view != "datapoint":
+            raise QueryError(
+                "FORECAST extrapolates data points; query 'FROM DataPoint'"
+            )
+        if query.group_by:
+            raise QueryError("FORECAST does not support GROUP BY")
+        if query.similar_to is not None:
+            raise QueryError("FORECAST and SIMILAR TO cannot be combined")
+    if query.similar_to is not None:
+        if len(query.similar_to) < 1:
+            raise QueryError(
+                "the search pattern must be a non-empty sequence"
+            )
+        if query.select != (Star(),):
+            raise QueryError(
+                "SIMILAR TO returns rows "
+                f"{analytics.SIMILARITY_COLUMNS}; select '*'"
+            )
+        if query.group_by:
+            raise QueryError("SIMILAR TO does not support GROUP BY")
+    if query.has_forecast or query.similar_to is not None:
+        for condition in query.where:
+            if condition.column.lower() == "value":
+                raise QueryError(
+                    "Value predicates filter reconstructed points; "
+                    "analytics queries never materialize them — "
+                    "restrict by Tid, TS or dimension members instead"
+                )
+        if query.similar_to is not None:
+            for condition in query.where:
+                if condition.column.lower() in (
+                    "ts", "timestamp", "starttime", "endtime",
+                ):
+                    raise QueryError(
+                        "SIMILAR TO searches whole series; restrict by "
+                        "Tid or dimension members instead of TS"
+                    )
+    if query.limit is not None and query.similar_to is None:
+        raise QueryError("LIMIT is only supported with SIMILAR TO")
+
+
 def _validate_aggregate_select(query: Query) -> None:
     """Plain columns in an aggregate select list must be grouped on."""
     for item in query.select:
@@ -974,11 +1160,17 @@ def _group_key(
 
 
 def _selection_columns(
-    query: Query, default: list[str], metadata: MetadataCache
+    query: Query,
+    default: list[str],
+    metadata: MetadataCache,
+    extra: tuple[str, ...] = (),
 ) -> list[str]:
+    """Validated output columns. ``extra`` names computed columns
+    (``Anomaly``) selectable explicitly but excluded from ``*``."""
     if any(isinstance(item, Star) for item in query.select):
         return default + metadata.dimension_columns()
     known = {name.lower() for name in default}
+    known |= {name.lower() for name in extra}
     known |= {name.lower() for name in metadata.dimension_columns()}
     columns = []
     for item in query.select:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .metadata import MetadataCache
-from .sql import Call, Query
+from .sql import Call, Forecast, Query
 
 
 @dataclass(frozen=True)
@@ -90,6 +90,26 @@ def decide_pushdown(query: Query) -> tuple[PushdownDecision, ...]:
         for condition in query.where
         if condition.column.lower() == "value"
     ]
+    if query.has_forecast:
+        return tuple(
+            PushdownDecision(
+                f"FORECAST(TS,{item.horizon})",
+                True,
+                "forecasts extrapolate model parameters; no stored "
+                "point is reconstructed",
+            )
+            for item in query.select
+            if isinstance(item, Forecast)
+        )
+    if query.similar_to is not None:
+        return (
+            PushdownDecision(
+                "SIMILAR TO",
+                True,
+                "similarity prunes on segment envelopes from model "
+                "parameters; only surviving candidate windows decode",
+            ),
+        )
     if not query.is_aggregate:
         if query.view == "segment":
             decision = PushdownDecision(

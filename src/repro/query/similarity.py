@@ -2,55 +2,27 @@
 
 Section 9 lists "supporting high level analytical queries, e.g.,
 similarity search, to be performed directly on user-defined models" as
-future work. This module implements whole-matching sub-sequence search
-under Euclidean distance with *model-level pruning*:
+future work. The implementation lives in :mod:`repro.query.analytics`
+(which also exposes it through SQL as ``SIMILAR TO``): one Segment View
+pass builds a :class:`~repro.query.analytics.SignatureIndex` of
+per-segment level envelopes, a vectorised per-window lower bound prunes
+from model parameters alone, and only windows whose bound beats the
+current k-th best distance are verified against reconstructed values.
 
-1. every segment yields a value envelope ``[min, max]`` in O(1) for
-   constant/linear models (reconstruction only for lossless ones);
-2. a per-window lower bound on the distance is computed from the
-   envelope alone (a point contributes at least its squared distance to
-   the envelope interval), vectorised over all windows at once;
-3. only windows whose lower bound beats the current k-th best distance
-   are verified against reconstructed values.
-
-On model-friendly data the overwhelming majority of windows is pruned
-without reconstructing a single data point, which is exactly the benefit
-the paper anticipates from pushing analytics onto models.
+This module keeps the original programmatic entry point —
+``similarity_search(engine, pattern, k, tids)`` — as a thin adapter
+over that index.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
-from ..core.errors import QueryError
+from .analytics import Match, SearchStats, SignatureIndex, search
 from .engine import QueryEngine
 from .rewriter import Predicates, rewrite
 
-
-@dataclass(frozen=True)
-class Match:
-    """One similarity-search result."""
-
-    tid: int
-    start_time: int
-    distance: float
-
-
-@dataclass
-class SearchStats:
-    """Pruning effectiveness counters (for tests and curiosity)."""
-
-    windows: int = 0
-    verified: int = 0
-
-    @property
-    def pruned_fraction(self) -> float:
-        if self.windows == 0:
-            return 0.0
-        return 1.0 - self.verified / self.windows
+__all__ = ["Match", "SearchStats", "similarity_search"]
 
 
 def similarity_search(
@@ -66,118 +38,9 @@ def similarity_search(
     requested series under the Euclidean distance; windows containing
     gaps are skipped. Returns matches sorted by distance.
     """
-    query = np.asarray(pattern, dtype=np.float64)
-    if query.ndim != 1 or len(query) < 1:
-        raise QueryError("the search pattern must be a non-empty sequence")
-    if k < 1:
-        raise QueryError("k must be at least 1")
-
-    metadata = engine.metadata
-    requested = list(tids) if tids is not None else sorted(metadata.all_tids())
-    best: list[Match] = []
-    counters = stats if stats is not None else SearchStats()
-
-    for tid in requested:
-        _search_series(engine, tid, query, k, best, counters)
-    best.sort(key=lambda match: match.distance)
-    return best[:k]
-
-
-def _search_series(
-    engine: QueryEngine,
-    tid: int,
-    query: np.ndarray,
-    k: int,
-    best: list[Match],
-    stats: SearchStats,
-) -> None:
-    envelope = _series_envelope(engine, tid)
-    if envelope is None:
-        return
-    timestamps, lower, upper, segments = envelope
-    length = len(query)
-    n_windows = len(timestamps) - length + 1
-    if n_windows < 1:
-        return
-    stats.windows += n_windows
-
-    # Vectorised envelope lower bound: per point, the squared distance
-    # from the pattern value to the [lower, upper] interval; per window,
-    # the sum of those contributions, built offset by offset (pattern
-    # lengths are small compared to series lengths).
-    window_bounds = np.zeros(n_windows)
-    for offset, value in enumerate(query):
-        below = np.maximum(lower[offset:offset + n_windows] - value, 0.0)
-        above = np.maximum(value - upper[offset:offset + n_windows], 0.0)
-        window_bounds += np.maximum(below, above) ** 2
-
-    # Windows crossing a gap are invalid: mark via NaN in the envelope.
-    invalid = np.isnan(lower) | np.isnan(upper)
-    if invalid.any():
-        bad = np.convolve(invalid.astype(np.int64), np.ones(length, dtype=np.int64))
-        window_bounds[bad[length - 1:length - 1 + n_windows] > 0] = np.inf
-
-    order = np.argsort(window_bounds)
-    values_cache: np.ndarray | None = None
-    for index in order:
-        bound = window_bounds[index]
-        threshold = (
-            best[k - 1].distance ** 2 if len(best) >= k else np.inf
-        )
-        if bound > threshold:
-            break  # sorted by bound: nothing later can qualify
-        if not np.isfinite(bound):
-            break
-        if values_cache is None:
-            values_cache = _reconstruct(engine, tid, segments, len(timestamps))
-        stats.verified += 1
-        window = values_cache[index:index + length]
-        if np.isnan(window).any():
-            continue
-        distance = float(np.sqrt(((window - query) ** 2).sum()))
-        if len(best) < k or distance < best[k - 1].distance:
-            best.append(Match(tid, int(timestamps[index]), distance))
-            best.sort(key=lambda match: match.distance)
-            del best[k:]
-
-
-def _series_envelope(engine: QueryEngine, tid: int):
-    """Per-point [lower, upper] envelope from the series' segments.
-
-    Constant-time models answer min/max per segment in O(1); gaps become
-    NaN stretches. Returns (timestamps, lower, upper, segment rows).
-    """
-    plan = rewrite(Predicates(tids=frozenset({tid})), engine.metadata)
-    rows = list(engine._segment_view().rows(plan))
-    if not rows:
-        return None
-    rows.sort(key=lambda view_row: view_row.row.start_time)
-    si = rows[0].row.sampling_interval
-    start = rows[0].row.start_time
-    end = max(view_row.row.end_time for view_row in rows)
-    n_points = (end - start) // si + 1
-    timestamps = start + np.arange(n_points, dtype=np.int64) * si
-    lower = np.full(n_points, np.nan)
-    upper = np.full(n_points, np.nan)
-    for view_row in rows:
-        row = view_row.row
-        first_index = (row.start_time - start) // si
-        last_index = (row.end_time - start) // si
-        low = view_row.model.slice_min(0, row.length - 1, row.column)
-        high = view_row.model.slice_max(0, row.length - 1, row.column)
-        lower[first_index:last_index + 1] = low / row.scaling
-        upper[first_index:last_index + 1] = high / row.scaling
-    return timestamps, lower, upper, rows
-
-
-def _reconstruct(engine, tid, rows, n_points) -> np.ndarray:
-    """Full reconstruction of one series (only for verified candidates)."""
-    si = rows[0].row.sampling_interval
-    start = rows[0].row.start_time
-    values = np.full(n_points, np.nan)
-    for view_row in rows:
-        row = view_row.row
-        first_index = (row.start_time - start) // si
-        column = view_row.model.column_values(row.column) / row.scaling
-        values[first_index:first_index + row.length] = column
-    return values
+    predicates = Predicates(
+        tids=frozenset(tids) if tids is not None else None
+    )
+    plan = rewrite(predicates, engine.metadata)
+    index = SignatureIndex(engine._segment_view().rows(plan))
+    return search(index, pattern, k, stats)

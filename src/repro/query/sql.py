@@ -8,11 +8,19 @@ Supported statements::
         WHERE Category = 'Production' GROUP BY Category
     SELECT TS, Value FROM DataPoint WHERE Tid = 2 AND TS >= 1000 AND TS <= 2000
     SELECT COUNT(*) FROM DataPoint WHERE Tid = 1
+    SELECT FORECAST(TS, 10) FROM DataPoint WHERE Tid = 1
+    SELECT * FROM Segment SIMILAR TO (1.0, 2.0, 3.0) LIMIT 5
+    SELECT Tid, StartTime, Anomaly FROM Segment WHERE Anomaly = 1
 
 Conditions are AND-combined equality/range predicates over ``Tid``,
 ``TS`` and denormalised dimension columns, plus ``Tid IN (...)``. This is
 deliberately the subset the evaluation workloads exercise — S-AGG, L-AGG,
-M-AGG and P/R all parse with it.
+M-AGG and P/R all parse with it — plus the model-native analytics
+surface of :mod:`repro.query.analytics`.
+
+:data:`GRAMMAR` is the authoritative EBNF of everything this parser
+accepts; ``docs/QUERYING.md`` is asserted equal to it by
+``scripts/check_docs.py``, so the SQL reference cannot drift.
 """
 
 from __future__ import annotations
@@ -71,7 +79,19 @@ class Call:
     argument: str  # "*" or a column name
 
 
-SelectItem = Star | Column | Call
+@dataclass(frozen=True)
+class Forecast:
+    """The ``FORECAST(TS, horizon)`` select item.
+
+    Extrapolates every selected series ``horizon`` steps past its last
+    stored point, from model parameters alone (see
+    :mod:`repro.query.analytics`).
+    """
+
+    horizon: int
+
+
+SelectItem = Star | Column | Call | Forecast
 
 
 @dataclass(frozen=True)
@@ -87,10 +107,18 @@ class Query:
     select: tuple[SelectItem, ...]
     where: tuple[Condition, ...] = ()
     group_by: tuple[str, ...] = ()
+    #: The ``SIMILAR TO (...)`` search pattern, or None.
+    similar_to: tuple[float, ...] | None = None
+    #: The ``LIMIT`` row bound (similarity's k), or None.
+    limit: int | None = None
 
     @property
     def is_aggregate(self) -> bool:
         return any(isinstance(item, Call) for item in self.select)
+
+    @property
+    def has_forecast(self) -> bool:
+        return any(isinstance(item, Forecast) for item in self.select)
 
 
 def tokenize(text: str) -> list[str]:
@@ -147,6 +175,8 @@ class _Parser:
             )
         where: tuple[Condition, ...] = ()
         group_by: tuple[str, ...] = ()
+        similar_to: tuple[float, ...] | None = None
+        limit: int | None = None
         if self.at_keyword("WHERE"):
             self.next()
             where = self._parse_conditions()
@@ -154,9 +184,16 @@ class _Parser:
             self.next()
             self.expect_keyword("BY")
             group_by = self._parse_identifier_list()
+        if self.at_keyword("SIMILAR"):
+            self.next()
+            self.expect_keyword("TO")
+            similar_to = self._parse_pattern()
+        if self.at_keyword("LIMIT"):
+            self.next()
+            limit = self._parse_limit()
         if self.peek() is not None:
             raise QueryError(f"unexpected trailing token {self.peek()!r}")
-        return Query(view, select, where, group_by)
+        return Query(view, select, where, group_by, similar_to, limit)
 
     def _parse_select_list(self) -> tuple[SelectItem, ...]:
         items: list[SelectItem] = [self._parse_select_item()]
@@ -171,6 +208,8 @@ class _Parser:
             return Star()
         if not _is_identifier(token):
             raise QueryError(f"invalid select item {token!r}")
+        if token.upper() == "FORECAST" and self.peek() == "(":
+            return self._parse_forecast()
         if self.peek() == "(":
             self.next()
             argument = self.next()
@@ -180,6 +219,60 @@ class _Parser:
                 raise QueryError("expected ')' after aggregate argument")
             return Call(token.upper(), argument)
         return Column(token)
+
+    def _parse_forecast(self) -> Forecast:
+        self.next()  # '('
+        column = self.next()
+        if column.upper() != "TS":
+            raise QueryError(
+                f"FORECAST extrapolates the TS axis; got {column!r}"
+            )
+        if self.next() != ",":
+            raise QueryError("expected ',' after FORECAST(TS")
+        horizon_token = self.next()
+        try:
+            horizon = int(horizon_token)
+        except ValueError:
+            raise QueryError(
+                f"FORECAST horizon must be an integer, got {horizon_token!r}"
+            ) from None
+        if horizon < 1:
+            raise QueryError("FORECAST horizon must be at least 1")
+        if self.next() != ")":
+            raise QueryError("expected ')' after the FORECAST horizon")
+        return Forecast(horizon)
+
+    def _parse_pattern(self) -> tuple[float, ...]:
+        if self.next() != "(":
+            raise QueryError("expected '(' after SIMILAR TO")
+        values = [self._parse_number()]
+        while self.peek() == ",":
+            self.next()
+            values.append(self._parse_number())
+        if self.next() != ")":
+            raise QueryError("expected ')' to close the SIMILAR TO pattern")
+        return tuple(values)
+
+    def _parse_number(self) -> float:
+        token = self.next()
+        try:
+            return float(token)
+        except ValueError:
+            raise QueryError(
+                f"SIMILAR TO patterns take numbers, got {token!r}"
+            ) from None
+
+    def _parse_limit(self) -> int:
+        token = self.next()
+        try:
+            limit = int(token)
+        except ValueError:
+            raise QueryError(
+                f"LIMIT must be an integer, got {token!r}"
+            ) from None
+        if limit < 1:
+            raise QueryError("LIMIT must be at least 1")
+        return limit
 
     def _parse_conditions(self) -> tuple[Condition, ...]:
         conditions = [self._parse_condition()]
@@ -233,6 +326,30 @@ class _Parser:
 
 def _is_identifier(token: str) -> bool:
     return bool(re.fullmatch(r"[A-Za-z_][\w.]*", token))
+
+
+#: The authoritative grammar of this dialect, one production per line.
+#: ``docs/QUERYING.md`` must quote it verbatim (``check_querying()`` in
+#: ``scripts/check_docs.py`` asserts equality), so changing the parser
+#: without updating the SQL reference fails CI.
+GRAMMAR = (
+    "statement   = [ 'EXPLAIN' 'ANALYZE' ] select",
+    "select      = 'SELECT' select_list 'FROM' view"
+    " [ 'WHERE' conditions ]",
+    "              [ 'GROUP' 'BY' identifier { ',' identifier } ]",
+    "              [ 'SIMILAR' 'TO' pattern ] [ 'LIMIT' integer ]",
+    "view        = 'Segment' | 'DataPoint'",
+    "select_list = select_item { ',' select_item }",
+    "select_item = '*' | identifier | aggregate | forecast",
+    "aggregate   = function '(' ( '*' | identifier ) ')'",
+    "forecast    = 'FORECAST' '(' 'TS' ',' integer ')'",
+    "conditions  = condition { 'AND' condition }",
+    "condition   = identifier operator literal",
+    "            | identifier 'IN' '(' literal { ',' literal } ')'",
+    "operator    = '=' | '<' | '<=' | '>' | '>='",
+    "pattern     = '(' number { ',' number } ')'",
+    "literal     = number | integer | string | timestamp",
+)
 
 
 def parse(text: str) -> Query:

@@ -61,6 +61,7 @@ from ..core.group import TimeSeriesGroup, singleton_groups
 from ..core.timeseries import TimeSeries
 from ..obs import MetricsRegistry, get_registry
 from ..partitioner.grouping import group_from_config
+from ..query.analytics import merge_analytics_rows
 from ..query.engine import PartialResult, merge_partial_results
 from ..query.sql import Query, parse
 from ..storage.interface import Storage
@@ -554,6 +555,11 @@ class ShardedCluster:
                 rows.extend(result)
         if partials:
             rows = merge_partial_results(partials)
+        else:
+            # Per-shard top-k similarity rows fold into the global
+            # top-k; forecast rows re-sort by (Tid, TS) since shards
+            # answer in shard order. A no-op for plain selections.
+            rows = merge_analytics_rows(query, rows)
         now = time.perf_counter()
         report.merge_seconds = now - merge_started
         report.wall_seconds = now - wall_started

@@ -2,9 +2,12 @@
 actually catches drift.
 
 ``scripts/check_docs.py`` is the lint-job gate asserting that
-``docs/METRICS.md`` equals the metric catalog and that every command
+``docs/METRICS.md`` equals the metric catalog, that every command
 line in ``docs/OPERATIONS.md`` parses against the real argparse
-parsers. The positive tests here keep the repo green; the negative
+parsers, and that ``docs/QUERYING.md`` quotes the parser's grammar
+verbatim with examples that parse and cover every keyword, operator,
+aggregate and rollup level. The positive tests here keep the repo
+green; the negative
 tests prove the gate fails on a rename — a checker that never fails is
 just documentation about documentation.
 """
@@ -44,6 +47,9 @@ class TestDocsAreConsistent:
 
     def test_reprolint_rule_table_matches_registry(self, checker):
         assert checker.check_development() == []
+
+    def test_querying_reference_matches_parser(self, checker):
+        assert checker.check_querying() == []
 
     def test_main_exits_zero(self, checker, capsys):
         assert checker.main() == 0
@@ -146,6 +152,67 @@ class TestCheckerCatchesDrift:
         monkeypatch.setattr(checker, "DEVELOPMENT_DOC", doc)
         problems = checker.check_development()
         assert any("RPR004" in p and "no '####" in p for p in problems)
+
+    def test_stale_grammar_block_is_reported(
+        self, checker, monkeypatch, tmp_path
+    ):
+        """Simulate a parser change the reference missed: the quoted
+        ebnf block no longer equals repro.query.sql.GRAMMAR."""
+        text = checker.QUERYING_DOC.read_text()
+        doc = tmp_path / "QUERYING.md"
+        doc.write_text(text.replace("'LIMIT' integer", "'TOP' integer"))
+        monkeypatch.setattr(checker, "QUERYING_DOC", doc)
+        problems = checker.check_querying()
+        assert any("differs from" in p and "GRAMMAR" in p for p in problems)
+
+    def test_unparseable_sql_example_is_reported(
+        self, checker, monkeypatch, tmp_path
+    ):
+        text = checker.QUERYING_DOC.read_text()
+        doc = tmp_path / "QUERYING.md"
+        doc.write_text(
+            text + "\n```sql\nSELECT FORECAST(Value, 5) FROM DataPoint\n```\n"
+        )
+        monkeypatch.setattr(checker, "QUERYING_DOC", doc)
+        problems = checker.check_querying()
+        assert any(
+            "does not parse" in p and "FORECAST(Value, 5)" in p
+            for p in problems
+        )
+
+    def test_uncovered_keyword_is_reported(
+        self, checker, monkeypatch, tmp_path
+    ):
+        """Drop every SIMILAR TO example: keyword coverage (derived
+        from the grammar terminals, not a hardcoded list) fires."""
+        text = checker.QUERYING_DOC.read_text()
+        kept = "\n".join(
+            line
+            for line in text.splitlines()
+            if "SIMILAR TO" not in line
+        )
+        doc = tmp_path / "QUERYING.md"
+        doc.write_text(kept)
+        monkeypatch.setattr(checker, "QUERYING_DOC", doc)
+        problems = checker.check_querying()
+        assert any(
+            "'SIMILAR'" in p and "never appears" in p for p in problems
+        )
+
+    def test_uncovered_aggregate_is_reported(
+        self, checker, monkeypatch, tmp_path
+    ):
+        text = checker.QUERYING_DOC.read_text()
+        kept = "\n".join(
+            line
+            for line in text.splitlines()
+            if "MAX" not in line or line.lstrip().startswith("|")
+        )
+        doc = tmp_path / "QUERYING.md"
+        doc.write_text(kept)
+        monkeypatch.setattr(checker, "QUERYING_DOC", doc)
+        problems = checker.check_querying()
+        assert any("'MAX'" in p for p in problems)
 
     def test_metrics_cli_exit_is_nonzero_on_drift(self, checker, monkeypatch):
         catalog = dict(checker.CATALOG)

@@ -273,3 +273,35 @@ class TestShardedSmoke:
             catalog = dispatcher.catalog()
             assert catalog["replicas"] == 2
             assert catalog["generation"] == tier.generation
+
+    def test_analytics_scatter_gather_matches_single_node(self):
+        """FORECAST and SIMILAR TO under scatter-gather: per-shard
+        analytics rows merged master-side (`merge_analytics_rows`) must
+        equal the single-node engine's answer exactly — forecasts
+        re-sorted into (Tid, TS) order across disjoint shard Tids, and
+        the per-shard top-k lists re-cut to the global top-k under the
+        (Distance, Tid, StartTime) total order."""
+        series = make_series()
+        pattern = ", ".join(
+            repr(round(float(value), 3)) for value in series[2].values[60:65]
+        )
+        statements = (
+            "SELECT FORECAST(TS, 8) FROM DataPoint",
+            f"SELECT * FROM DataPoint SIMILAR TO ({pattern}) LIMIT 5",
+        )
+        reference = ModelarDB(self.CONFIG)
+        reference.ingest(series)
+        with ShardedCluster(2, config=self.CONFIG) as tier:
+            tier.ingest(series)
+            for sql in statements:
+                rows, report = tier.sql(sql)
+                assert rows == reference.sql(sql), sql
+                assert report.subqueries >= 1
+            # Segment selections merge by pass-through, so shard order
+            # differs from Tid order; anomaly flags must still agree.
+            flags = "SELECT Tid, StartTime FROM Segment WHERE Anomaly = 1"
+            rows, _ = tier.sql(flags)
+            key = lambda row: (row["Tid"], row["StartTime"])
+            assert sorted(rows, key=key) == sorted(
+                reference.sql(flags), key=key
+            )

@@ -3,7 +3,15 @@
 import pytest
 
 from repro.core.errors import QueryError
-from repro.query.sql import Call, Column, Condition, Query, Star, parse
+from repro.query.sql import (
+    Call,
+    Column,
+    Condition,
+    Forecast,
+    Query,
+    Star,
+    parse,
+)
 
 
 class TestSelect:
@@ -104,8 +112,10 @@ class TestErrors:
             parse("SELECT COUNT_S(*) FROM Segment WHERE Tid IN (1, 2")
 
     def test_trailing_tokens(self):
+        # LIMIT itself is grammar now (similarity's k); anything after
+        # the LIMIT clause is still trailing garbage.
         with pytest.raises(QueryError):
-            parse("SELECT COUNT_S(*) FROM Segment LIMIT 5")
+            parse("SELECT COUNT_S(*) FROM Segment LIMIT 5 extra")
 
     def test_unclosed_call(self):
         with pytest.raises(QueryError):
@@ -118,3 +128,56 @@ class TestErrors:
     def test_garbage_token(self):
         with pytest.raises(QueryError):
             parse("SELECT SUM_S(*) FROM Segment WHERE Tid = ;")
+
+
+class TestAnalytics:
+    def test_forecast(self):
+        query = parse("SELECT FORECAST(TS, 10) FROM DataPoint WHERE Tid = 1")
+        assert query.select == (Forecast(10),)
+        assert query.has_forecast
+        assert not query.is_aggregate
+        assert query.where == (Condition("Tid", "=", 1),)
+
+    def test_forecast_keyword_case_insensitive(self):
+        query = parse("select forecast(ts, 3) from datapoint")
+        assert query.select == (Forecast(3),)
+
+    def test_similar_to_pattern_and_limit(self):
+        query = parse(
+            "SELECT * FROM DataPoint SIMILAR TO (1.0, -2.5, 3) LIMIT 5"
+        )
+        assert query.similar_to == (1.0, -2.5, 3.0)
+        assert query.limit == 5
+        assert query.select == (Star(),)
+
+    def test_similar_to_without_limit(self):
+        query = parse("SELECT * FROM Segment SIMILAR TO (4.5)")
+        assert query.similar_to == (4.5,)
+        assert query.limit is None
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # FORECAST extrapolates the TS axis only, with an integer
+            # horizon of at least 1.
+            "SELECT FORECAST(Value, 5) FROM DataPoint",
+            "SELECT FORECAST(TS, 0) FROM DataPoint",
+            "SELECT FORECAST(TS, -3) FROM DataPoint",
+            "SELECT FORECAST(TS, 2.5) FROM DataPoint",
+            "SELECT FORECAST(TS, x) FROM DataPoint",
+            "SELECT FORECAST(TS 5) FROM DataPoint",
+            "SELECT FORECAST(TS, 5 FROM DataPoint",
+            # SIMILAR TO takes a parenthesized numeric pattern.
+            "SELECT * FROM DataPoint SIMILAR TO 1.0",
+            "SELECT * FROM DataPoint SIMILAR TO ()",
+            "SELECT * FROM DataPoint SIMILAR TO (1.0, x)",
+            "SELECT * FROM DataPoint SIMILAR TO (1.0, 2.0",
+            # LIMIT takes an integer of at least 1.
+            "SELECT * FROM DataPoint SIMILAR TO (1.0) LIMIT 0",
+            "SELECT * FROM DataPoint SIMILAR TO (1.0) LIMIT -1",
+            "SELECT * FROM DataPoint SIMILAR TO (1.0) LIMIT many",
+        ],
+    )
+    def test_malformed_analytics(self, sql):
+        with pytest.raises(QueryError):
+            parse(sql)
