@@ -14,6 +14,7 @@ from repro import Configuration, ModelarDB
 from repro.core.segment import GAP_TRIPLE_BYTES
 from repro.datasets import generate_ep
 from repro.datasets.ep import EP_CORRELATION
+from repro.storage import SegmentScan
 
 from .conftest import format_table
 
@@ -39,11 +40,11 @@ def test_ablation_gap_storage(benchmark, report):
     # Segments whose gap set is non-empty exist only because of method
     # two; their overhead approximates the method's cost.
     gap_segments = sum(
-        1 for segment in db.storage.segments() if segment.gaps
+        1 for segment in db.storage.scan(SegmentScan()) if segment.gaps
     )
     segment_overhead = sum(
         segment.storage_bytes()
-        for segment in db.storage.segments()
+        for segment in db.storage.scan(SegmentScan())
         if segment.gaps
     )
     report(

@@ -35,6 +35,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro import Configuration, ModelarDB  # noqa: E402
 from repro.core.group import TimeSeriesGroup  # noqa: E402
 from repro.core.timeseries import TimeSeries  # noqa: E402
+from repro.storage import SegmentScan  # noqa: E402
 
 GROUP_SIZES = (1, 8, 32)
 SAMPLING_INTERVAL = 100
@@ -90,7 +91,7 @@ def store_signature(db: ModelarDB):
     return sorted(
         (s.gid, s.start_time, s.end_time, s.mid, bytes(s.parameters),
          tuple(sorted(s.gaps)))
-        for s in db.storage.segments()
+        for s in db.storage.scan(SegmentScan())
     )
 
 

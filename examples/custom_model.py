@@ -111,7 +111,7 @@ def main():
         mix = {k: round(v, 1) for k, v in stats.model_mix().items()}
         print(f"cascade {models}:")
         print(f"  storage {db.size_bytes()} bytes, mix {mix}")
-        total = db.sql("SELECT SUM_S(*) FROM Segment")[0]["SUM_S(*)"]
+        total = db.query("SELECT SUM_S(*) FROM Segment")[0]["SUM_S(*)"]
         print(f"  SUM over all points: {total:.0f}\n")
 
 

@@ -60,7 +60,7 @@ def main():
     print(f"model mix: {dict((k, round(v, 1)) for k, v in stats.model_mix().items())}")
 
     print("\nper-park five-minute averages (on models):")
-    rows = db.sql(
+    rows = db.query(
         "SELECT Park, CUBE_AVG_MINUTE(*) FROM Segment GROUP BY Park"
     )
     for row in rows[:6]:

@@ -31,7 +31,7 @@ def main():
             path, config=config, dimensions=dataset.dimensions
         ) as db:
             db.ingest(dataset.series)
-            before = db.sql("SELECT COUNT_S(*), SUM_S(*) FROM Segment")[0]
+            before = db.query("SELECT COUNT_S(*), SUM_S(*) FROM Segment")[0]
             segments = db.segment_count()
         print(f"wrote {segments} segments to {path}")
         for file in sorted(path.iterdir()):
@@ -39,7 +39,7 @@ def main():
 
         # A fresh process would do exactly this: open the directory.
         with ModelarDB.open(path, config=config) as reopened:
-            after = reopened.sql("SELECT COUNT_S(*), SUM_S(*) FROM Segment")[0]
+            after = reopened.query("SELECT COUNT_S(*), SUM_S(*) FROM Segment")[0]
         print(f"\nbefore close: {before}")
         print(f"after reopen: {after}")
         assert before == after

@@ -58,14 +58,14 @@ def main():
     print(f"model mix {dict((k, round(v, 1)) for k, v in stats.model_mix().items())}")
 
     print("\naverage temperature per sensor (Segment View, on models):")
-    for row in db.sql(
+    for row in db.query(
         "SELECT Tid, AVG_S(*) FROM Segment WHERE Tid IN (1, 2, 3, 4, 5, 6) "
         "GROUP BY Tid"
     ):
         print(f"  sensor {row['Tid']}: {row['AVG_S(*)']:.2f} °C")
 
     print("\nhourly maxima for the Aalborg park (time rollup on models):")
-    rows = db.sql(
+    rows = db.query(
         "SELECT Park, CUBE_MAX_HOUR(*) FROM Segment "
         "WHERE Park = 'Aalborg' GROUP BY Park"
     )
@@ -75,11 +75,24 @@ def main():
 
     print("\nraw readings around noon (Data Point View, reconstructed):")
     noon = 720 * SI_MS
-    for row in db.sql(
+    for row in db.query(
         f"SELECT TS, Value FROM DataPoint WHERE Tid = 1 AND TS >= {noon} "
         f"AND TS <= {noon + 3 * SI_MS}"
     ):
         print(f"  t={row['TS']}: {row['Value']:.3f} °C")
+
+    print("\ncorrect a miscalibrated reading, then query both worlds:")
+    before = db.knowledge_time()
+    db.correct([(1, noon, 42.0)])  # sensor 1 really read 42.0 at noon
+    latest = db.query(
+        f"SELECT TS, Value FROM DataPoint WHERE Tid = 1 AND TS = {noon}"
+    )
+    original = db.query(
+        f"SELECT TS, Value FROM DataPoint WHERE Tid = 1 AND TS = {noon}",
+        as_of=before,  # same as "... FROM DataPoint AS OF {before} ..."
+    )
+    print(f"  latest known : {latest[0]['Value']:.3f} °C")
+    print(f"  as of t={before}    : {original[0]['Value']:.3f} °C")
 
 
 if __name__ == "__main__":

@@ -51,7 +51,7 @@ def main():
         print(f"  gid {group.gid}: tids {list(group.tids)}")
 
     print("\nmonthly production by category (M-AGG-One, on models):")
-    for row in db.sql(
+    for row in db.query(
         "SELECT Category, CUBE_SUM_MONTH(*) FROM Segment "
         "WHERE Category = 'ProductionMWh' GROUP BY Category"
     ):
@@ -61,7 +61,7 @@ def main():
         )
 
     print("\ndrill-down to concrete measures (M-AGG-Two), first plant:")
-    rows = db.sql(
+    rows = db.query(
         "SELECT Concrete, Tid, CUBE_SUM_MONTH(*) FROM Segment "
         "WHERE Category = 'ProductionMWh' GROUP BY Concrete, Tid"
     )

@@ -19,6 +19,7 @@ from .models.registry import ModelRegistry
 from .storage.filestore import FileStorage
 from .storage.interface import Storage
 from .storage.memory import MemoryStorage
+from .storage.scan import SegmentScan
 
 __version__ = "2.0.0"
 
@@ -40,5 +41,6 @@ __all__ = [
     "Storage",
     "FileStorage",
     "MemoryStorage",
+    "SegmentScan",
     "__version__",
 ]

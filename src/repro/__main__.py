@@ -97,9 +97,9 @@ def describe_tables(engine: QueryEngine) -> str:
     return "\n".join(lines)
 
 
-def run_statement(engine: QueryEngine, statement: str, out) -> None:
+def run_statement(db: ModelarDB, statement: str, out) -> None:
     try:
-        rows = engine.sql(statement)
+        rows = db.query(statement)
     except ModelarError as error:
         print(f"error: {error}", file=out)
         return
@@ -523,7 +523,7 @@ def _main(argv: list[str] | None = None, out=None) -> int:
         engine = db.engine
 
         if arguments.command:
-            run_statement(engine, arguments.command, out)
+            run_statement(db, arguments.command, out)
             return 0
 
         print(
@@ -544,7 +544,7 @@ def _main(argv: list[str] | None = None, out=None) -> int:
             if line == "\\dt":
                 print(describe_tables(engine), file=out)
                 continue
-            run_statement(engine, line, out)
+            run_statement(db, line, out)
     return 0
 
 

@@ -87,6 +87,7 @@ _DEFAULT_RPC_TYPES = (
     "ShardMap",
     "SegmentBatch",
     "ShardQueryReport",
+    "SegmentScan",
 )
 
 

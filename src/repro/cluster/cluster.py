@@ -32,7 +32,7 @@ from ..models.registry import ModelRegistry
 from ..partitioner.grouping import group_from_config
 from ..query.analytics import merge_analytics_rows
 from ..query.engine import PartialResult, merge_partial_results
-from ..query.sql import Condition, Query, parse
+from ..query.sql import Condition, Query, apply_as_of, parse
 from ..storage.interface import Storage
 from .node import WorkerNode
 
@@ -211,13 +211,16 @@ class ModelarCluster:
     # ------------------------------------------------------------------
     # Distributed queries
     # ------------------------------------------------------------------
-    def sql(self, text: str) -> tuple[list[dict], ClusterQueryReport]:
+    def sql(
+        self, text: str, *, as_of: int | None = None
+    ) -> tuple[list[dict], ClusterQueryReport]:
         """Execute a statement across the cluster.
 
         The master routes by Tid where the query names series, scatters,
         and merges worker partials; returns (rows, timing report).
+        ``as_of`` bounds the read at a knowledge time on every worker.
         """
-        return self.execute(parse(text))
+        return self.execute(apply_as_of(parse(text), as_of))
 
     def execute(self, query: Query) -> tuple[list[dict], ClusterQueryReport]:
         report = ClusterQueryReport()

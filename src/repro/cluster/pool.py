@@ -63,7 +63,7 @@ from ..models.registry import ModelRegistry
 from ..obs import MetricsRegistry, get_registry
 from ..partitioner.grouping import group_from_config
 from ..query.engine import PartialResult, merge_partial_results
-from ..query.sql import Query, parse
+from ..query.sql import Query, apply_as_of, parse
 from ..storage.filestore import FileStorage
 from ..storage.memory import MemoryStorage
 from .cluster import (
@@ -400,9 +400,11 @@ class ProcessCluster:
         )
 
     # -- distributed queries -------------------------------------------
-    def sql(self, text: str) -> tuple[list[dict], ClusterQueryReport]:
+    def sql(
+        self, text: str, *, as_of: int | None = None
+    ) -> tuple[list[dict], ClusterQueryReport]:
         """Execute a statement across the cluster (parse + execute)."""
-        return self.execute(parse(text))
+        return self.execute(apply_as_of(parse(text), as_of))
 
     def execute(self, query: Query) -> tuple[list[dict], ClusterQueryReport]:
         """Scatter a rewritten query, gather partials, merge, survive

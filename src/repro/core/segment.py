@@ -31,6 +31,11 @@ SEGMENT_OVERHEAD_BYTES = 24
 #: trade-off ablation (4B tid + 8B start + 8B end).
 GAP_TRIPLE_BYTES = 20
 
+#: Extra bytes a revised segment row carries on disk (4B revision +
+#: 8B knowledge time). Base-generation rows pay nothing, keeping the
+#: paper's 24 + sizeof(Model) accounting exact for append-only stores.
+REVISION_EXTENSION_BYTES = 12
+
 
 @dataclass(frozen=True)
 class SegmentGroup:
@@ -57,6 +62,18 @@ class SegmentGroup:
     group_tids:
         All Tids of the group in column order (metadata-cache information
         carried on the runtime object; not serialised per segment).
+    revision:
+        Segment generation. ``0`` is the base generation produced by
+        in-order ingestion; corrections and late arrivals re-fit the
+        affected window and emit superseding segments keyed by
+        ``(gid, end_time, revision)`` with a strictly higher revision.
+        A segment is shadowed by any same-gid segment of higher revision
+        overlapping its time range.
+    knowledge_time:
+        The store's monotonically increasing knowledge-time counter
+        value stamped when the revision was flushed; ``0`` means
+        unstamped (base generation, known since the beginning). ``AS OF
+        k`` queries see only revisions with ``knowledge_time <= k``.
     """
 
     gid: int
@@ -67,6 +84,8 @@ class SegmentGroup:
     parameters: bytes
     gaps: frozenset[int] = frozenset()
     group_tids: tuple[int, ...] = ()
+    revision: int = 0
+    knowledge_time: int = 0
 
     def __post_init__(self) -> None:
         if self.end_time < self.start_time:
@@ -81,6 +100,10 @@ class SegmentGroup:
             )
         if not self.gaps <= set(self.group_tids):
             raise ModelarError("gap tids must be a subset of the group tids")
+        if self.revision < 0 or self.knowledge_time < 0:
+            raise ModelarError(
+                "segment revision and knowledge time must be non-negative"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -158,8 +181,16 @@ class SegmentGroup:
         return True
 
     def storage_bytes(self) -> int:
-        """Approximate on-disk footprint (overhead + model parameters)."""
-        return SEGMENT_OVERHEAD_BYTES + len(self.parameters)
+        """Approximate on-disk footprint (overhead + model parameters).
+
+        Revised rows additionally carry their revision/knowledge stamp
+        (:data:`REVISION_EXTENSION_BYTES`)."""
+        extension = (
+            REVISION_EXTENSION_BYTES
+            if self.revision or self.knowledge_time
+            else 0
+        )
+        return SEGMENT_OVERHEAD_BYTES + extension + len(self.parameters)
 
 
 @dataclass(frozen=True)

@@ -2,6 +2,7 @@
 
 from .generator import SegmentGenerator, SegmentSink
 from .ingestor import Ingestor, group_ticks
+from .revisions import CorrectionPoint, apply_corrections
 from .splitter import GroupIngestor, within_double_bound
 from .stats import IngestStats, ModelUsage
 from .streaming import StreamingIngestor
@@ -11,6 +12,8 @@ __all__ = [
     "SegmentSink",
     "Ingestor",
     "group_ticks",
+    "CorrectionPoint",
+    "apply_corrections",
     "GroupIngestor",
     "within_double_bound",
     "IngestStats",

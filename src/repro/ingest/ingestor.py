@@ -40,6 +40,10 @@ def record_ingest_stats(stats: IngestStats) -> None:
     registry.counter("ingest.scalar_fallback_ticks_total").inc(
         stats.fallback_ticks
     )
+    registry.counter("ingest.revisions_total").inc(stats.revisions)
+    registry.counter("ingest.out_of_order_points_total").inc(
+        stats.out_of_order_points
+    )
     for name, usage in stats.usage.items():
         registry.counter(
             "ingest.segments_total", model=name

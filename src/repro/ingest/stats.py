@@ -37,6 +37,11 @@ class IngestStats:
     #: Ticks the batch path handed to the scalar loop because a dynamic
     #: split was active (sub-generators cover different column subsets).
     fallback_ticks: int = 0
+    #: Superseding segment revisions emitted by the correction path.
+    revisions: int = 0
+    #: Correction points that arrived after their group window was
+    #: already flushed (late or corrected data).
+    out_of_order_points: int = 0
     usage: dict[str, ModelUsage] = field(default_factory=dict)
     #: Fit attempts per model type — every time a model instance was
     #: offered a data point batch, whether or not it won the emit.
@@ -79,6 +84,8 @@ class IngestStats:
         self.joins += other.joins
         self.chunks += other.chunks
         self.fallback_ticks += other.fallback_ticks
+        self.revisions += other.revisions
+        self.out_of_order_points += other.out_of_order_points
         for name, usage in other.usage.items():
             mine = self.usage.setdefault(name, ModelUsage())
             mine.segments += usage.segments

@@ -35,6 +35,7 @@ from .core.dimensions import DimensionSet
 from .core.group import TimeSeriesGroup, singleton_groups
 from .core.timeseries import TimeSeries
 from .ingest.ingestor import Ingestor
+from .ingest.revisions import CorrectionPoint, apply_corrections
 from .ingest.stats import IngestStats
 from .models.base import ModelType
 from .models.registry import ModelRegistry
@@ -211,12 +212,57 @@ class ModelarDB:
         for listener in self._flush_listeners:
             listener()
 
+    def correct(
+        self, points: Iterable[CorrectionPoint]
+    ) -> IngestStats:
+        """Apply late or corrected data points as segment revisions.
+
+        ``points`` is an iterable of ``(tid, timestamp, value)`` tuples
+        (``None`` as the value erases the point). Each affected group
+        window is re-fitted and superseding revisions are flushed,
+        stamped with the store's next knowledge-time tick — reads
+        default to the corrected state, ``AS OF`` a prior
+        :meth:`knowledge_time` reproduces the pre-correction answers.
+        """
+        stats = apply_corrections(
+            self.storage, self.config, self.registry, points
+        )
+        self.stats.merge(stats)
+        self._notify_flush()
+        return stats
+
+    def knowledge_time(self) -> int:
+        """The store's current knowledge-time counter.
+
+        Capture it before :meth:`correct` to query the pre-correction
+        state later with ``AS OF``.
+        """
+        return self.storage.knowledge_time()
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def query(
+        self,
+        sql: str,
+        *,
+        as_of: int | None = None,
+        columnar: bool | None = None,
+    ) -> list[dict]:
+        """Execute one SQL statement — the public query entrypoint.
+
+        ``as_of`` bounds the read at a knowledge time (equivalent to an
+        ``AS OF`` clause in the statement); ``columnar`` overrides the
+        execution strategy for this statement only.
+        """
+        return self._engine.sql(sql, as_of=as_of, columnar=columnar)
+
     def sql(self, text: str) -> list[dict]:
-        """Execute a SQL statement against the views (Section 6.1)."""
-        return self._engine.sql(text)
+        """Execute a SQL statement against the views (Section 6.1).
+
+        Kept as a convenience alias of :meth:`query`.
+        """
+        return self.query(text)
 
     def aggregate(self, function: str, **kwargs) -> list[dict]:
         """Programmatic aggregate; see :meth:`QueryEngine.aggregate`."""

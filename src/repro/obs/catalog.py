@@ -70,6 +70,15 @@ _SPECS = (
         "dynamic split was active.",
     ),
     MetricSpec(
+        "ingest.revisions_total", COUNTER, (),
+        "Superseding segment revisions emitted by the correction path.",
+    ),
+    MetricSpec(
+        "ingest.out_of_order_points_total", COUNTER, (),
+        "Correction points that arrived after their group window was "
+        "already flushed (late or corrected data).",
+    ),
+    MetricSpec(
         "ingest.flush_seconds", HISTOGRAM, (),
         "Latency of one bulk write landing in the segment store.",
     ),

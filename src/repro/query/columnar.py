@@ -76,11 +76,7 @@ def iter_blocks(
     tids = set(plan.tids)
     blocks = 0
     decode_seconds = 0.0
-    for segment in storage.segments(
-        gids=plan.gids,
-        start_time=plan.start_time,
-        end_time=plan.end_time,
-    ):
+    for segment in storage.scan(plan.scan_request()):
         clipped = _clip(segment, plan.start_time, plan.end_time)
         if clipped is None:
             continue

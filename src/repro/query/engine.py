@@ -51,6 +51,7 @@ from .sql import (
     Forecast,
     Query,
     Star,
+    apply_as_of,
     parse,
     parse_timestamp,
 )
@@ -119,21 +120,39 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Public interface
     # ------------------------------------------------------------------
-    def sql(self, text: str) -> list[dict]:
+    def sql(
+        self,
+        text: str,
+        *,
+        as_of: int | None = None,
+        columnar: bool | None = None,
+    ) -> list[dict]:
         """Parse and execute one SQL statement.
 
+        ``as_of`` bounds the read at a knowledge time, equivalent to an
+        ``AS OF`` clause in the statement (both may be given if they
+        agree). ``columnar`` overrides the engine's execution strategy
+        for this statement only; None keeps the configured default.
         ``EXPLAIN ANALYZE <statement>`` executes the statement and
         returns its per-stage time/row breakdown instead of its rows
         (see :meth:`explain_analyze`).
         """
         explain = EXPLAIN_ANALYZE_RE.match(text)
         if explain is not None:
-            return self.explain_analyze(explain.group("statement"))
+            return self.explain_analyze(
+                explain.group("statement"), as_of=as_of, columnar=columnar
+            )
         with span("parse"):
-            query = parse(text)
-        return self.execute(query)
+            query = apply_as_of(parse(text), as_of)
+        return self.execute(query, columnar=columnar)
 
-    def explain_analyze(self, text: str) -> list[dict]:
+    def explain_analyze(
+        self,
+        text: str,
+        *,
+        as_of: int | None = None,
+        columnar: bool | None = None,
+    ) -> list[dict]:
         """Execute ``text`` and report where the time and rows went.
 
         Returns one row per engine stage — ``parse``, ``plan``, ``scan``,
@@ -147,8 +166,8 @@ class QueryEngine:
         recorder = SpanRecorder("query")
         with recorder:
             with span("parse"):
-                query = parse(text)
-            rows = self.execute(query)
+                query = apply_as_of(parse(text), as_of)
+            rows = self.execute(query, columnar=columnar)
         hits_after, misses_after = self.cache_stats
         report = []
         for depth, stage in recorder.root.walk():
@@ -204,6 +223,7 @@ class QueryEngine:
         end_time: int | None = None,
         group_by: Sequence[str] = (),
         view: str = "segment",
+        as_of: int | None = None,
     ) -> list[dict]:
         """Programmatic aggregate, e.g. ``aggregate("SUM_S", tids=[1])``."""
         query = Query(
@@ -213,6 +233,7 @@ class QueryEngine:
             ) + (Call(function.upper(), "*"),),
             where=_conditions_for(tids, members, start_time, end_time),
             group_by=tuple(group_by),
+            as_of=as_of,
         )
         return self.execute(query)
 
@@ -222,6 +243,7 @@ class QueryEngine:
         members: Sequence[tuple[str, str]] = (),
         start_time: int | None = None,
         end_time: int | None = None,
+        as_of: int | None = None,
     ) -> Iterator[DataPointRow]:
         """Programmatic Data Point View scan."""
         predicates = Predicates(
@@ -230,7 +252,7 @@ class QueryEngine:
             start_time=start_time,
             end_time=end_time,
         )
-        plan = rewrite(predicates, self.metadata)
+        plan = rewrite(predicates, self.metadata, as_of)
         return self._data_point_view().rows(plan)
 
     @property
@@ -258,7 +280,13 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, query: Query) -> list[dict]:
+    def execute(
+        self, query: Query, *, columnar: bool | None = None
+    ) -> list[dict]:
+        # Per-statement strategy override, threaded explicitly — the
+        # engine is shared by server threads, so self._columnar is
+        # never mutated per query.
+        use_columnar = self._columnar if columnar is None else columnar
         registry = get_registry()
         registry.counter("query.statements_total").inc()
         started = time.perf_counter()
@@ -270,16 +298,18 @@ class QueryEngine:
                 self._observe_plan(plan, decisions, registry)
             if query.has_forecast or query.similar_to is not None:
                 with span("scan"):
-                    rows = self._execute_analytics(query, plan)
+                    rows = self._execute_analytics(query, plan, use_columnar)
                     annotate(rows=len(rows))
             elif query.is_aggregate:
                 _validate_aggregate_select(query)
                 with span("scan"):
                     if all(d.segment_only for d in decisions):
-                        partial = self._accumulate_segment(query, plan)
+                        partial = self._accumulate_segment(
+                            query, plan, use_columnar
+                        )
                     else:
                         partial = self._accumulate_point(
-                            query, plan, row_predicates
+                            query, plan, row_predicates, use_columnar
                         )
                 with span("finalize"):
                     rows = partial.finalize()
@@ -288,7 +318,7 @@ class QueryEngine:
                 with span("scan"):
                     if query.view == "datapoint":
                         rows = self._execute_point_selection(
-                            query, plan, row_predicates
+                            query, plan, row_predicates, use_columnar
                         )
                     else:
                         rows = self._execute_segment_selection(query, plan)
@@ -326,28 +356,33 @@ class QueryEngine:
             ),
         )
 
-    def execute_partial(self, query: Query) -> "PartialResult | list[dict]":
+    def execute_partial(
+        self, query: Query, *, columnar: bool | None = None
+    ) -> "PartialResult | list[dict]":
         """Worker-side execution: aggregate queries return mergeable
         partial states (the distributed step of Algorithm 5); selections
         return their rows directly."""
+        use_columnar = self._columnar if columnar is None else columnar
         _validate_analytics(query)
         plan, row_predicates = self._plan(query)
         if query.has_forecast or query.similar_to is not None:
             # Plain-data rows; the master's merge_analytics_rows
             # re-establishes the single-node total order and top-k.
-            return self._execute_analytics(query, plan)
+            return self._execute_analytics(query, plan, use_columnar)
         if not query.is_aggregate:
             if query.view == "datapoint":
                 return self._execute_point_selection(
-                    query, plan, row_predicates
+                    query, plan, row_predicates, use_columnar
                 )
             return self._execute_segment_selection(query, plan)
         _validate_aggregate_select(query)
         # The same plan-level routing as execute(): workers and the
         # single-node engine take identical pushdown decisions.
         if all(d.segment_only for d in decide_pushdown(query)):
-            return self._accumulate_segment(query, plan)
-        return self._accumulate_point(query, plan, row_predicates)
+            return self._accumulate_segment(query, plan, use_columnar)
+        return self._accumulate_point(
+            query, plan, row_predicates, use_columnar
+        )
 
     def _plan(self, query: Query) -> tuple[RewrittenQuery, list[Condition]]:
         tids: frozenset[int] | None = None
@@ -392,11 +427,11 @@ class QueryEngine:
             start_time=start,
             end_time=end,
         )
-        return rewrite(predicates, self.metadata), point_conditions
+        return rewrite(predicates, self.metadata, query.as_of), point_conditions
 
     # -- Model-native analytics (FORECAST / SIMILAR TO) --------------------
     def _execute_analytics(
-        self, query: Query, plan: RewrittenQuery
+        self, query: Query, plan: RewrittenQuery, columnar: bool
     ) -> list[dict]:
         """One Segment View pass into a signature index, then forecast
         extrapolation or pruned similarity search from model parameters.
@@ -427,7 +462,7 @@ class QueryEngine:
                 annotate(
                     series=len(index.tids),
                     horizon=item.horizon,
-                    mode="columnar" if self._columnar else "row",
+                    mode="columnar" if columnar else "row",
                 )
                 return rows
             k = (
@@ -450,7 +485,7 @@ class QueryEngine:
                 windows=stats.windows,
                 verified=stats.verified,
                 k=k,
-                mode="columnar" if self._columnar else "row",
+                mode="columnar" if columnar else "row",
             )
             return rows
         finally:
@@ -460,7 +495,7 @@ class QueryEngine:
 
     # -- Segment View aggregates ------------------------------------------
     def _accumulate_segment(
-        self, query: Query, plan: RewrittenQuery
+        self, query: Query, plan: RewrittenQuery, columnar: bool
     ) -> "PartialResult":
         """Algorithm 5/6 over stored segments, without materialising
         per-series view rows.
@@ -478,7 +513,7 @@ class QueryEngine:
         cubes: dict[tuple, list] = {}
         specs = [_CallSpec.from_call(call) for call in calls]
         has_cube = any(spec.level is not None for spec in specs)
-        use_block_fold = self._columnar and not has_cube
+        use_block_fold = columnar and not has_cube
 
         metadata = self.metadata
         scalings = metadata.scalings()
@@ -489,11 +524,7 @@ class QueryEngine:
         rows_skipped = 0
         from .views import _clip
 
-        for segment in self._storage.segments(
-            gids=plan.gids,
-            start_time=plan.start_time,
-            end_time=plan.end_time,
-        ):
+        for segment in self._storage.scan(plan.scan_request()):
             segments_scanned += 1
             clipped = _clip(segment, plan.start_time, plan.end_time)
             if clipped is None:
@@ -566,7 +597,7 @@ class QueryEngine:
         annotate(
             segments=segments_scanned,
             rows_skipped_materialization=rows_skipped,
-            mode="columnar" if self._columnar else "row",
+            mode="columnar" if columnar else "row",
         )
         return PartialResult(specs, group_columns, simple, cubes)
 
@@ -650,6 +681,7 @@ class QueryEngine:
         query: Query,
         plan: RewrittenQuery,
         point_conditions: list[Condition],
+        columnar: bool,
     ) -> "PartialResult":
         calls = _calls(query)
         group_columns = _validated_group_by(query, self.metadata)
@@ -657,7 +689,9 @@ class QueryEngine:
         simple: dict[tuple, list] = {}
         cubes: dict[tuple, list] = {}
 
-        for tid, dimensions, timestamps, values in self._series_arrays(plan):
+        for tid, dimensions, timestamps, values in self._series_arrays(
+            plan, columnar
+        ):
             mask = _point_mask(timestamps, values, point_conditions)
             if mask is not None:
                 timestamps = timestamps[mask]
@@ -681,7 +715,7 @@ class QueryEngine:
         return PartialResult(specs, group_columns, simple, cubes)
 
     def _series_arrays(
-        self, plan: RewrittenQuery
+        self, plan: RewrittenQuery, columnar: bool
     ) -> Iterator[tuple[int, dict[str, str], np.ndarray, np.ndarray]]:
         """(tid, dimensions, timestamps, scaled values) per series slice.
 
@@ -690,7 +724,7 @@ class QueryEngine:
         columnar strategy just decodes each segment once into a block
         instead of regenerating the reconstruction per member column.
         """
-        if self._columnar:
+        if columnar:
             scalings = self.metadata.scalings()
             dimension_rows = self.metadata.dimension_rows()
             for block in iter_blocks(self._storage, self._segment_cache, plan):
@@ -711,11 +745,12 @@ class QueryEngine:
         query: Query,
         plan: RewrittenQuery,
         point_conditions: list[Condition],
+        columnar: bool,
     ) -> list[dict]:
         columns = _selection_columns(
             query, ["Tid", "TS", "Value"], self.metadata
         )
-        if self._columnar:
+        if columnar:
             return self._point_selection_columnar(
                 columns, plan, point_conditions
             )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..storage.scan import SegmentScan
 from .metadata import MetadataCache
 from .sql import Call, Forecast, Query
 
@@ -46,6 +47,24 @@ class RewrittenQuery:
     tids: frozenset[int]
     start_time: int | None
     end_time: int | None
+    #: ``AS OF`` knowledge-time bound; None reads the latest-known state.
+    as_of: int | None = None
+
+    def scan_request(self, *, all_revisions: bool = False) -> SegmentScan:
+        """The typed storage read for this plan.
+
+        Both execution modes build their scan here, so the partitions
+        visited, the time clip, and the revision resolution are shared
+        verbatim — the row/columnar bit-identity contract extends to
+        ``AS OF`` reads by construction.
+        """
+        return SegmentScan(
+            gids=tuple(sorted(self.gids)),
+            start_time=self.start_time,
+            end_time=self.end_time,
+            as_of=self.as_of,
+            all_revisions=all_revisions,
+        )
 
 
 @dataclass(frozen=True)
@@ -156,7 +175,11 @@ def decide_pushdown(query: Query) -> tuple[PushdownDecision, ...]:
     return tuple(decisions)
 
 
-def rewrite(predicates: Predicates, cache: MetadataCache) -> RewrittenQuery:
+def rewrite(
+    predicates: Predicates,
+    cache: MetadataCache,
+    as_of: int | None = None,
+) -> RewrittenQuery:
     """Rewrite Tid/member predicates into a Gid scan plus a Tid filter."""
     tids = (
         set(predicates.tids)
@@ -171,4 +194,5 @@ def rewrite(predicates: Predicates, cache: MetadataCache) -> RewrittenQuery:
         tids=frozenset(tids),
         start_time=predicates.start_time,
         end_time=predicates.end_time,
+        as_of=as_of,
     )

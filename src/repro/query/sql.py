@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import datetime as dt
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..core.errors import QueryError
 
@@ -111,6 +111,9 @@ class Query:
     similar_to: tuple[float, ...] | None = None
     #: The ``LIMIT`` row bound (similarity's k), or None.
     limit: int | None = None
+    #: The ``AS OF <knowledge-time>`` bound: read the store as it was
+    #: known at that knowledge tick. None reads the latest-known state.
+    as_of: int | None = None
 
     @property
     def is_aggregate(self) -> bool:
@@ -177,6 +180,11 @@ class _Parser:
         group_by: tuple[str, ...] = ()
         similar_to: tuple[float, ...] | None = None
         limit: int | None = None
+        as_of: int | None = None
+        if self.at_keyword("AS"):
+            self.next()
+            self.expect_keyword("OF")
+            as_of = self._parse_as_of()
         if self.at_keyword("WHERE"):
             self.next()
             where = self._parse_conditions()
@@ -193,7 +201,7 @@ class _Parser:
             limit = self._parse_limit()
         if self.peek() is not None:
             raise QueryError(f"unexpected trailing token {self.peek()!r}")
-        return Query(view, select, where, group_by, similar_to, limit)
+        return Query(view, select, where, group_by, similar_to, limit, as_of)
 
     def _parse_select_list(self) -> tuple[SelectItem, ...]:
         items: list[SelectItem] = [self._parse_select_item()]
@@ -261,6 +269,18 @@ class _Parser:
             raise QueryError(
                 f"SIMILAR TO patterns take numbers, got {token!r}"
             ) from None
+
+    def _parse_as_of(self) -> int:
+        token = self.next()
+        try:
+            as_of = int(token)
+        except ValueError:
+            raise QueryError(
+                f"AS OF takes an integer knowledge time, got {token!r}"
+            ) from None
+        if as_of < 0:
+            raise QueryError("AS OF knowledge time must be non-negative")
+        return as_of
 
     def _parse_limit(self) -> int:
         token = self.next()
@@ -335,7 +355,7 @@ def _is_identifier(token: str) -> bool:
 GRAMMAR = (
     "statement   = [ 'EXPLAIN' 'ANALYZE' ] select",
     "select      = 'SELECT' select_list 'FROM' view"
-    " [ 'WHERE' conditions ]",
+    " [ 'AS' 'OF' integer ] [ 'WHERE' conditions ]",
     "              [ 'GROUP' 'BY' identifier { ',' identifier } ]",
     "              [ 'SIMILAR' 'TO' pattern ] [ 'LIMIT' integer ]",
     "view        = 'Segment' | 'DataPoint'",
@@ -355,3 +375,23 @@ GRAMMAR = (
 def parse(text: str) -> Query:
     """Parse one SQL statement into a :class:`Query`."""
     return _Parser(tokenize(text)).parse()
+
+
+def apply_as_of(query: Query, as_of: int | None) -> Query:
+    """Combine a parsed query with an ``as_of`` keyword argument.
+
+    The statement's own ``AS OF`` clause and the API-level ``as_of``
+    parameter must agree when both are given — silently preferring one
+    would make the same statement mean different things at different
+    call sites.
+    """
+    if as_of is None:
+        return query
+    if as_of < 0:
+        raise QueryError("AS OF knowledge time must be non-negative")
+    if query.as_of is not None and query.as_of != as_of:
+        raise QueryError(
+            f"conflicting AS OF bounds: statement says {query.as_of}, "
+            f"as_of argument says {as_of}"
+        )
+    return replace(query, as_of=as_of)

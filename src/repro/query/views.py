@@ -61,11 +61,7 @@ class SegmentView:
         scalings = self._metadata.scalings()
         dimension_rows = self._metadata.dimension_rows()
         tids = set(plan.tids)
-        for segment in self._storage.segments(
-            gids=plan.gids,
-            start_time=plan.start_time,
-            end_time=plan.end_time,
-        ):
+        for segment in self._storage.scan(plan.scan_request()):
             clipped = _clip(segment, plan.start_time, plan.end_time)
             if clipped is None:
                 continue

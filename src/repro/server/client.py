@@ -146,6 +146,7 @@ class ServerClient:
         sql: str,
         timeout: float | None = None,
         query_id: str | None = None,
+        as_of: int | None = None,
     ) -> dict:
         """Raw response for a query (no raise on structured errors)."""
         payload = {"op": "query", "sql": sql}
@@ -155,6 +156,8 @@ class ServerClient:
             payload["timeout"] = timeout
         if query_id is not None:
             payload["id"] = query_id
+        if as_of is not None:
+            payload["as_of"] = as_of
         return self.request(payload)
 
     def query(
@@ -162,9 +165,14 @@ class ServerClient:
         sql: str,
         timeout: float | None = None,
         query_id: str | None = None,
+        as_of: int | None = None,
     ) -> list[dict]:
-        """Execute SQL; returns rows or raises the typed ServerError."""
-        response = self.query_response(sql, timeout, query_id)
+        """Execute SQL; returns rows or raises the typed ServerError.
+
+        ``as_of`` bounds the read at a knowledge time, the request-level
+        spelling of the statement's ``AS OF`` clause.
+        """
+        response = self.query_response(sql, timeout, query_id, as_of)
         raise_for_error(response)
         return response["rows"]
 

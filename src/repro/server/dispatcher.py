@@ -95,7 +95,7 @@ class Dispatcher:
         self._execute_hook = execute_hook
 
     # -- to be provided by subclasses ----------------------------------
-    def _run(self, sql: str) -> list[dict]:
+    def _run(self, sql: str, as_of: int | None = None) -> list[dict]:
         raise NotImplementedError
 
     def _backend_stats(self) -> dict:
@@ -109,9 +109,16 @@ class Dispatcher:
 
     # -- shared paths --------------------------------------------------
     def execute(
-        self, sql: str, token: CancelToken | None = None
+        self,
+        sql: str,
+        token: CancelToken | None = None,
+        as_of: int | None = None,
     ) -> tuple[list[dict], bool]:
         """Execute one statement; returns (rows, served-from-cache).
+
+        ``as_of`` bounds the read at a knowledge time (the request-level
+        spelling of the statement's ``AS OF`` clause) and keys the
+        result cache alongside the statement text.
 
         Raises :class:`~repro.core.errors.ModelarError` subclasses for
         SQL errors and :class:`~repro.server.protocol.ServerError`
@@ -120,24 +127,27 @@ class Dispatcher:
         if token is not None:
             token.raise_if_cancelled()
         cacheable = _EXPLAIN_RE.match(sql) is None
+        # The cache is keyed by statement text; an as_of kwarg changes
+        # the statement's meaning, so it becomes part of the key.
+        cache_key = sql if as_of is None else f"{sql}\x00as_of={as_of}"
         # Snapshot the generation before touching storage so a flush
         # racing with execution prevents caching the (possibly stale)
         # result rather than poisoning the cache.
         generation = self.result_cache.generation
         if cacheable:
-            rows = self.result_cache.get(sql)
+            rows = self.result_cache.get(cache_key)
             if rows is not None:
                 return rows, True
         if self._execute_hook is not None:
             self._execute_hook(sql, token)
             if token is not None:
                 token.raise_if_cancelled()
-        rows = self._run(sql)
+        rows = self._run(sql, as_of)
         if cacheable:
             # CachedResult memoises the columnar wire encoding, so every
             # hit on this entry serves byte-identical frames for free.
             rows = CachedResult(rows)
-            self.result_cache.put(sql, rows, generation)
+            self.result_cache.put(cache_key, rows, generation)
         return rows, False
 
     def notify_flush(self) -> None:
@@ -208,8 +218,8 @@ class EmbeddedDispatcher(Dispatcher):
     def engine(self) -> QueryEngine:
         return self._engine
 
-    def _run(self, sql: str) -> list[dict]:
-        return self._engine.sql(sql)
+    def _run(self, sql: str, as_of: int | None = None) -> list[dict]:
+        return self._engine.sql(sql, as_of=as_of)
 
     def notify_flush(self) -> None:
         super().notify_flush()
@@ -258,12 +268,12 @@ class ClusterDispatcher(Dispatcher):
         self._queries = 0
         self._failovers = 0
 
-    def _run(self, sql: str) -> list[dict]:
+    def _run(self, sql: str, as_of: int | None = None) -> list[dict]:
         with self._lock:
             # The per-worker channels are synchronous request/reply, so
             # holding the lock across the scatter IS the design (see the
             # comment on self._lock).
-            rows, report = self._cluster.sql(sql)  # reprolint: disable=RPR003
+            rows, report = self._cluster.sql(sql, as_of=as_of)  # reprolint: disable=RPR003
             self._queries += 1
             self._failovers += len(getattr(report, "failovers", ()))
         return rows

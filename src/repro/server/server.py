@@ -227,6 +227,17 @@ class QueryServer:
             return error_response(
                 ErrorCode.BAD_REQUEST, "'timeout' must be a positive number"
             )
+        as_of = request.get("as_of")
+        if as_of is not None and (
+            not isinstance(as_of, int)
+            or isinstance(as_of, bool)
+            or as_of < 0
+        ):
+            self.counters.bump("bad_requests")
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                "'as_of' must be a non-negative integer knowledge time",
+            )
         query_id = request.get("id")
 
         try:
@@ -243,7 +254,7 @@ class QueryServer:
         started = time.perf_counter()
         loop = asyncio.get_running_loop()
         future = loop.run_in_executor(
-            self._executor, self.dispatcher.execute, sql, token
+            self._executor, self.dispatcher.execute, sql, token, as_of
         )
         future.add_done_callback(self._release_slot)
         cancel_waiter = asyncio.ensure_future(cancelled_event.wait())

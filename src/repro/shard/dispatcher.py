@@ -47,8 +47,8 @@ class ShardedDispatcher(Dispatcher):
         # may have been answered by a now-gone replica set.
         self.result_cache.invalidate()
 
-    def _run(self, sql: str) -> list[dict]:
-        rows, _ = self._tier.sql(sql)
+    def _run(self, sql: str, as_of: int | None = None) -> list[dict]:
+        rows, _ = self._tier.sql(sql, as_of=as_of)
         self._tier.maybe_rebalance()
         return rows
 

@@ -63,8 +63,9 @@ from ..obs import MetricsRegistry, get_registry
 from ..partitioner.grouping import group_from_config
 from ..query.analytics import merge_analytics_rows
 from ..query.engine import PartialResult, merge_partial_results
-from ..query.sql import Query, parse
+from ..query.sql import Query, apply_as_of, parse
 from ..storage.interface import Storage
+from ..storage.scan import SegmentScan
 from ..cluster.cluster import restrict_query_to_tids
 from ..cluster.faults import FaultPlan
 from ..cluster.pool import _POLL_SECONDS, _start_method, _WorkerHandle
@@ -475,7 +476,13 @@ class ShardedCluster:
                 gid=gid,
                 time_series=records_by_gid.get(gid, []),
                 model_table=model_table,
-                segments=list(storage.segments(gids=[gid])),
+                # Every revision ships, stamps intact, so shard replicas
+                # answer AS OF exactly like the source store.
+                segments=list(
+                    storage.scan(
+                        SegmentScan(gids=(gid,), all_revisions=True)
+                    )
+                ),
             )
             shards.add(self._place_batch(batch))
         self._replicate_shards(sorted(shards))
@@ -505,8 +512,13 @@ class ShardedCluster:
                     self._ship_shard(wid, shard)
 
     # -- scatter-gather ------------------------------------------------
-    def sql(self, text: str) -> tuple[list[dict], ShardQueryReport]:
-        return self.execute(parse(text))
+    def sql(
+        self, text: str, *, as_of: int | None = None
+    ) -> tuple[list[dict], ShardQueryReport]:
+        """Scatter one statement; ``as_of`` bounds every shard's read at
+        the same knowledge time (stamps are preserved when batches ship,
+        so the sharded answer matches the embedded engine's)."""
+        return self.execute(apply_as_of(parse(text), as_of))
 
     def execute(self, query: Query) -> tuple[list[dict], ShardQueryReport]:
         """Scatter a query to owning shards, gather partials, merge.

@@ -3,6 +3,7 @@
 from .filestore import FileStorage
 from .interface import Storage
 from .memory import MemoryStorage
+from .scan import SegmentScan, resolve_visible, stamp_revisions, visible_at
 from .schema import TimeSeriesRecord, records_for_groups
 from .serialization import (
     HEADER_BYTES,
@@ -15,6 +16,10 @@ __all__ = [
     "FileStorage",
     "Storage",
     "MemoryStorage",
+    "SegmentScan",
+    "resolve_visible",
+    "stamp_revisions",
+    "visible_at",
     "TimeSeriesRecord",
     "records_for_groups",
     "HEADER_BYTES",

@@ -33,9 +33,10 @@ from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
 from ..core.errors import StorageError
-from ..core.segment import SegmentGroup
+from ..core.segment import REVISION_EXTENSION_BYTES, SegmentGroup
 from ..obs import get_registry
 from .interface import Storage
+from .scan import SegmentScan, resolve_visible, stamp_revisions
 from .schema import TimeSeriesRecord
 from .serialization import HEADER_BYTES, decode_segment, encode_segment
 
@@ -43,28 +44,42 @@ _METADATA_FILE = "metadata.json"
 _PARTITION_PREFIX = "segments_gid_"
 _PARTITION_SUFFIX = ".bin"
 
-#: Offset of the 2-byte ParamLen field inside the 24-byte row header
-#: (Gid 4 + EndTime 8 + Size 4 + Mid 1 + Flags 1; see serialization.py).
+#: Offsets of the 1-byte Flags and 2-byte ParamLen fields inside the
+#: 24-byte row header (Gid 4 + EndTime 8 + Size 4 + Mid 1;
+#: see serialization.py). Flags bit 0 marks rows carrying the 12-byte
+#: revision extension between header and parameters.
+_FLAGS_OFFSET = 17
 _PARAM_LEN_OFFSET = 18
 _PARAM_LEN = struct.Struct("<H")
+_KNOWLEDGE = struct.Struct("<Q")
 
 
-def _valid_prefix(data: bytes) -> tuple[int, int]:
-    """(row count, byte length) of the longest valid row prefix.
+def _valid_prefix(data: bytes) -> tuple[int, int, int]:
+    """(row count, byte length, max knowledge) of the valid row prefix.
 
     Walks row headers only — a torn trailing row (crash mid-append) is
     excluded from both counts so it can be truncated away on re-open.
+    The highest knowledge stamp seen lets recovery restore the store's
+    knowledge counter when the metadata sidecar is stale.
     """
     offset = 0
     count = 0
+    knowledge = 0
     while offset + HEADER_BYTES <= len(data):
+        flags = data[offset + _FLAGS_OFFSET]
         (param_len,) = _PARAM_LEN.unpack_from(data, offset + _PARAM_LEN_OFFSET)
-        end = offset + HEADER_BYTES + param_len
+        row_bytes = HEADER_BYTES + param_len
+        if flags & 0x01:
+            row_bytes += REVISION_EXTENSION_BYTES
+        end = offset + row_bytes
         if end > len(data):
             break
+        if flags & 0x01:
+            (stamp,) = _KNOWLEDGE.unpack_from(data, offset + HEADER_BYTES + 4)
+            knowledge = max(knowledge, stamp)
         offset = end
         count += 1
-    return count, offset
+    return count, offset, knowledge
 
 
 class FileStorage(Storage):
@@ -78,6 +93,7 @@ class FileStorage(Storage):
         self._models: dict[int, str] = {}
         self._groups: dict[int, tuple[tuple[int, ...], int]] = {}
         self._counts: dict[int, int] = {}
+        self._knowledge = 0
         self._load_metadata()
         self._recover_partitions()
 
@@ -108,11 +124,14 @@ class FileStorage(Storage):
     def insert_segments(self, segments: Iterable[SegmentGroup]) -> None:
         self._ensure_open()
         started = time.perf_counter()
+        stamped, self._knowledge = stamp_revisions(
+            list(segments), self._knowledge
+        )
         by_gid: dict[int, list[bytes]] = {}
         counts: dict[int, int] = {}
         written_segments = 0
         written_bytes = 0
-        for segment in segments:
+        for segment in stamped:
             if segment.gid not in self._groups:
                 raise StorageError(
                     f"segment references unknown group {segment.gid}; insert "
@@ -137,20 +156,15 @@ class FileStorage(Storage):
             time.perf_counter() - started
         )
 
-    def segments(
-        self,
-        gids: Iterable[int] | None = None,
-        start_time: int | None = None,
-        end_time: int | None = None,
-    ) -> Iterator[SegmentGroup]:
-        partitions = (
-            sorted(self._groups) if gids is None else sorted(set(gids))
-        )
-        for gid in partitions:
-            yield from self._scan_partition(gid, start_time, end_time)
+    def scan(self, request: SegmentScan) -> Iterator[SegmentGroup]:
+        for gid in request.partitions(self._groups):
+            yield from self._scan_partition(gid, request)
 
     def segment_count(self) -> int:
         return sum(self._counts.values())
+
+    def knowledge_time(self) -> int:
+        return self._knowledge
 
     def size_bytes(self) -> int:
         total = 0
@@ -185,7 +199,7 @@ class FileStorage(Storage):
     # Internals
     # ------------------------------------------------------------------
     def _scan_partition(
-        self, gid: int, start_time: int | None, end_time: int | None
+        self, gid: int, request: SegmentScan
     ) -> Iterator[SegmentGroup]:
         metadata = self._groups.get(gid)
         if metadata is None:
@@ -198,19 +212,25 @@ class FileStorage(Storage):
         data = path.read_bytes()
         registry = get_registry()
         registry.counter("storage.bytes_read_total").inc(len(data))
-        segments_read = 0
+        partition: list[SegmentGroup] = []
         offset = 0
         while offset + HEADER_BYTES <= len(data):
             segment, offset = decode_segment(
                 data, offset, sampling_interval, group_tids
             )
-            segments_read += 1
-            if segment.overlaps(start_time, end_time):
-                yield segment
-        registry.counter("storage.segments_read_total").inc(segments_read)
+            partition.append(segment)
+        registry.counter("storage.segments_read_total").inc(len(partition))
         registry.histogram("storage.read_seconds").record(
             time.perf_counter() - started
         )
+        survivors: Iterable[SegmentGroup] = (
+            partition
+            if request.all_revisions
+            else resolve_visible(partition, request.as_of)
+        )
+        for segment in survivors:
+            if segment.overlaps(request.start_time, request.end_time):
+                yield segment
 
     def _partition_path(self, gid: int) -> Path:
         return self._root / f"{_PARTITION_PREFIX}{gid}{_PARTITION_SUFFIX}"
@@ -236,6 +256,7 @@ class FileStorage(Storage):
             ],
             "models": {str(mid): name for mid, name in self._models.items()},
             "counts": {str(gid): count for gid, count in self._counts.items()},
+            "knowledge": self._knowledge,
         }
         self._metadata_path().write_text(json.dumps(payload))
 
@@ -263,6 +284,7 @@ class FileStorage(Storage):
         self._counts = {
             int(gid): count for gid, count in payload.get("counts", {}).items()
         }
+        self._knowledge = int(payload.get("knowledge", 0))
         self._rebuild_group_cache()
 
     def _recover_partitions(self) -> None:
@@ -275,6 +297,7 @@ class FileStorage(Storage):
         """
         recovered: dict[int, int] = {}
         dirty = False
+        max_knowledge = 0
         for path in sorted(
             self._root.glob(f"{_PARTITION_PREFIX}*{_PARTITION_SUFFIX}")
         ):
@@ -284,7 +307,8 @@ class FileStorage(Storage):
             except ValueError:
                 continue
             data = path.read_bytes()
-            count, valid_bytes = _valid_prefix(data)
+            count, valid_bytes, knowledge = _valid_prefix(data)
+            max_knowledge = max(max_knowledge, knowledge)
             if valid_bytes < len(data):
                 with open(path, "r+b") as handle:
                     handle.truncate(valid_bytes)
@@ -294,5 +318,10 @@ class FileStorage(Storage):
         if recovered != self._counts:
             dirty = True
         self._counts = recovered
+        if max_knowledge > self._knowledge:
+            # Crash between a revision append and the sidecar save: the
+            # stamps on disk are ahead of the saved counter.
+            self._knowledge = max_knowledge
+            dirty = True
         if dirty:
             self._save_metadata()

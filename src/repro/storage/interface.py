@@ -2,19 +2,25 @@
 
 The engine is storage-agnostic: any backend implementing
 :class:`Storage` can hold the three tables of Fig. 6. Predicate
-push-down happens at :meth:`Storage.segments`: the query processor hands
-down the Gids (after Tid/member rewriting) and the time interval, so
-backends skip irrelevant partitions instead of filtering in the engine.
+push-down happens at :meth:`Storage.scan`: the query processor hands
+down a typed :class:`~repro.storage.scan.SegmentScan` request — Gids
+(after Tid/member rewriting), the time interval, and the ``AS OF``
+knowledge-time bound — so backends skip irrelevant partitions instead
+of filtering in the engine. The legacy positional/keyword
+:meth:`Storage.segments` spelling survives as a ``DeprecationWarning``
+shim over :meth:`scan`.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator, Mapping
 
 from ..core.errors import StorageError
 from ..core.segment import SegmentGroup
+from .scan import SegmentScan
 from .schema import TimeSeriesRecord
 
 
@@ -58,24 +64,57 @@ class Storage(ABC):
     # -- Segment table -----------------------------------------------------
     @abstractmethod
     def insert_segments(self, segments: Iterable[SegmentGroup]) -> None:
-        """Append segment rows (bulk write)."""
+        """Append segment rows (bulk write).
+
+        Revision segments (``revision > 0``) that are not yet stamped
+        receive the store's next knowledge-time tick; already-stamped
+        segments keep their stamp (see
+        :func:`~repro.storage.scan.stamp_revisions`).
+        """
 
     @abstractmethod
+    def scan(self, request: SegmentScan) -> Iterator[SegmentGroup]:
+        """Scan segments matching a typed read request.
+
+        Latest-wins revision resolution is applied per partition (see
+        :func:`~repro.storage.scan.resolve_visible`) unless
+        ``request.all_revisions`` is set; survivors overlapping the
+        request's closed time interval are yielded in append order.
+        """
+
     def segments(
         self,
         gids: Iterable[int] | None = None,
         start_time: int | None = None,
         end_time: int | None = None,
     ) -> Iterator[SegmentGroup]:
-        """Scan segments with predicate push-down.
-
-        ``gids`` restricts to those partitions; ``start_time``/``end_time``
-        keep only segments overlapping the closed interval.
-        """
+        """Deprecated spelling of :meth:`scan` (latest-known reads)."""
+        warnings.warn(
+            "Storage.segments() is deprecated; pass a SegmentScan "
+            "request to Storage.scan() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.scan(
+            SegmentScan(
+                gids=None if gids is None else tuple(gids),
+                start_time=start_time,
+                end_time=end_time,
+            )
+        )
 
     @abstractmethod
     def segment_count(self) -> int:
         """Total number of stored segments."""
+
+    def knowledge_time(self) -> int:
+        """The store's current knowledge-time counter.
+
+        Advances one tick per segment flush; ``AS OF`` queries compare
+        against the values stamped on revisions. Backends without
+        revision support may keep the default of ``0``.
+        """
+        return 0
 
     @abstractmethod
     def size_bytes(self) -> int:

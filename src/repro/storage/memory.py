@@ -13,6 +13,7 @@ from typing import Iterable, Iterator, Mapping
 from ..core.segment import SegmentGroup
 from ..obs import get_registry
 from .interface import Storage
+from .scan import SegmentScan, resolve_visible, stamp_revisions
 from .schema import TimeSeriesRecord
 from .serialization import encoded_size
 
@@ -26,6 +27,7 @@ class MemoryStorage(Storage):
         self._segments: dict[int, list[SegmentGroup]] = {}
         self._bytes = 0
         self._count = 0
+        self._knowledge = 0
         self._closed = False
 
     @property
@@ -49,9 +51,12 @@ class MemoryStorage(Storage):
         return dict(self._models)
 
     def insert_segments(self, segments: Iterable[SegmentGroup]) -> None:
+        stamped, self._knowledge = stamp_revisions(
+            list(segments), self._knowledge
+        )
         written_segments = 0
         written_bytes = 0
-        for segment in segments:
+        for segment in stamped:
             self._segments.setdefault(segment.gid, []).append(segment)
             size = encoded_size(segment)
             self._bytes += size
@@ -64,18 +69,13 @@ class MemoryStorage(Storage):
         )
         registry.counter("storage.bytes_written_total").inc(written_bytes)
 
-    def segments(
-        self,
-        gids: Iterable[int] | None = None,
-        start_time: int | None = None,
-        end_time: int | None = None,
-    ) -> Iterator[SegmentGroup]:
-        partitions = (
-            sorted(self._segments) if gids is None else sorted(set(gids))
-        )
-        for gid in partitions:
-            for segment in self._segments.get(gid, ()):
-                if segment.overlaps(start_time, end_time):
+    def scan(self, request: SegmentScan) -> Iterator[SegmentGroup]:
+        for gid in request.partitions(self._segments):
+            partition: Iterable[SegmentGroup] = self._segments.get(gid, ())
+            if not request.all_revisions:
+                partition = resolve_visible(list(partition), request.as_of)
+            for segment in partition:
+                if segment.overlaps(request.start_time, request.end_time):
                     yield segment
 
     def segment_count(self) -> int:
@@ -83,3 +83,6 @@ class MemoryStorage(Storage):
 
     def size_bytes(self) -> int:
         return self._bytes
+
+    def knowledge_time(self) -> int:
+        return self._knowledge

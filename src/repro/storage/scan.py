@@ -1,0 +1,140 @@
+"""The typed segment read request and revision visibility rules.
+
+:class:`SegmentScan` replaces the positional/keyword filter signature
+that ``Storage.segments(...)`` had grown: one frozen request object
+carries every push-down predicate — the Gid partitions, the time
+interval, the ``AS OF`` knowledge time, a columnar-consumer hint, and
+the ``all_revisions`` escape hatch the sharded tier uses to ship whole
+revision histories. It crosses the cluster RPC boundary unchanged
+(pure ints/tuples, registered with reprolint's RPR004 rule), so the
+engine, the columnar reader, the shard tier and the baselines adapter
+all speak the same request type.
+
+:func:`resolve_visible` is the single implementation of latest-wins
+revision resolution shared by every backend: a segment is shadowed iff
+some same-gid segment of *strictly higher* revision (restricted to
+``knowledge_time <= as_of`` when an ``AS OF`` bound is given) overlaps
+its time range. Base-generation segments (revision 0) are known since
+the beginning and are never hidden by an ``AS OF`` bound itself — only
+by visible superseding revisions. Survivors keep their append order,
+which is what makes a zero-revision store's scan bit-identical to the
+pre-revision code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from ..core.segment import SegmentGroup
+
+
+@dataclass(frozen=True)
+class SegmentScan:
+    """One segment-store read request (predicate push-down, Fig. 4).
+
+    Attributes
+    ----------
+    gids:
+        Partitions to scan; ``None`` scans every partition.
+    start_time / end_time:
+        Closed time interval; only overlapping segments are returned.
+    as_of:
+        Knowledge-time bound: only revisions stamped at or before this
+        counter value are considered when resolving latest-wins.
+        ``None`` reads the latest-known state.
+    columnar:
+        Hint that the consumer decodes blocks columnar-wise; backends
+        may use it to batch reads. Never changes which segments match.
+    all_revisions:
+        Bypass latest-wins resolution and return every stored revision
+        (the sharded tier ships whole histories with this).
+    """
+
+    gids: tuple[int, ...] | None = None
+    start_time: int | None = None
+    end_time: int | None = None
+    as_of: int | None = None
+    columnar: bool | None = None
+    all_revisions: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gids is not None and not isinstance(self.gids, tuple):
+            object.__setattr__(self, "gids", tuple(self.gids))
+
+    def partitions(self, known: Iterable[int]) -> list[int]:
+        """The sorted partition list this request scans."""
+        if self.gids is None:
+            return sorted(known)
+        return sorted(set(self.gids))
+
+
+def visible_at(segment: SegmentGroup, as_of: int | None) -> bool:
+    """Whether a segment's revision was known at ``as_of``.
+
+    Base-generation segments are always known; stamped revisions only
+    from their knowledge time onward.
+    """
+    if segment.revision == 0:
+        return True
+    return as_of is None or segment.knowledge_time <= as_of
+
+
+def resolve_visible(
+    partition: Sequence[SegmentGroup], as_of: int | None = None
+) -> Sequence[SegmentGroup]:
+    """Latest-wins resolution over one Gid partition, in append order.
+
+    Filters to revisions known at ``as_of``, then drops every segment
+    overlapped by a strictly-higher-revision survivor candidate. The
+    rule is monotone in revision: a base segment stays hidden by a
+    stored revision 1 even after revision 2 shadows revision 1, because
+    shadowing only requires *some* higher revision to overlap.
+
+    Zero-revision partitions take a fast path returning the input
+    sequence unchanged (same objects, same order) — the bit-identity
+    guarantee for append-only stores.
+    """
+    if all(segment.revision == 0 for segment in partition):
+        return partition
+    visible = [
+        segment for segment in partition if visible_at(segment, as_of)
+    ]
+    return [
+        segment
+        for segment in visible
+        if not any(
+            other.revision > segment.revision
+            and other.overlaps(segment.start_time, segment.end_time)
+            for other in visible
+        )
+    ]
+
+
+def stamp_revisions(
+    segments: Sequence[SegmentGroup], counter: int
+) -> tuple[list[SegmentGroup], int]:
+    """Stamp unstamped revisions with the next knowledge tick.
+
+    Called by ``Storage.insert_segments``: the per-store knowledge
+    counter advances one tick per flush, and every revision segment
+    that is not yet stamped (``knowledge_time == 0``) receives the new
+    tick. Already-stamped segments are preserved verbatim — the sharded
+    tier ships stored revisions to workers through ``insert_segments``
+    and their original stamps must survive so ``AS OF`` answers match
+    the embedded engine — and the counter advances past any preserved
+    stamp to stay monotone.
+
+    Returns the (possibly re-stamped) segments and the new counter.
+    """
+    if not segments:
+        return list(segments), counter
+    counter += 1
+    stamped: list[SegmentGroup] = []
+    for segment in segments:
+        if segment.revision and not segment.knowledge_time:
+            segment = replace(segment, knowledge_time=counter)
+        elif segment.knowledge_time > counter:
+            counter = segment.knowledge_time
+        stamped.append(segment)
+    return stamped, counter

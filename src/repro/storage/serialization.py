@@ -11,7 +11,8 @@ EndTime   8      clustering key
 Size      4      data points per series; StartTime is *not* stored and
                  is recomputed as ``EndTime - (Size - 1) * SI``
 Mid       1      model table id
-Flags     1      reserved (zero)
+Flags     1      bit 0: row carries a revision extension (below);
+                 remaining bits reserved (zero)
 ParamLen  2      length of the model parameters
 GapMask   4      one bit per group column, set when that Tid is absent
 ========  =====  =====================================================
@@ -19,6 +20,19 @@ GapMask   4      one bit per group column, set when that Tid is absent
 The 24-byte header matches the paper's stated per-segment overhead of
 ``24 + sizeof(Model)`` bytes, so byte counts reported by the storage
 experiments follow the paper's accounting.
+
+Revised segments (late arrivals / corrections, Section "revisions" of
+docs/ARCHITECTURE.md) additionally carry a 12-byte extension between
+the header and the parameters, gated by Flags bit 0:
+
+========  =====  =====================================================
+Revision  4      segment generation (> 0 for superseding re-fits)
+Knowledge 8      store knowledge-time counter stamped at flush
+========  =====  =====================================================
+
+Base-generation rows (revision 0, unstamped) never write the extension,
+so an append-only store's files are byte-identical to the pre-revision
+format and old files decode unchanged (flags byte was always zero).
 """
 
 from __future__ import annotations
@@ -26,19 +40,27 @@ from __future__ import annotations
 import struct
 
 from ..core.errors import StorageError
-from ..core.segment import SegmentGroup
+from ..core.segment import REVISION_EXTENSION_BYTES, SegmentGroup
 
 _HEADER = struct.Struct("<IqIBBHI")
 HEADER_BYTES = _HEADER.size
 
 assert HEADER_BYTES == 24, "header must match SEGMENT_OVERHEAD_BYTES"
 
+#: Flags bit marking a row that carries the revision extension.
+_FLAG_REVISED = 0x01
+
+_EXTENSION = struct.Struct("<IQ")
+
+assert _EXTENSION.size == REVISION_EXTENSION_BYTES
+
 _MAX_PARAM_LEN = (1 << 16) - 1
 _MAX_COLUMNS = 32
+_MAX_REVISION = (1 << 32) - 1
 
 
 def encode_segment(segment: SegmentGroup) -> bytes:
-    """Serialise one segment row (header + parameters)."""
+    """Serialise one segment row (header [+ extension] + parameters)."""
     if len(segment.parameters) > _MAX_PARAM_LEN:
         raise StorageError(
             f"model parameters too large to encode "
@@ -49,15 +71,22 @@ def encode_segment(segment: SegmentGroup) -> bytes:
             f"groups larger than {_MAX_COLUMNS} series cannot encode their "
             "gap bitmask"
         )
+    revised = bool(segment.revision or segment.knowledge_time)
+    if segment.revision > _MAX_REVISION:
+        raise StorageError(
+            f"segment revision {segment.revision} too large to encode"
+        )
     header = _HEADER.pack(
         segment.gid,
         segment.end_time,
         segment.length,
         segment.mid,
-        0,
+        _FLAG_REVISED if revised else 0,
         len(segment.parameters),
         segment.gap_bitmask(),
     )
+    if revised:
+        header += _EXTENSION.pack(segment.revision, segment.knowledge_time)
     return header + segment.parameters
 
 
@@ -75,10 +104,17 @@ def decode_segment(
     """
     if offset + HEADER_BYTES > len(data):
         raise StorageError("truncated segment header")
-    gid, end_time, size, mid, _, param_len, gap_mask = _HEADER.unpack_from(
+    gid, end_time, size, mid, flags, param_len, gap_mask = _HEADER.unpack_from(
         data, offset
     )
     offset += HEADER_BYTES
+    revision = 0
+    knowledge_time = 0
+    if flags & _FLAG_REVISED:
+        if offset + REVISION_EXTENSION_BYTES > len(data):
+            raise StorageError("truncated segment revision extension")
+        revision, knowledge_time = _EXTENSION.unpack_from(data, offset)
+        offset += REVISION_EXTENSION_BYTES
     parameters = bytes(data[offset:offset + param_len])
     if len(parameters) != param_len:
         raise StorageError("truncated segment parameters")
@@ -92,10 +128,17 @@ def decode_segment(
         parameters=parameters,
         gaps=SegmentGroup.gaps_from_bitmask(gap_mask, group_tids),
         group_tids=group_tids,
+        revision=revision,
+        knowledge_time=knowledge_time,
     )
     return segment, offset
 
 
 def encoded_size(segment: SegmentGroup) -> int:
     """Bytes :func:`encode_segment` will produce for this segment."""
-    return HEADER_BYTES + len(segment.parameters)
+    extension = (
+        REVISION_EXTENSION_BYTES
+        if segment.revision or segment.knowledge_time
+        else 0
+    )
+    return HEADER_BYTES + extension + len(segment.parameters)

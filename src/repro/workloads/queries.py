@@ -31,8 +31,11 @@ def _compose_sql(
     select: Sequence[str],
     where: Sequence[str],
     group: Sequence[str],
+    as_of: int | None = None,
 ) -> str:
     text = f"SELECT {', '.join(select)} FROM {view}"
+    if as_of is not None:
+        text += f" AS OF {as_of}"
     if where:
         text += f" WHERE {' AND '.join(where)}"
     if group:
@@ -54,6 +57,9 @@ class QuerySpec:
     level: str = "MONTH"
     member: tuple[str, str] | None = None
     group_by: str | None = None
+    #: Knowledge-time bound rendered as the statement's ``AS OF`` clause
+    #: (None reads the latest-known state).
+    as_of: int | None = None
 
     def to_sql(self) -> str:
         """Render the spec in the engine's SQL dialect.
@@ -74,16 +80,28 @@ class QuerySpec:
                 where.append(f"TS >= {self.start}")
             if self.end is not None:
                 where.append(f"TS <= {self.end}")
-            return _compose_sql("Segment", select, where, group)
+            return _compose_sql(
+                "Segment", select, where, group, self.as_of
+            )
         if self.kind == "point":
-            return (
-                f"SELECT TS, Value FROM DataPoint WHERE Tid = {self.tids[0]}"
-                f" AND TS = {self.timestamp}"
+            return _compose_sql(
+                "DataPoint",
+                ["TS", "Value"],
+                [f"Tid = {self.tids[0]}", f"TS = {self.timestamp}"],
+                [],
+                self.as_of,
             )
         if self.kind == "range":
-            return (
-                f"SELECT TS, Value FROM DataPoint WHERE Tid = {self.tids[0]}"
-                f" AND TS >= {self.start} AND TS <= {self.end}"
+            return _compose_sql(
+                "DataPoint",
+                ["TS", "Value"],
+                [
+                    f"Tid = {self.tids[0]}",
+                    f"TS >= {self.start}",
+                    f"TS <= {self.end}",
+                ],
+                [],
+                self.as_of,
             )
         if self.kind == "rollup":
             select = []
@@ -100,7 +118,9 @@ class QuerySpec:
             where = self._tid_predicates()
             if self.member is not None:
                 where.append(f"{self.member[0]} = '{self.member[1]}'")
-            return _compose_sql("Segment", select, where, group)
+            return _compose_sql(
+                "Segment", select, where, group, self.as_of
+            )
         raise ValueError(f"unknown query kind {self.kind!r}")
 
     def _tid_predicates(self) -> list[str]:

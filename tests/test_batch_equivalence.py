@@ -27,6 +27,7 @@ from repro.datasets.ep import EP_CORRELATION
 from repro.models.gorilla import GorillaFitter
 from repro.models.pmc_mean import PMCMeanFitter
 from repro.models.swing import SwingFitter
+from repro.storage import SegmentScan
 
 try:
     from hypothesis import given, settings
@@ -159,7 +160,7 @@ def store_signature(db: ModelarDB):
             bytes(s.parameters),
             tuple(sorted(s.gaps)),
         )
-        for s in db.storage.segments()
+        for s in db.storage.scan(SegmentScan())
     )
 
 

@@ -22,6 +22,7 @@ import pytest
 
 from repro import Configuration, MemoryStorage, ModelarDB, TimeSeries
 from repro.core.group import TimeSeriesGroup
+from repro.storage import SegmentScan
 
 try:
     from hypothesis import given, settings
@@ -164,7 +165,7 @@ class TestSeededEquivalence:
 
     def test_mixed_model_types_are_exercised(self):
         db, _ = build_db(seed=1, bound=5.0, chunk_size=1024, columnar=True)
-        mids = {segment.mid for segment in db.storage.segments()}
+        mids = {segment.mid for segment in db.storage.scan(SegmentScan())}
         assert len(mids) >= 2, "data should select more than one model type"
 
 
@@ -188,7 +189,7 @@ class TestValuesBlockContract:
         db, _ = build_db(seed=3, bound=5.0, chunk_size=1024, columnar=True)
         cache = db.engine.segment_cache
         checked = 0
-        for segment in db.storage.segments():
+        for segment in db.storage.scan(SegmentScan()):
             model = cache.decode(
                 segment.mid,
                 segment.parameters,

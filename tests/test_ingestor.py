@@ -5,7 +5,7 @@ import pytest
 from repro.core import Configuration, TimeSeriesGroup
 from repro.ingest import Ingestor, group_ticks
 from repro.models import ModelRegistry
-from repro.storage import MemoryStorage, records_for_groups
+from repro.storage import MemoryStorage, SegmentScan, records_for_groups
 
 from .conftest import correlated_group, make_series
 
@@ -73,7 +73,7 @@ class TestIngestor:
         storage.insert_time_series(records_for_groups([group]))
         ingestor.ingest_group(group)
         covered = set()
-        for segment in storage.segments():
+        for segment in storage.scan(SegmentScan()):
             covered.update(segment.timestamps())
         assert covered == set(range(0, 257 * 100, 100))
 
@@ -111,4 +111,4 @@ class TestIngestor:
         stats = ingestor.ingest(groups)
         assert stats.data_points == 600
         assert storage.segment_count() > 0
-        assert set(s.gid for s in storage.segments()) == {1, 2}
+        assert set(s.gid for s in storage.scan(SegmentScan())) == {1, 2}

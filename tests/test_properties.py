@@ -13,7 +13,7 @@ from repro.models import ModelRegistry
 from repro.models.gorilla import Gorilla
 from repro.models.pmc_mean import PMCMean
 from repro.models.swing import Swing
-from repro.storage import decode_segment, encode_segment
+from repro.storage import SegmentScan, decode_segment, encode_segment
 
 #: Values representable as float32 without the extremes that make
 #: relative-error arithmetic degenerate.
@@ -129,7 +129,7 @@ def test_segments_partition_the_timeline(values):
     db = ModelarDB(Configuration(error_bound=1.0))
     db.ingest([series])
     covered = []
-    for segment in db.storage.segments():
+    for segment in db.storage.scan(SegmentScan()):
         covered.extend(segment.timestamps())
     assert sorted(covered) == [i * 100 for i in range(len(values))]
     assert len(covered) == len(set(covered))

@@ -22,6 +22,7 @@ from repro.core.errors import ClusterError
 from repro.server import ConnectionLostError, ServerClient
 from repro.server.protocol import ERROR_STATUS, ErrorCode
 from repro.shard import SegmentBatch, ShardedCluster, ShardedDispatcher, ShardMap
+from repro.storage import SegmentScan
 
 
 def make_series(n_series: int = 4, n_points: int = 200) -> list[TimeSeries]:
@@ -131,7 +132,7 @@ class TestSegmentBatch:
                 if record.gid == gid
             ],
             model_table=storage.model_table(),
-            segments=list(storage.segments(gids=[gid])),
+            segments=list(storage.scan(SegmentScan(gids=(gid,)))),
         )
         clone = pickle.loads(pickle.dumps(batch))
         assert clone.batch_id == batch.batch_id

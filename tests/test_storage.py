@@ -7,6 +7,7 @@ from repro.core.errors import StorageError
 from repro.storage import (
     FileStorage,
     MemoryStorage,
+    SegmentScan,
     TimeSeriesRecord,
     decode_segment,
     encode_segment,
@@ -92,7 +93,7 @@ class TestStores:
         store.insert_time_series(records())
         segment = make_segment(gaps={3})
         store.insert_segments([segment])
-        (loaded,) = list(store.segments())
+        (loaded,) = list(store.scan(SegmentScan()))
         assert loaded == segment
         assert store.segment_count() == 1
 
@@ -107,10 +108,10 @@ class TestStores:
                 mid=1, parameters=b"\x00" * 4, group_tids=(4,),
             ),
         ])
-        assert all(s.gid == 1 for s in store.segments(gids=[1]))
-        assert all(s.gid == 2 for s in store.segments(gids=[2]))
-        assert len(list(store.segments(gids=[1, 2]))) == 2
-        assert list(store.segments(gids=[99])) == []
+        assert all(s.gid == 1 for s in store.scan(SegmentScan(gids=(1,))))
+        assert all(s.gid == 2 for s in store.scan(SegmentScan(gids=(2,))))
+        assert len(list(store.scan(SegmentScan(gids=(1, 2))))) == 2
+        assert list(store.scan(SegmentScan(gids=(99,)))) == []
 
     def test_time_predicate_pushdown(self, store):
         store.insert_time_series(records())
@@ -118,10 +119,10 @@ class TestStores:
             make_segment(start=0, end=400),
             make_segment(start=500, end=900),
         ])
-        assert len(list(store.segments(start_time=450))) == 1
-        assert len(list(store.segments(end_time=450))) == 1
-        assert len(list(store.segments(start_time=100, end_time=600))) == 2
-        assert list(store.segments(start_time=1000)) == []
+        assert len(list(store.scan(SegmentScan(start_time=450)))) == 1
+        assert len(list(store.scan(SegmentScan(end_time=450)))) == 1
+        assert len(list(store.scan(SegmentScan(start_time=100, end_time=600)))) == 2
+        assert list(store.scan(SegmentScan(start_time=1000))) == []
 
     def test_size_accounting(self, store):
         store.insert_time_series(records())
@@ -154,7 +155,7 @@ class TestFileStorePersistence:
 
         reopened = FileStorage(path)
         assert reopened.segment_count() == 2
-        assert len(list(reopened.segments())) == 2
+        assert len(list(reopened.scan(SegmentScan()))) == 2
         assert reopened.model_table() == {1: "PMC"}
         assert [r.tid for r in reopened.time_series()] == [1, 2, 3]
 

@@ -16,7 +16,7 @@ import pytest
 
 from repro import Configuration, ModelarDB
 from repro.core.group import TimeSeriesGroup
-from repro.storage import FileStorage, MemoryStorage
+from repro.storage import FileStorage, MemoryStorage, SegmentScan
 
 from .conftest import correlated_group, make_series
 
@@ -34,8 +34,10 @@ def segment_key(segment):
 
 
 def snapshot(storage, **push_down):
+    if push_down.get("gids") is not None:
+        push_down["gids"] = tuple(push_down["gids"])
     return sorted(
-        segment_key(s) for s in storage.segments(**push_down)
+        segment_key(s) for s in storage.scan(SegmentScan(**push_down))
     )
 
 
@@ -75,7 +77,7 @@ def backends(tmp_path):
 def push_down_cases(storage):
     """Predicate combinations, including partition-straddling windows."""
     segments = sorted(
-        storage.segments(), key=lambda s: (s.gid, s.end_time)
+        storage.scan(SegmentScan()), key=lambda s: (s.gid, s.end_time)
     )
     end_times = sorted({s.end_time for s in segments})
     # Boundaries inside a segment's span, exactly on one, and outside.
@@ -111,7 +113,7 @@ class TestPushDownEquivalence:
 
     def test_gap_sets_survive_both_backends(self, backends):
         memory, files = backends
-        gappy = [s for s in memory.segments(gids=[3]) if s.gaps]
+        gappy = [s for s in memory.scan(SegmentScan(gids=(3,))) if s.gaps]
         assert gappy  # the third group was built with holes
         assert snapshot(files, gids=[3]) == snapshot(memory, gids=[3])
 

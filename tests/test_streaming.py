@@ -8,7 +8,7 @@ from repro.core.errors import IngestionError
 from repro.ingest import StreamingIngestor
 from repro.models import ModelRegistry
 from repro.query.engine import QueryEngine
-from repro.storage import MemoryStorage, records_for_groups
+from repro.storage import MemoryStorage, SegmentScan, records_for_groups
 
 from .conftest import make_series
 
@@ -37,7 +37,7 @@ class TestAppend:
             stream.append(2, i * 100, 5.0)
         stream.flush()
         covered = sorted(
-            ts for segment in storage.segments() for ts in segment.timestamps()
+            ts for segment in storage.scan(SegmentScan()) for ts in segment.timestamps()
         )
         assert covered == [i * 100 for i in range(40)]
         assert stream.stats.data_points == 80
@@ -49,7 +49,7 @@ class TestAppend:
             if i < 5:
                 stream.append(2, i * 100, 1.0)
         stream.flush()
-        gaps = [segment.gaps for segment in storage.segments()]
+        gaps = [segment.gaps for segment in storage.scan(SegmentScan())]
         assert frozenset({2}) in gaps
 
     def test_out_of_order_rejected(self):
@@ -115,7 +115,7 @@ class TestOnlineAnalytics:
         stream.append(2, 100, 1.0)
         stream.flush()
         covered = sorted(
-            ts for segment in storage.segments() for ts in segment.timestamps()
+            ts for segment in storage.scan(SegmentScan()) for ts in segment.timestamps()
         )
         assert covered == [0, 100]
 

@@ -25,6 +25,23 @@ def systems():
     return ep, parquet, v2
 
 
+class TestToSql:
+    def test_as_of_renders_between_view_and_where(self):
+        from repro.query.sql import parse
+
+        spec = QuerySpec("simple", tids=(1,), start=100, as_of=7)
+        sql = spec.to_sql()
+        assert " FROM Segment AS OF 7 WHERE " in sql
+        assert parse(sql).as_of == 7
+        ranged = QuerySpec(
+            "range", tids=(2,), start=0, end=500, as_of=3
+        ).to_sql()
+        assert " FROM DataPoint AS OF 3 WHERE " in ranged
+        assert parse(ranged).as_of == 3
+        # None renders no clause — statements stay byte-identical.
+        assert "AS OF" not in QuerySpec("simple", tids=(1,)).to_sql()
+
+
 class TestGenerators:
     def test_s_agg_structure(self):
         queries = s_agg(list(range(1, 11)), seed=1, count=10).queries
