@@ -24,11 +24,11 @@ def ingest(dataset, bound, models, extra_models=()):
     config = Configuration(
         error_bound=bound, correlation=EP_CORRELATION, models=models
     )
-    db = ModelarDB(
+    with ModelarDB(
         config, dimensions=dataset.dimensions, extra_models=extra_models
-    )
-    db.ingest(dataset.series)
-    return db.size_bytes()
+    ) as db:
+        db.ingest(dataset.series)
+        return db.size_bytes()
 
 
 @pytest.mark.parametrize("bound", [1.0, 10.0])

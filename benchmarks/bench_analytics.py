@@ -279,9 +279,9 @@ def forecast_accuracy() -> dict:
         )
         truth[tid] = values[prefix:].astype(np.float64)
         naive[tid] = float(values[prefix - 1])
-    db = ModelarDB.open(config=Configuration(error_bound=ERROR_BOUND))
-    db.ingest(groups)
-    rows = db.sql(f"SELECT FORECAST(TS, {HORIZON}) FROM DataPoint")
+    with ModelarDB.open(config=Configuration(error_bound=ERROR_BOUND)) as db:
+        db.ingest(groups)
+        rows = db.sql(f"SELECT FORECAST(TS, {HORIZON}) FROM DataPoint")
     last_ingested = int(timestamps[n_points - HORIZON - 1])
     model_errors, naive_errors, contained = [], [], 0
     for row in rows:

@@ -31,9 +31,9 @@ def sweep(dataset, distances, bounds):
                 error_bound=bound,
                 correlation=[f"{distance:.8f}"] if distance else [],
             )
-            db = ModelarDB(config, dimensions=dataset.dimensions)
-            db.ingest(dataset.series)
-            sizes[(distance, bound)] = db.size_bytes()
+            with ModelarDB(config, dimensions=dataset.dimensions) as db:
+                db.ingest(dataset.series)
+                sizes[(distance, bound)] = db.size_bytes()
     return sizes
 
 

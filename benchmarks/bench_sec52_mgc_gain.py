@@ -18,12 +18,12 @@ BOUNDS = ERROR_BOUNDS
 
 
 def ingest(series, bound, grouped):
-    db = ModelarDB(Configuration(error_bound=bound))
-    if grouped:
-        db.ingest([TimeSeriesGroup(1, series)])
-    else:
-        db.ingest(singleton_groups(series))
-    return db.size_bytes()
+    with ModelarDB(Configuration(error_bound=bound)) as db:
+        if grouped:
+            db.ingest([TimeSeriesGroup(1, series)])
+        else:
+            db.ingest(singleton_groups(series))
+        return db.size_bytes()
 
 
 @pytest.mark.parametrize("bound", BOUNDS)

@@ -3,7 +3,15 @@
 The generic linter (ruff) catches generic defects; this package encodes
 the *system's own* cross-cutting contracts as enforceable rules — the
 invariants that, when silently broken, invalidate experiments rather
-than crash tests:
+than crash tests.
+
+Analysis runs in two passes. Pass 1 visits each file in isolation
+(cached by content hash in ``.reprolint-cache.json``): per-file rule
+checks plus fact extraction — the module's defs, classes, call sites,
+and each rule's own fact fragments. Pass 2 assembles the fragments
+into a whole-program symbol table and call graph
+(:mod:`repro.analysis.callgraph`) and runs the interprocedural rules
+over it.
 
 ``RPR001``  deterministic paths stay deterministic (no wall clock, no
             unseeded RNG inside the model kernels / ingestion /
@@ -17,16 +25,29 @@ than crash tests:
 ``RPR004``  types crossing the cluster RPC boundary stay picklable;
 ``RPR005``  no bare/broad ``except`` without a justification tag;
 ``RPR006``  no per-tick scalar fallback loops reintroduced inside the
-            vectorized batch kernels.
+            vectorized batch kernels;
+``RPR007``  no call *chain* from a deterministic scope to a wall-clock
+            or RNG source anywhere in the program (interprocedural
+            closure of RPR001);
+``RPR008``  the wire protocol agrees with itself: handler branch,
+            client payload, dispatcher route, and operator docs per
+            op, and validated request fields are threaded onward;
+``RPR009``  Storage/client/cluster handles are closed on all paths or
+            visibly transfer ownership; no internal calls to
+            DeprecationWarning shims;
+``RPR010``  every metric declared in the catalog is recorded by some
+            instrument call site (the inverse of RPR002).
 
 Run it as ``python -m repro.analysis [paths...]``; configuration lives
 in the ``[tool.reprolint]`` table of ``pyproject.toml``. Suppress one
 finding with a same-line ``# reprolint: disable=RPR0xx`` comment —
-suppressions that suppress nothing are themselves reported (RPR000).
+suppressions that suppress nothing are themselves reported (RPR000),
+except when they name a rule disabled via ``disabled-rules``.
 """
 
 from __future__ import annotations
 
+from .callgraph import Program
 from .engine import Config, Finding, Report, run_analysis
 from .rules import ALL_RULE_SPECS, RULES
 
@@ -34,6 +55,7 @@ __all__ = [
     "ALL_RULE_SPECS",
     "Config",
     "Finding",
+    "Program",
     "Report",
     "RULES",
     "run_analysis",

@@ -1,8 +1,9 @@
 """CLI for reprolint: ``python -m repro.analysis [paths...]``.
 
 Exit codes: 0 clean, 1 findings, 2 usage error. ``--output FILE``
-always writes the JSON report (independent of ``--format``), so one
-blocking CI invocation yields both the human log and the artifact.
+always writes the JSON report and ``--sarif FILE`` the SARIF 2.1.0 one
+(both independent of ``--format``), so one blocking CI invocation
+yields the human log plus both machine artifacts.
 """
 
 from __future__ import annotations
@@ -32,7 +33,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="stdout format (default: text)",
     )
@@ -40,6 +41,16 @@ def main(argv: list[str] | None = None) -> int:
         "--output",
         metavar="FILE",
         help="also write the JSON report to FILE, whatever --format is",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental analysis cache",
     )
     args = parser.parse_args(argv)
 
@@ -49,15 +60,26 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     config = Config.from_pyproject(root)
     try:
-        report = run_analysis(root, args.paths or None, config)
+        report = run_analysis(
+            root,
+            args.paths or None,
+            config,
+            use_cache=False if args.no_cache else None,
+        )
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
     if args.output:
         Path(args.output).write_text(report.to_json() + "\n", encoding="utf-8")
+    if args.sarif:
+        Path(args.sarif).write_text(
+            report.to_sarif_json() + "\n", encoding="utf-8"
+        )
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        print(report.to_sarif_json())
     else:
         print(report.render())
     return 0 if report.clean else 1

@@ -1,0 +1,688 @@
+"""Pass 1 of the whole-program analyzer: symbols, calls, taint.
+
+reprolint used to look at one file at a time; the invariants it now
+checks span files (a clock read two calls away from a deterministic
+kernel, a protocol op with no client method, a ``Storage`` opened in one
+function and leaked in another). This module builds the project-wide
+view those rules need:
+
+* :func:`extract_module_facts` reduces one parsed file to a compact,
+  JSON-serializable :class:`ModuleFacts` — every function with its
+  classified call sites, every class with its methods and bases. Facts
+  are what the incremental cache stores, so they must round-trip
+  through JSON (:meth:`ModuleFacts.to_dict` / ``from_dict``).
+* :class:`Program` merges the facts of every analyzed file into a
+  symbol table plus call graph, resolves call sites to definitions
+  (import aliases, ``self.``, single-level ``v = Ctor(); v.m()`` local
+  typing, base-class method lookup), and answers the interprocedural
+  questions pass 2 asks — most importantly :meth:`Program.taint`, the
+  reverse-reachability closure RPR007 uses to find wall-clock/RNG
+  sources N calls away from a deterministic scope.
+
+Everything here is deliberately order-independent: modules are indexed
+sorted by path and the taint worklist is sorted, so findings do not
+drift when the file walk order changes (proven by the drift test in
+tests/test_callgraph.py).
+
+Known, accepted approximations (static analysis):
+
+* Calls inside nested functions/lambdas are folded into the enclosing
+  function — conservative for taint (the closure usually runs on
+  behalf of its definer).
+* An unresolvable dotted call whose last component uniquely names one
+  project function or method resolves to it (this is what links
+  package re-exports like ``repro.storage.FileStorage`` to the class
+  defined in ``repro/storage/filestore.py``).
+* Receivers that are neither ``self``, an import alias, nor a locally
+  constructed value stay unresolved; such sites are kept with kind
+  ``"method"`` so name-unique checks (deprecated shims) still see them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from .engine import Config, FileContext
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Synthetic function name holding a module's top-level call sites.
+MODULE_BODY = "<module>"
+
+#: Classmethod-style constructors treated as producing an instance of
+#: their class (``ModelarDB.open(...)`` types the variable ModelarDB).
+_FACTORY_METHODS = {"open", "open_directory", "connect"}
+
+
+def module_name(rel: str) -> str:
+    """Import path of a file, matching how the code imports it.
+
+    ``src/repro/ingest/__init__.py`` → ``repro.ingest`` (the leading
+    ``src`` is the package-dir, not a package), ``benchmarks/foo.py`` →
+    ``benchmarks.foo``.
+    """
+    parts = rel.removesuffix(".py").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def in_scope(rel: str, prefixes: Sequence[str]) -> bool:
+    """Whether a project-relative path lives under any prefix."""
+    for prefix in prefixes:
+        clean = prefix.rstrip("/")
+        if rel == clean or rel.startswith(clean + "/"):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Fact model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CallSite:
+    """One classified call expression inside a function.
+
+    ``kind`` is one of:
+
+    * ``"dotted"`` — canonical dotted name (``time.time``,
+      ``repro.storage.FileStorage``, ``pkg.Class.method``);
+    * ``"name"`` — bare unimported name (``helper()``): same-module or
+      unique-basename resolution applies;
+    * ``"self"`` — ``self.m()``: same-class (then base-class) lookup;
+    * ``"typed"`` — ``v.m()`` where ``v = Ctor(...)`` locally; ``cls``
+      holds the constructor's dotted name;
+    * ``"method"`` — ``obj.m()`` with an unresolvable receiver; kept
+      for name-unique checks only.
+    """
+
+    kind: str
+    target: str
+    line: int
+    col: int
+    bare: bool = False
+    cls: str | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "kind": self.kind,
+            "target": self.target,
+            "line": self.line,
+            "col": self.col,
+        }
+        if self.bare:
+            out["bare"] = True
+        if self.cls is not None:
+            out["cls"] = self.cls
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "CallSite":
+        return cls(
+            kind=str(data["kind"]),
+            target=str(data["target"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            bare=bool(data.get("bare", False)),
+            cls=str(data["cls"]) if data.get("cls") is not None else None,
+        )
+
+
+@dataclass
+class FunctionFacts:
+    """One function or method and everything it calls."""
+
+    module: str
+    cls: str | None
+    name: str
+    line: int
+    calls: list[CallSite] = field(default_factory=list)
+    #: The body raises ``warnings.warn(..., DeprecationWarning)`` —
+    #: i.e. this def *is* a deprecation shim.
+    warns_deprecation: bool = False
+
+    @property
+    def qualname(self) -> str:
+        if self.cls is not None:
+            return f"{self.module}.{self.cls}.{self.name}"
+        return f"{self.module}.{self.name}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "module": self.module,
+            "cls": self.cls,
+            "name": self.name,
+            "line": self.line,
+            "calls": [call.to_dict() for call in self.calls],
+            "warns_deprecation": self.warns_deprecation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "FunctionFacts":
+        return cls(
+            module=str(data["module"]),
+            cls=str(data["cls"]) if data.get("cls") is not None else None,
+            name=str(data["name"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            calls=[
+                CallSite.from_dict(entry)
+                for entry in data.get("calls", ())  # type: ignore[union-attr]
+            ],
+            warns_deprecation=bool(data.get("warns_deprecation", False)),
+        )
+
+
+@dataclass
+class ClassFacts:
+    """One class: its methods (name → def line) and base names."""
+
+    module: str
+    name: str
+    line: int
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "module": self.module,
+            "name": self.name,
+            "line": self.line,
+            "bases": list(self.bases),
+            "methods": dict(self.methods),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "ClassFacts":
+        return cls(
+            module=str(data["module"]),
+            name=str(data["name"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            bases=[str(base) for base in data.get("bases", ())],  # type: ignore[union-attr]
+            methods={
+                str(name): int(line)
+                for name, line in dict(data.get("methods", {})).items()  # type: ignore[arg-type]
+            },
+        )
+
+
+@dataclass
+class ModuleFacts:
+    """Everything pass 2 needs to know about one analyzed file."""
+
+    rel: str
+    module: str
+    functions: list[FunctionFacts] = field(default_factory=list)
+    classes: list[ClassFacts] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rel": self.rel,
+            "module": self.module,
+            "functions": [func.to_dict() for func in self.functions],
+            "classes": [klass.to_dict() for klass in self.classes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "ModuleFacts":
+        return cls(
+            rel=str(data["rel"]),
+            module=str(data["module"]),
+            functions=[
+                FunctionFacts.from_dict(entry)
+                for entry in data.get("functions", ())  # type: ignore[union-attr]
+            ],
+            classes=[
+                ClassFacts.from_dict(entry)
+                for entry in data.get("classes", ())  # type: ignore[union-attr]
+            ],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Extraction (runs once per changed file; results are cached)
+# ---------------------------------------------------------------------------
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """(class name, def) for every top-level function and method."""
+    for node in tree.body:
+        if isinstance(node, _FUNCTION_NODES):
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, _FUNCTION_NODES):
+                    yield node.name, item
+
+
+def typed_locals(
+    func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+    ctx: "FileContext",
+) -> dict[str, str]:
+    """Local name → dotted constructor, from ``v = Ctor(...)`` assigns.
+
+    ``v = ModelarDB.open(path)`` types ``v`` as ``...ModelarDB`` (the
+    factory-method suffix is stripped), so ``v.close()`` later resolves
+    to the class.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        dotted = ctx.dotted(node.value.func)
+        if dotted is None:
+            continue
+        parts = dotted.split(".")
+        if len(parts) >= 2 and parts[-1] in _FACTORY_METHODS:
+            dotted = ".".join(parts[:-1])
+        table[target.id] = dotted
+    return table
+
+
+def _classify_call(
+    node: ast.Call,
+    ctx: "FileContext",
+    typed: dict[str, str],
+    module_names: set[str],
+) -> CallSite | None:
+    """Map one Call expression to a :class:`CallSite`, or None."""
+    func = node.func
+    bare = not node.args and not node.keywords
+    dotted = ctx.dotted(func)
+    if dotted is None:
+        if isinstance(func, ast.Attribute):
+            return CallSite(
+                "method", func.attr, node.lineno, node.col_offset, bare
+            )
+        return None
+    parts = dotted.split(".")
+    root = parts[0]
+    if root == "self":
+        if len(parts) == 2:
+            return CallSite(
+                "self", parts[1], node.lineno, node.col_offset, bare
+            )
+        # self._x.m(): receiver is an attribute — unresolved.
+        return CallSite(
+            "method", parts[-1], node.lineno, node.col_offset, bare
+        )
+    if (
+        len(parts) > 1
+        and isinstance(func, ast.Attribute)
+        and isinstance(_receiver_root(func), ast.Name)
+    ):
+        receiver = _receiver_root(func)
+        assert isinstance(receiver, ast.Name)
+        if receiver.id in typed and len(parts) == 2:
+            return CallSite(
+                "typed",
+                parts[-1],
+                node.lineno,
+                node.col_offset,
+                bare,
+                cls=typed[receiver.id],
+            )
+        if receiver.id not in ctx.aliases and receiver.id not in module_names:
+            # A local/attribute receiver we cannot type.
+            return CallSite(
+                "method", parts[-1], node.lineno, node.col_offset, bare
+            )
+    if len(parts) == 1:
+        # `f()`: ctx.dotted already resolved `from x import f` aliases
+        # into a dotted path; a still-bare name resolves same-module
+        # first, then by unique basename.
+        return CallSite("name", dotted, node.lineno, node.col_offset, bare)
+    if root in module_names:
+        # `ModelarDB.open(...)` inside modelardb.py itself: qualify
+        # with the defining module so resolution finds the class.
+        dotted = f"{ctx.module}.{dotted}"
+    return CallSite("dotted", dotted, node.lineno, node.col_offset, bare)
+
+
+def _receiver_root(func: ast.Attribute) -> ast.expr:
+    node: ast.expr = func
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node
+
+
+def _warns_deprecation(func: ast.AST, ctx: "FileContext") -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.dotted(node.func)
+        if dotted not in ("warnings.warn", "warn"):
+            continue
+        for arg in (*node.args, *(kw.value for kw in node.keywords)):
+            if isinstance(arg, ast.Name) and arg.id == "DeprecationWarning":
+                return True
+    return False
+
+
+def extract_module_facts(ctx: "FileContext") -> ModuleFacts:
+    """Reduce one parsed file to its symbol/call facts."""
+    tree = ctx.tree
+    module_names = {
+        node.name
+        for node in tree.body
+        if isinstance(node, (*_FUNCTION_NODES, ast.ClassDef))
+    }
+    facts = ModuleFacts(rel=ctx.rel, module=ctx.module)
+
+    def collect_calls(
+        scope: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+        skip_defs: bool,
+    ) -> list[CallSite]:
+        typed = typed_locals(scope, ctx)
+        calls: list[CallSite] = []
+        stack: list[ast.AST] = (
+            list(ast.iter_child_nodes(scope))
+            if not skip_defs
+            else [
+                child
+                for child in ast.iter_child_nodes(scope)
+                if not isinstance(child, (*_FUNCTION_NODES, ast.ClassDef))
+            ]
+        )
+        while stack:
+            node = stack.pop()
+            if skip_defs and isinstance(
+                node, (*_FUNCTION_NODES, ast.ClassDef)
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                site = _classify_call(node, ctx, typed, module_names)
+                if site is not None:
+                    calls.append(site)
+            stack.extend(ast.iter_child_nodes(node))
+        calls.sort(key=lambda call: (call.line, call.col))
+        return calls
+
+    for cls_name, func in iter_functions(tree):
+        facts.functions.append(
+            FunctionFacts(
+                module=ctx.module,
+                cls=cls_name,
+                name=func.name,
+                line=func.lineno,
+                calls=collect_calls(func, skip_defs=False),
+                warns_deprecation=_warns_deprecation(func, ctx),
+            )
+        )
+    module_calls = collect_calls(tree, skip_defs=True)
+    if module_calls:
+        facts.functions.append(
+            FunctionFacts(
+                module=ctx.module,
+                cls=None,
+                name=MODULE_BODY,
+                line=1,
+                calls=module_calls,
+            )
+        )
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases: list[str] = []
+        for base in node.bases:
+            dotted = ctx.dotted(base)
+            if dotted is not None:
+                bases.append(dotted)
+        facts.classes.append(
+            ClassFacts(
+                module=ctx.module,
+                name=node.name,
+                line=node.lineno,
+                bases=bases,
+                methods={
+                    item.name: item.lineno
+                    for item in node.body
+                    if isinstance(item, _FUNCTION_NODES)
+                },
+            )
+        )
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Program: the merged whole-program view (pass 2 input)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Why a function is non-deterministic."""
+
+    source: str  #: dotted name of the clock/RNG call at the root
+    #: qualnames from this function down to the one calling ``source``.
+    chain: tuple[str, ...]
+
+
+class Program:
+    """Symbol table + call graph over every analyzed file."""
+
+    def __init__(
+        self,
+        root: Path,
+        config: "Config",
+        modules: dict[str, ModuleFacts],
+        fragments: dict[str, dict[str, object]] | None = None,
+    ) -> None:
+        self.root = root
+        self.config = config
+        #: rel path → facts, sorted so every traversal is order-stable.
+        self.modules: dict[str, ModuleFacts] = dict(sorted(modules.items()))
+        self._fragments = fragments or {}
+        self.functions: dict[str, FunctionFacts] = {}
+        self.classes: dict[str, ClassFacts] = {}
+        self._rel_of_module: dict[str, str] = {}
+        self._function_basenames: dict[str, list[str]] = {}
+        self._class_basenames: dict[str, list[str]] = {}
+        self._method_classes: dict[str, list[str]] = {}
+        for rel, facts in self.modules.items():
+            self._rel_of_module[facts.module] = rel
+            for func in facts.functions:
+                self.functions[func.qualname] = func
+                if func.cls is None and func.name != MODULE_BODY:
+                    self._function_basenames.setdefault(
+                        func.name, []
+                    ).append(func.qualname)
+            for klass in facts.classes:
+                self.classes[klass.qualname] = klass
+                self._class_basenames.setdefault(klass.name, []).append(
+                    klass.qualname
+                )
+                for method in klass.methods:
+                    self._method_classes.setdefault(method, []).append(
+                        klass.qualname
+                    )
+        self._reverse: dict[str, list[str]] | None = None
+
+    # -- rule fact fragments -------------------------------------------
+    def fragments(self, rule_id: str) -> dict[str, object]:
+        """rel path → the fragment that rule collected there."""
+        return dict(
+            sorted(self._fragments.get(rule_id, {}).items())
+        )
+
+    # -- path helpers --------------------------------------------------
+    def rel_for_module(self, module: str) -> str | None:
+        return self._rel_of_module.get(module)
+
+    def rel_of(self, qualname: str) -> str:
+        func = self.functions[qualname]
+        rel = self._rel_of_module.get(func.module)
+        return rel if rel is not None else func.module
+
+    def method_owners(self, method: str) -> list[str]:
+        """Qualnames of every class defining ``method``, sorted."""
+        return sorted(self._method_classes.get(method, []))
+
+    # -- symbol resolution ---------------------------------------------
+    def resolve_class(self, name: str) -> ClassFacts | None:
+        """A class by exact qualname, else unique basename."""
+        exact = self.classes.get(name)
+        if exact is not None:
+            return exact
+        basename = name.rsplit(".", 1)[-1]
+        candidates = self._class_basenames.get(basename, [])
+        if len(candidates) == 1:
+            return self.classes[candidates[0]]
+        return None
+
+    def resolve_method(
+        self, klass: ClassFacts, method: str
+    ) -> str | None:
+        """Qualname of a method, walking base classes by name."""
+        seen: set[str] = set()
+        queue = [klass]
+        while queue:
+            current = queue.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if method in current.methods:
+                return f"{current.qualname}.{method}"
+            for base in current.bases:
+                resolved = self._resolve_base(current, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    def _resolve_base(
+        self, klass: ClassFacts, base: str
+    ) -> ClassFacts | None:
+        same_module = self.classes.get(f"{klass.module}.{base}")
+        if same_module is not None:
+            return same_module
+        return self.resolve_class(base)
+
+    def resolve_call(
+        self, caller: FunctionFacts, call: CallSite
+    ) -> list[str]:
+        """Qualnames of the definitions a call site may reach."""
+        if call.kind == "self":
+            if caller.cls is not None:
+                klass = self.classes.get(f"{caller.module}.{caller.cls}")
+                if klass is not None:
+                    resolved = self.resolve_method(klass, call.target)
+                    if resolved is not None:
+                        return [resolved]
+            return self._unique_method(call.target)
+        if call.kind == "typed":
+            assert call.cls is not None
+            klass = self.resolve_class(call.cls)
+            if klass is not None:
+                resolved = self.resolve_method(klass, call.target)
+                if resolved is not None:
+                    return [resolved]
+            return []
+        if call.kind == "name":
+            same_module = f"{caller.module}.{call.target}"
+            if same_module in self.functions:
+                return [same_module]
+            candidates = self._function_basenames.get(call.target, [])
+            if len(candidates) == 1:
+                return list(candidates)
+            return []
+        if call.kind == "dotted":
+            return self._resolve_dotted(call.target)
+        return []  # "method": receiver unknown
+
+    def _resolve_dotted(self, dotted: str) -> list[str]:
+        if dotted in self.functions:
+            return [dotted]
+        parts = dotted.split(".")
+        # Constructor call: Class → its __init__ (if defined).
+        klass = self.resolve_class(dotted)
+        if klass is not None:
+            init = self.resolve_method(klass, "__init__")
+            return [init] if init is not None else []
+        # Class.method (classmethod / factory): resolve the class part.
+        if len(parts) >= 2:
+            klass = self.resolve_class(".".join(parts[:-1]))
+            if klass is not None:
+                resolved = self.resolve_method(klass, parts[-1])
+                if resolved is not None:
+                    return [resolved]
+        # Re-export (`from .pipeline import fit` surfaced in __init__):
+        # a unique project basename resolves the alias.
+        basename = parts[-1]
+        candidates = self._function_basenames.get(basename, [])
+        if len(candidates) == 1:
+            return list(candidates)
+        return self._unique_method(basename) if len(parts) >= 2 else []
+
+    def _unique_method(self, method: str) -> list[str]:
+        owners = self._method_classes.get(method, [])
+        if len(owners) == 1:
+            return [f"{owners[0]}.{method}"]
+        return []
+
+    # -- call graph ----------------------------------------------------
+    def callers_of(self) -> dict[str, list[str]]:
+        """callee qualname → sorted caller qualnames (memoized)."""
+        if self._reverse is None:
+            reverse: dict[str, set[str]] = {}
+            for qualname in sorted(self.functions):
+                func = self.functions[qualname]
+                for call in func.calls:
+                    for target in self.resolve_call(func, call):
+                        if target != qualname:
+                            reverse.setdefault(target, set()).add(qualname)
+            self._reverse = {
+                callee: sorted(callers)
+                for callee, callers in sorted(reverse.items())
+            }
+        return self._reverse
+
+    def taint(
+        self, classify: Callable[[CallSite], str | None]
+    ) -> dict[str, Taint]:
+        """Functions that can reach a source call, with the path.
+
+        ``classify`` maps a call site to a source description (e.g.
+        ``"time.time"``) or None. The result covers both functions that
+        call a source directly (chain of length 1) and every transitive
+        caller, found by reverse BFS — order-independent because the
+        worklist and adjacency are sorted.
+        """
+        tainted: dict[str, Taint] = {}
+        for qualname in sorted(self.functions):
+            func = self.functions[qualname]
+            for call in func.calls:
+                source = classify(call)
+                if source is not None:
+                    tainted[qualname] = Taint(source, (qualname,))
+                    break
+        callers = self.callers_of()
+        queue = sorted(tainted)
+        while queue:
+            current = queue.pop(0)
+            info = tainted[current]
+            for caller in callers.get(current, ()):
+                if caller in tainted:
+                    continue
+                tainted[caller] = Taint(
+                    info.source, (caller, *info.chain)
+                )
+                queue.append(caller)
+        return tainted

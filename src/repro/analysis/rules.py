@@ -1,20 +1,33 @@
-"""The reprolint rule pack: RPR001–RPR006.
+"""The reprolint rule pack: RPR001–RPR010.
 
 Each rule encodes one of the codebase's cross-cutting contracts (see the
 package docstring). Rules are instantiated per run with the resolved
-:class:`~repro.analysis.engine.Config`; ``check`` sees one file at a
-time, ``finalize`` runs after the walk for rules that need whole-program
-state (the metric-declaration set, the lock-acquisition-order graph).
+:class:`~repro.analysis.engine.Config` and participate in the two-pass
+pipeline:
+
+* ``check(ctx)`` — per-file findings (pass 1, cached);
+* ``collect(ctx)`` — a JSON-serializable fact fragment for this file
+  (pass 1, cached);
+* ``check_program(program)`` — whole-program findings over the merged
+  fragments plus the symbol table / call graph in
+  :class:`~repro.analysis.callgraph.Program` (pass 2, always fresh).
 
 Known, accepted limitations (static analysis is approximate by design):
 
-* RPR002 only checks *literal* metric names; f-string names are left to
-  the runtime catalog enforcement in ``obs.registry``.
+* RPR002/RPR010 only see *literal* metric names plus f-string
+  prefix/suffix templates; fully dynamic names are left to the runtime
+  catalog enforcement in ``obs.registry``.
 * RPR003 tracks lexical lock regions and same-class ``self.method()``
   indirection; calls through other objects are modeled only via the
   blocking-method name list.
 * RPR004 inspects declared field annotations and ``__init__``
   assignments, not runtime attribute injection.
+* RPR007 resolves calls through import aliases, ``self.``, local
+  constructor typing, and unique basenames; calls through unresolvable
+  receivers do not propagate taint.
+* RPR009 treats a ``close()`` anywhere inside a ``finally`` block as
+  closing on all paths, and any escape of the handle (returned,
+  yielded, stored, passed to a call) as a transfer of ownership.
 """
 
 from __future__ import annotations
@@ -24,6 +37,13 @@ import re
 from dataclasses import dataclass
 from typing import ClassVar, Iterator
 
+from .callgraph import (
+    CallSite,
+    FunctionFacts,
+    Program,
+    in_scope,
+    iter_functions,
+)
 from .engine import ENGINE_RULE_ID, Config, FileContext, Finding
 
 
@@ -37,7 +57,7 @@ class RuleSpec:
 
 
 class Rule:
-    """Base class: one invariant, checked per file plus a final pass."""
+    """Base class: one invariant, checked per file plus a program pass."""
 
     id: ClassVar[str]
     name: ClassVar[str]
@@ -47,9 +67,15 @@ class Rule:
         self.config = config
 
     def check(self, ctx: FileContext) -> list[Finding]:
+        """Findings local to one file (cached with the file)."""
         return []
 
-    def finalize(self) -> list[Finding]:
+    def collect(self, ctx: FileContext) -> object | None:
+        """JSON-serializable facts this rule needs from one file."""
+        return None
+
+    def check_program(self, program: Program) -> list[Finding]:
+        """Findings that need the whole-program view."""
         return []
 
 
@@ -83,6 +109,17 @@ _WALL_CLOCK = {
 _ENTROPY_PREFIXES = ("random.", "secrets.")
 
 
+def _source_of(dotted: str | None, bare: bool) -> str | None:
+    """The wall-clock/entropy source a dotted call reads, if any."""
+    if dotted is None:
+        return None
+    if dotted == "numpy.random.default_rng":
+        return dotted if bare else None
+    if dotted in _WALL_CLOCK or dotted.startswith(_ENTROPY_PREFIXES):
+        return dotted
+    return None
+
+
 class NoWallClockRule(Rule):
     """RPR001: deterministic paths must not read clocks or unseeded RNG.
 
@@ -109,30 +146,23 @@ class NoWallClockRule(Rule):
             dotted = ctx.dotted(node.func)
             if dotted is None:
                 continue
-            if dotted == "numpy.random.default_rng":
-                if not node.args and not node.keywords:
-                    findings.append(
-                        Finding(
-                            self.id,
-                            ctx.rel,
-                            node.lineno,
-                            node.col_offset,
-                            "unseeded np.random.default_rng() in a "
-                            "deterministic path — pass an explicit seed",
-                        )
-                    )
+            bare = not node.args and not node.keywords
+            source = _source_of(dotted, bare)
+            if source is None:
                 continue
-            if dotted in _WALL_CLOCK or dotted.startswith(_ENTROPY_PREFIXES):
-                findings.append(
-                    Finding(
-                        self.id,
-                        ctx.rel,
-                        node.lineno,
-                        node.col_offset,
-                        f"non-deterministic call {dotted}() in a "
-                        "deterministic path",
-                    )
+            if source == "numpy.random.default_rng":
+                message = (
+                    "unseeded np.random.default_rng() in a "
+                    "deterministic path — pass an explicit seed"
                 )
+            else:
+                message = (
+                    f"non-deterministic call {source}() in a "
+                    "deterministic path"
+                )
+            findings.append(
+                Finding(self.id, ctx.rel, node.lineno, node.col_offset, message)
+            )
         return findings
 
 
@@ -159,12 +189,9 @@ class MetricCatalogRule(Rule):
         "in obs/catalog.py or a literal .declare() call"
     )
 
-    def __init__(self, config: Config) -> None:
-        super().__init__(config)
-        self._pending: list[tuple[str, Finding]] = []
-        self._declared: set[str] = set()
-
-    def check(self, ctx: FileContext) -> list[Finding]:
+    def collect(self, ctx: FileContext) -> object | None:
+        declared: list[str] = []
+        uses: list[list[object]] = []
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -172,25 +199,17 @@ class MetricCatalogRule(Rule):
             if not isinstance(func, ast.Attribute) or not node.args:
                 continue
             first = node.args[0]
-            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            if not (
+                isinstance(first, ast.Constant) and isinstance(first.value, str)
+            ):
                 continue  # f-string names: runtime enforcement covers them
             if func.attr == "declare":
-                self._declared.add(first.value)
+                declared.append(first.value)
             elif func.attr in _INSTRUMENT_METHODS:
-                self._pending.append(
-                    (
-                        first.value,
-                        Finding(
-                            self.id,
-                            ctx.rel,
-                            node.lineno,
-                            node.col_offset,
-                            f'metric "{first.value}" is not declared in '
-                            "the metrics catalog",
-                        ),
-                    )
-                )
-        return []
+                uses.append([first.value, node.lineno, node.col_offset])
+        if not declared and not uses:
+            return None
+        return {"declared": declared, "uses": uses}
 
     def _catalog_names(self) -> set[str] | None:
         module_name, _, attr = self.config.metrics_catalog.partition(":")
@@ -202,12 +221,29 @@ class MetricCatalogRule(Rule):
         except Exception:  # broad-ok: missing catalog disables the rule
             return None
 
-    def finalize(self) -> list[Finding]:
+    def check_program(self, program: Program) -> list[Finding]:
         catalog = self._catalog_names()
         if catalog is None:
             return []
-        known = catalog | self._declared
-        return [finding for name, finding in self._pending if name not in known]
+        fragments = program.fragments(self.id)
+        known = set(catalog)
+        for fragment in fragments.values():
+            known.update(fragment["declared"])  # type: ignore[index]
+        findings: list[Finding] = []
+        for rel, fragment in fragments.items():
+            for name, line, col in fragment["uses"]:  # type: ignore[index]
+                if name not in known:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            rel,
+                            int(line),
+                            int(col),
+                            f'metric "{name}" is not declared in '
+                            "the metrics catalog",
+                        )
+                    )
+        return findings
 
 
 # ---------------------------------------------------------------------------
@@ -268,8 +304,9 @@ class LockDisciplineRule(Rule):
     instruments with their own locks), re-acquisition of the held lock
     (``threading.Lock`` is non-reentrant — instant deadlock), including
     through same-class ``self.method()`` calls, and records every
-    outer→inner acquisition as an edge in a whole-program graph whose
-    cycles are reported in the final pass.
+    outer→inner acquisition as an edge fragment; the program pass folds
+    every file's edges into one acquisition-order graph and reports its
+    cycles.
     """
 
     id = "RPR003"
@@ -281,8 +318,9 @@ class LockDisciplineRule(Rule):
 
     def __init__(self, config: Config) -> None:
         super().__init__(config)
-        #: (outer lock, inner lock) -> first location that creates it.
-        self._edges: dict[tuple[str, str], tuple[str, int]] = {}
+        #: rel -> (local findings, ordered [outer, inner, line] edges);
+        #: memoized so check() and collect() share one scan per file.
+        self._memo: dict[str, tuple[list[Finding], list[list[object]]]] = {}
 
     # -- lock identity -------------------------------------------------
     @staticmethod
@@ -321,26 +359,41 @@ class LockDisciplineRule(Rule):
                 return dotted
         return f"{ctx.module}.{ast.unparse(node)}"
 
-    # -- per-file check ------------------------------------------------
-    def check(self, ctx: FileContext) -> list[Finding]:
+    # -- per-file passes -----------------------------------------------
+    def _analyze(
+        self, ctx: FileContext
+    ) -> tuple[list[Finding], list[list[object]]]:
+        if ctx.rel in self._memo:
+            return self._memo[ctx.rel]
         findings: list[Finding] = []
+        raw_edges: list[tuple[str, str, int]] = []
         for cls_name, func in self._iter_functions(ctx.tree):
             method_locks = self._method_locks(ctx, cls_name)
             for stmt in func.body:
-                self._scan(stmt, [], ctx, cls_name, method_locks, findings)
-        return findings
+                self._scan(
+                    stmt, [], ctx, cls_name, method_locks, findings, raw_edges
+                )
+        edges: list[list[object]] = []
+        seen: set[tuple[str, str]] = set()
+        for outer, inner, line in raw_edges:
+            if (outer, inner) not in seen:
+                seen.add((outer, inner))
+                edges.append([outer, inner, line])
+        self._memo[ctx.rel] = (findings, edges)
+        return self._memo[ctx.rel]
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        return list(self._analyze(ctx)[0])
+
+    def collect(self, ctx: FileContext) -> object | None:
+        edges = self._analyze(ctx)[1]
+        return {"edges": edges} if edges else None
 
     @staticmethod
     def _iter_functions(
         tree: ast.Module,
     ) -> Iterator[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
-        for node in tree.body:
-            if isinstance(node, _FUNCTION_NODES):
-                yield None, node
-            elif isinstance(node, ast.ClassDef):
-                for item in node.body:
-                    if isinstance(item, _FUNCTION_NODES):
-                        yield node.name, item
+        yield from iter_functions(tree)
 
     def _method_locks(
         self, ctx: FileContext, cls_name: str | None
@@ -386,6 +439,7 @@ class LockDisciplineRule(Rule):
         cls: str | None,
         method_locks: dict[str, set[str]],
         findings: list[Finding],
+        edges: list[tuple[str, str, int]],
     ) -> None:
         if isinstance(node, (ast.With, ast.AsyncWith)):
             acquired: list[str] = []
@@ -393,7 +447,13 @@ class LockDisciplineRule(Rule):
                 identity = self._lock_identity(item.context_expr, ctx, cls)
                 if identity is None:
                     self._scan(
-                        item.context_expr, held, ctx, cls, method_locks, findings
+                        item.context_expr,
+                        held,
+                        ctx,
+                        cls,
+                        method_locks,
+                        findings,
+                        edges,
                     )
                     continue
                 if identity in held:
@@ -408,24 +468,27 @@ class LockDisciplineRule(Rule):
                         )
                     )
                 elif held:
-                    self._edges.setdefault(
-                        (held[-1], identity),
-                        (ctx.rel, item.context_expr.lineno),
+                    edges.append(
+                        (held[-1], identity, item.context_expr.lineno)
                     )
                 acquired.append(identity)
             inner = held + acquired
             for child in node.body:
-                self._scan(child, inner, ctx, cls, method_locks, findings)
+                self._scan(
+                    child, inner, ctx, cls, method_locks, findings, edges
+                )
             return
         if isinstance(node, (*_FUNCTION_NODES, ast.Lambda)):
             # A nested def/lambda runs later, outside this lock region.
             for child in ast.iter_child_nodes(node):
-                self._scan(child, [], ctx, cls, method_locks, findings)
+                self._scan(child, [], ctx, cls, method_locks, findings, edges)
             return
         if isinstance(node, ast.Call) and held:
-            self._check_call(node, held, ctx, cls, method_locks, findings)
+            self._check_call(
+                node, held, ctx, cls, method_locks, findings, edges
+            )
         for child in ast.iter_child_nodes(node):
-            self._scan(child, held, ctx, cls, method_locks, findings)
+            self._scan(child, held, ctx, cls, method_locks, findings, edges)
 
     def _check_call(
         self,
@@ -435,6 +498,7 @@ class LockDisciplineRule(Rule):
         cls: str | None,
         method_locks: dict[str, set[str]],
         findings: list[Finding],
+        edges: list[tuple[str, str, int]],
     ) -> None:
         func = node.func
         dotted = ctx.dotted(func)
@@ -471,9 +535,7 @@ class LockDisciplineRule(Rule):
                         )
                     )
                 else:
-                    self._edges.setdefault(
-                        (held[-1], inner), (ctx.rel, node.lineno)
-                    )
+                    edges.append((held[-1], inner, node.lineno))
         if func.attr not in _BLOCKING_METHODS:
             return
         if func.attr == "join" and isinstance(func.value, ast.Constant):
@@ -491,9 +553,15 @@ class LockDisciplineRule(Rule):
         )
 
     # -- whole-program cycle detection ---------------------------------
-    def finalize(self) -> list[Finding]:
+    def check_program(self, program: Program) -> list[Finding]:
+        edge_sites: dict[tuple[str, str], tuple[str, int]] = {}
+        for rel, fragment in program.fragments(self.id).items():
+            for outer, inner, line in fragment["edges"]:  # type: ignore[index]
+                edge_sites.setdefault(
+                    (str(outer), str(inner)), (rel, int(line))
+                )
         graph: dict[str, list[str]] = {}
-        for outer, inner in self._edges:
+        for outer, inner in edge_sites:
             graph.setdefault(outer, []).append(inner)
         for targets in graph.values():
             targets.sort()
@@ -514,9 +582,7 @@ class LockDisciplineRule(Rule):
                     if canonical in seen_cycles:
                         continue
                     seen_cycles.add(canonical)
-                    path, line = self._edges[
-                        (cycle[-1], target)
-                    ]
+                    path, line = edge_sites[(cycle[-1], target)]
                     chain = " -> ".join((*canonical, canonical[0]))
                     findings.append(
                         Finding(
@@ -845,6 +911,791 @@ class ScalarLoopRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# RPR007 — interprocedural determinism taint
+# ---------------------------------------------------------------------------
+
+
+class DeterminismTaintRule(Rule):
+    """RPR007: no call *chain* from a deterministic scope to a clock.
+
+    RPR001 sees a ``time.time()`` written inside ``models/``; it cannot
+    see ``models/`` calling a helper in ``util/`` that reads the clock
+    two frames down. This rule propagates every wall-clock/RNG source
+    backwards through the whole-program call graph and flags any call
+    site inside the deterministic or kernel scopes whose callee can
+    reach one, reporting the full path so the finding is actionable.
+    Direct in-scope source calls are left to RPR001 (no double report).
+    """
+
+    id = "RPR007"
+    name = "no-transitive-wallclock"
+    summary = (
+        "no call path from models/ingest/serialization/analytics "
+        "kernels to a wall-clock or unseeded-RNG source in any file "
+        "(interprocedural closure of RPR001)"
+    )
+
+    def check_program(self, program: Program) -> list[Finding]:
+        scope = (
+            *self.config.deterministic_paths,
+            *self.config.kernel_paths,
+        )
+
+        def classify(call: CallSite) -> str | None:
+            if call.kind != "dotted":
+                return None
+            return _source_of(call.target, call.bare)
+
+        tainted = program.taint(classify)
+        if not tainted:
+            return []
+        direct = {
+            qualname
+            for qualname, info in tainted.items()
+            if len(info.chain) == 1
+        }
+        findings: list[Finding] = []
+        for rel in sorted(program.modules):
+            if not in_scope(rel, scope):
+                continue
+            for func in program.modules[rel].functions:
+                for call in func.calls:
+                    for target in program.resolve_call(func, call):
+                        info = tainted.get(target)
+                        if info is None or target == func.qualname:
+                            continue
+                        target_rel = program.rel_of(target)
+                        if target in direct and in_scope(target_rel, scope):
+                            # RPR001 already flags the source call
+                            # inside that in-scope callee.
+                            continue
+                        chain = " -> ".join(info.chain)
+                        findings.append(
+                            Finding(
+                                self.id,
+                                rel,
+                                call.line,
+                                call.col,
+                                f"call into {target}() reaches "
+                                f"non-deterministic {info.source}() "
+                                f"(path: {chain})",
+                            )
+                        )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR008 — wire-contract consistency
+# ---------------------------------------------------------------------------
+
+#: The request field that *selects* the handler; it is consumed by the
+#: dispatch `if` ladder itself, so the threaded-onward check skips it.
+_DISPATCH_FIELD = "op"
+
+
+class WireContractRule(Rule):
+    """RPR008: the wire protocol agrees with itself in all four places.
+
+    An op is declared four times — the server's ``_handle_request``
+    ladder, a ``ServerClient`` payload, a dispatcher route, and the
+    operator docs. History shows they drift one at a time; this rule
+    diffs them. It also checks that a request field a handler bothers
+    to validate (``request.get("as_of")`` + type check) is actually
+    threaded onward to the engine rather than validated and dropped.
+    """
+
+    id = "RPR008"
+    name = "wire-contract"
+    summary = (
+        "every protocol op has a server handler branch, a ServerClient "
+        "payload, real dispatcher routes, and a docs/OPERATIONS.md "
+        "mention; validated request fields are threaded onward"
+    )
+
+    # -- pass 1: facts -------------------------------------------------
+    def collect(self, ctx: FileContext) -> object | None:
+        if ctx.rel == self.config.wire_server:
+            return self._collect_server(ctx)
+        if ctx.rel == self.config.wire_client:
+            return self._collect_client(ctx)
+        if ctx.rel == self.config.wire_dispatcher:
+            return self._collect_dispatcher(ctx)
+        return None
+
+    def _collect_server(self, ctx: FileContext) -> dict[str, object]:
+        handler_ops: list[list[object]] = []
+        dispatcher_calls: list[list[object]] = []
+        fields: list[list[object]] = []
+        for _cls, func in iter_functions(ctx.tree):
+            if func.name == "_handle_request":
+                handler_ops.extend(self._handler_ops(func))
+            if func.name.startswith("_handle"):
+                fields.extend(self._request_fields(func))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and isinstance(func_expr.value, ast.Attribute)
+                and func_expr.value.attr == "dispatcher"
+                and isinstance(func_expr.value.value, ast.Name)
+                and func_expr.value.value.id == "self"
+            ):
+                dispatcher_calls.append(
+                    [func_expr.attr, node.lineno, node.col_offset]
+                )
+        return {
+            "role": "server",
+            "handler_ops": handler_ops,
+            "dispatcher_calls": dispatcher_calls,
+            "fields": fields,
+        }
+
+    @staticmethod
+    def _handler_ops(
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[list[object]]:
+        ops: list[list[object]] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+                continue
+            if not isinstance(node.ops[0], ast.Eq):
+                continue
+            sides = [node.left, node.comparators[0]]
+            names = [s for s in sides if isinstance(s, ast.Name)]
+            consts = [
+                s
+                for s in sides
+                if isinstance(s, ast.Constant) and isinstance(s.value, str)
+            ]
+            if (
+                len(names) == 1
+                and len(consts) == 1
+                and names[0].id == _DISPATCH_FIELD
+            ):
+                ops.append(
+                    [consts[0].value, node.lineno, node.col_offset]
+                )
+        return ops
+
+    def _request_fields(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[list[object]]:
+        """[field, line, col, used_onward] for each request.get() read."""
+        reads: list[tuple[str, str, int, int]] = []  # (var, field, ...)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            value = node.value
+            if not isinstance(target, ast.Name):
+                continue
+            if not (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "get"
+                and isinstance(value.func.value, ast.Name)
+                and value.func.value.id == "request"
+                and value.args
+                and isinstance(value.args[0], ast.Constant)
+                and isinstance(value.args[0].value, str)
+            ):
+                continue
+            field_name = value.args[0].value
+            if field_name == _DISPATCH_FIELD:
+                continue
+            reads.append(
+                (target.id, field_name, node.lineno, node.col_offset)
+            )
+        if not reads:
+            return []
+        excluded = self._validation_only_nodes(func)
+        used_vars: set[str] = set()
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in excluded
+            ):
+                used_vars.add(node.id)
+        return [
+            [field_name, line, col, var in used_vars]
+            for var, field_name, line, col in reads
+        ]
+
+    @staticmethod
+    def _validation_only_nodes(func: ast.AST) -> set[int]:
+        """ids of Name loads that only validate (tests / error paths)."""
+        excluded: set[int] = set()
+        for node in ast.walk(func):
+            zones: list[ast.AST] = []
+            if isinstance(node, (ast.If, ast.IfExp, ast.While)):
+                zones.append(node.test)
+            elif isinstance(node, ast.Call):
+                callee = node.func
+                name = (
+                    callee.attr
+                    if isinstance(callee, ast.Attribute)
+                    else callee.id
+                    if isinstance(callee, ast.Name)
+                    else ""
+                )
+                if "error" in name:
+                    zones.extend(node.args)
+                    zones.extend(kw.value for kw in node.keywords)
+            for zone in zones:
+                for sub in ast.walk(zone):
+                    if isinstance(sub, ast.Name):
+                        excluded.add(id(sub))
+        return excluded
+
+    def _collect_client(self, ctx: FileContext) -> dict[str, object]:
+        ops: list[list[object]] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == _DISPATCH_FIELD
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    ops.append([value.value, node.lineno, node.col_offset])
+        return {"role": "client", "ops": ops}
+
+    @staticmethod
+    def _collect_dispatcher(ctx: FileContext) -> dict[str, object]:
+        classes: dict[str, list[str]] = {}
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            classes[node.name] = [
+                item.name
+                for item in node.body
+                if isinstance(item, _FUNCTION_NODES)
+            ]
+        return {"role": "dispatcher", "classes": classes}
+
+    # -- pass 2: the diff ----------------------------------------------
+    def check_program(self, program: Program) -> list[Finding]:
+        fragments = program.fragments(self.id)
+        server = fragments.get(self.config.wire_server)
+        if not isinstance(server, dict):
+            return []  # the wire surface is not part of this run
+        client = fragments.get(self.config.wire_client)
+        dispatcher = fragments.get(self.config.wire_dispatcher)
+        findings: list[Finding] = []
+        server_rel = self.config.wire_server
+
+        handler_sites: dict[str, tuple[int, int]] = {}
+        for op, line, col in server.get("handler_ops", ()):
+            handler_sites.setdefault(str(op), (int(line), int(col)))
+        client_sites: dict[str, tuple[int, int]] = {}
+        if isinstance(client, dict):
+            for op, line, col in client.get("ops", ()):
+                client_sites.setdefault(str(op), (int(line), int(col)))
+
+        if isinstance(client, dict):
+            for op in sorted(set(client_sites) - set(handler_sites)):
+                line, col = client_sites[op]
+                findings.append(
+                    Finding(
+                        self.id,
+                        self.config.wire_client,
+                        line,
+                        col,
+                        f'client sends op "{op}" but {server_rel} has no '
+                        "handler branch for it",
+                    )
+                )
+            for op in sorted(set(handler_sites) - set(client_sites)):
+                line, col = handler_sites[op]
+                findings.append(
+                    Finding(
+                        self.id,
+                        server_rel,
+                        line,
+                        col,
+                        f'protocol op "{op}" has no ServerClient payload '
+                        f"in {self.config.wire_client}",
+                    )
+                )
+
+        docs_path = program.root / self.config.wire_docs
+        if docs_path.is_file():
+            docs_text = docs_path.read_text(encoding="utf-8")
+            for op in sorted(handler_sites):
+                pattern = (
+                    r"(?<![A-Za-z0-9_])" + re.escape(op) + r"(?![A-Za-z0-9_])"
+                )
+                if not re.search(pattern, docs_text):
+                    line, col = handler_sites[op]
+                    findings.append(
+                        Finding(
+                            self.id,
+                            server_rel,
+                            line,
+                            col,
+                            f'protocol op "{op}" is not documented in '
+                            f"{self.config.wire_docs}",
+                        )
+                    )
+
+        if isinstance(dispatcher, dict):
+            classes = dict(dispatcher.get("classes", {}))
+            routes = set(
+                classes.get("Dispatcher")
+                or [m for methods in classes.values() for m in methods]
+            )
+            for attr, line, col in server.get("dispatcher_calls", ()):
+                if str(attr) not in routes:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            server_rel,
+                            int(line),
+                            int(col),
+                            f"server routes self.dispatcher.{attr}() but "
+                            f"{self.config.wire_dispatcher} defines no "
+                            f"{attr}()",
+                        )
+                    )
+
+        for field_name, line, col, used in server.get("fields", ()):
+            if not used:
+                findings.append(
+                    Finding(
+                        self.id,
+                        server_rel,
+                        int(line),
+                        int(col),
+                        f'request field "{field_name}" is read and '
+                        "validated but never threaded onward — the "
+                        "engine will silently ignore it",
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR009 — resource lifecycle
+# ---------------------------------------------------------------------------
+
+_CLOSE_METHODS = {"close", "shutdown"}
+_FACTORY_METHODS = {"open", "open_directory", "connect"}
+
+
+class ResourceLifecycleRule(Rule):
+    """RPR009: a created resource handle is closed on all paths.
+
+    ``ModelarDB.open``, ``FileStorage``, ``ServerClient`` and the
+    cluster tiers own OS state (files, sockets, worker processes). A
+    handle constructed in a function must be closed there (``with``, or
+    ``close()`` on every path — a ``finally`` counts), or its ownership
+    must visibly escape (returned, yielded, stored, or passed to
+    another call). The rule also flags any internal call to a
+    ``DeprecationWarning`` shim — shims exist so *external* users get a
+    migration window, not so internal code can keep old habits.
+    """
+
+    id = "RPR009"
+    name = "resource-lifecycle"
+    summary = (
+        "Storage/client/cluster handles are closed on all paths (with "
+        "block, or close() in a finally) unless ownership escapes; no "
+        "internal calls to DeprecationWarning shims"
+    )
+
+    # -- pass 1: creations ---------------------------------------------
+    def collect(self, ctx: FileContext) -> object | None:
+        creations: list[list[object]] = []
+        for _cls, func in iter_functions(ctx.tree):
+            creations.extend(self._scan_function(func, ctx))
+        return {"creations": creations} if creations else None
+
+    def _resource_type(self, dotted: str | None) -> str | None:
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if len(parts) >= 2 and parts[-1] in _FACTORY_METHODS:
+            candidate = parts[-2]
+        else:
+            candidate = parts[-1]
+        return candidate if candidate in self.config.resource_types else None
+
+    def _scan_function(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        ctx: FileContext,
+    ) -> list[list[object]]:
+        rows: list[list[object]] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            rtype = self._resource_type(ctx.dotted(node.value.func))
+            if rtype is None:
+                continue
+            closed_any, closed_uncond = self._closes(func, target.id)
+            escapes = self._escapes(func, target.id, node)
+            rows.append(
+                [
+                    rtype,
+                    target.id,
+                    node.lineno,
+                    node.col_offset,
+                    closed_any,
+                    closed_uncond,
+                    escapes,
+                ]
+            )
+        return rows
+
+    @classmethod
+    def _closes(cls, func: ast.AST, var: str) -> tuple[bool, bool]:
+        """(closed anywhere, closed on an all-paths position)."""
+        closed_any = False
+        closed_uncond = False
+
+        def walk(node: ast.AST, conditional: bool, in_finally: bool) -> None:
+            nonlocal closed_any, closed_uncond
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == var:
+                        closed_any = True
+                        if not conditional or in_finally:
+                            closed_uncond = True
+                for child in node.body:
+                    walk(child, conditional, in_finally)
+                return
+            if isinstance(node, ast.Call):
+                callee = node.func
+                if (
+                    isinstance(callee, ast.Attribute)
+                    and callee.attr in _CLOSE_METHODS
+                    and isinstance(callee.value, ast.Name)
+                    and callee.value.id == var
+                ):
+                    closed_any = True
+                    if not conditional or in_finally:
+                        closed_uncond = True
+            if isinstance(node, ast.Try):
+                # The try body may be cut short by an exception and the
+                # handlers/orelse may never run; only `finally` is
+                # guaranteed. Anything inside a finally counts as
+                # all-paths, even under an `if` — the guard is assumed
+                # to mirror the creation condition (approximation).
+                for child in node.body:
+                    walk(child, True, in_finally)
+                for handler in node.handlers:
+                    for child in handler.body:
+                        walk(child, True, in_finally)
+                for child in node.orelse:
+                    walk(child, True, in_finally)
+                for child in node.finalbody:
+                    walk(child, conditional, True)
+                return
+            if isinstance(node, (ast.If, ast.While)):
+                walk(node.test, conditional, in_finally)
+                for child in (*node.body, *node.orelse):
+                    walk(child, True, in_finally)
+                return
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                walk(node.iter, conditional, in_finally)
+                for child in (*node.body, *node.orelse):
+                    walk(child, True, in_finally)
+                return
+            for child in ast.iter_child_nodes(node):
+                walk(child, conditional, in_finally)
+
+        for child in ast.iter_child_nodes(func):
+            walk(child, False, False)
+        return closed_any, closed_uncond
+
+    @staticmethod
+    def _escapes(func: ast.AST, var: str, creation: ast.Assign) -> bool:
+        def contains_var(node: ast.AST) -> bool:
+            """Var loaded in this subtree, *outside* nested calls.
+
+            Calls are cut out so ``rows = db.sql(...)`` (a method call
+            *on* the handle) is not mistaken for aliasing; escapes via
+            call arguments are handled by the Call branch below.
+            """
+            if isinstance(node, ast.Call):
+                return False
+            if (
+                isinstance(node, ast.Name)
+                and node.id == var
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+            return any(
+                contains_var(child) for child in ast.iter_child_nodes(node)
+            )
+
+        for node in ast.walk(func):
+            if node is creation:
+                continue
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None and contains_var(node.value):
+                    return True
+            elif isinstance(node, ast.Call):
+                for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                    if (
+                        isinstance(arg, ast.Name)
+                        and arg.id == var
+                        and isinstance(arg.ctx, ast.Load)
+                    ) or contains_var(arg):
+                        return True
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.NamedExpr)):
+                value = node.value
+                if value is not None and contains_var(value):
+                    return True
+            elif isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+                if any(
+                    isinstance(elt, ast.Name) and elt.id == var
+                    for elt in node.elts
+                ):
+                    return True
+            elif isinstance(node, ast.Dict):
+                if any(
+                    isinstance(part, ast.Name) and part.id == var
+                    for part in (*node.keys, *node.values)
+                    if part is not None
+                ):
+                    return True
+        return False
+
+    # -- pass 2: leak + shim findings ----------------------------------
+    def check_program(self, program: Program) -> list[Finding]:
+        findings: list[Finding] = []
+        for rel, fragment in program.fragments(self.id).items():
+            for row in fragment["creations"]:  # type: ignore[index]
+                rtype, _var, line, col, closed_any, closed_uncond, escapes = (
+                    row
+                )
+                if escapes:
+                    continue
+                if not closed_any:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            rel,
+                            int(line),
+                            int(col),
+                            f"{rtype} handle is never closed and never "
+                            'escapes — use a "with" block or close() it',
+                        )
+                    )
+                elif not closed_uncond:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            rel,
+                            int(line),
+                            int(col),
+                            f"{rtype} handle is only conditionally closed "
+                            '— close it in a "finally" or use "with"',
+                        )
+                    )
+        findings.extend(self._shim_calls(program))
+        return findings
+
+    def _shim_calls(self, program: Program) -> list[Finding]:
+        shims: dict[str, str] = {}  # qualname -> display name
+        shim_methods: dict[str, list[str]] = {}  # method name -> qualnames
+        for qualname, func in program.functions.items():
+            if not func.warns_deprecation:
+                continue
+            display = (
+                f"{func.cls}.{func.name}" if func.cls else func.name
+            )
+            shims[qualname] = display
+            shim_methods.setdefault(func.name, []).append(qualname)
+        if not shims:
+            return []
+        findings: list[Finding] = []
+        for rel in sorted(program.modules):
+            for func in program.modules[rel].functions:
+                if func.qualname in shims:
+                    continue  # a shim may call anything it likes
+                for call in func.calls:
+                    hit = self._shim_target(program, func, call, shims)
+                    if hit is not None:
+                        findings.append(
+                            Finding(
+                                self.id,
+                                rel,
+                                call.line,
+                                call.col,
+                                f"calls DeprecationWarning shim {hit}() — "
+                                "internal code must use the replacement "
+                                "API",
+                            )
+                        )
+        return findings
+
+    @staticmethod
+    def _shim_target(
+        program: Program,
+        func: FunctionFacts,
+        call: CallSite,
+        shims: dict[str, str],
+    ) -> str | None:
+        for target in program.resolve_call(func, call):
+            if target in shims:
+                return shims[target]
+        if call.kind == "method":
+            # Unresolvable receiver: flag only when the method name is
+            # project-unique and that unique owner is the shim.
+            owners = program.method_owners(call.target)
+            if len(owners) == 1:
+                qualname = f"{owners[0]}.{call.target}"
+                if qualname in shims:
+                    return shims[qualname]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# RPR010 — dead metrics (the inverse of RPR002)
+# ---------------------------------------------------------------------------
+
+
+class DeadMetricRule(Rule):
+    """RPR010: every catalog entry is recorded somewhere.
+
+    RPR002 stops call sites using undeclared names; this is the
+    inverse — a catalog entry (and its docs/METRICS.md row, and its
+    dashboard panel) that no instrument call ever records into is a lie
+    about what the system observes. Literal names count, and so do
+    f-string templates: ``registry.counter(f"server.{name}_total")``
+    covers every catalog entry matching ``server.*_total``.
+    """
+
+    id = "RPR010"
+    name = "no-dead-metrics"
+    summary = (
+        "every metric declared in obs/catalog.py is recorded by at "
+        "least one counter/gauge/histogram call site (literal or "
+        "f-string template)"
+    )
+
+    def collect(self, ctx: FileContext) -> object | None:
+        catalog_module = self.config.metrics_catalog.partition(":")[0]
+        uses: list[str] = []
+        templates: list[list[str]] = []
+        entries: list[list[object]] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            first = node.args[0]
+            if isinstance(func, ast.Attribute) and func.attr in (
+                _INSTRUMENT_METHODS | {"declare"}
+            ):
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    uses.append(first.value)
+                elif isinstance(first, ast.JoinedStr):
+                    templates.append(list(self._template(first)))
+            if ctx.module == catalog_module:
+                terminal = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id
+                    if isinstance(func, ast.Name)
+                    else None
+                )
+                if (
+                    terminal == "MetricSpec"
+                    and isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)
+                ):
+                    entries.append([first.value, node.lineno])
+        if not uses and not templates and not entries:
+            return None
+        return {"uses": uses, "templates": templates, "entries": entries}
+
+    @staticmethod
+    def _template(joined: ast.JoinedStr) -> tuple[str, str]:
+        """(literal prefix, literal suffix) of an f-string name."""
+        parts = joined.values
+        prefix = ""
+        for part in parts:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                prefix += part.value
+            else:
+                break
+        suffix = ""
+        for part in reversed(parts):
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                suffix = part.value + suffix
+            else:
+                break
+        if len(prefix) + len(suffix) >= sum(
+            len(part.value)
+            for part in parts
+            if isinstance(part, ast.Constant) and isinstance(part.value, str)
+        ) and not any(
+            isinstance(part, ast.FormattedValue) for part in parts
+        ):
+            # A JoinedStr with no formatted part is just a literal.
+            return (prefix, "")
+        return (prefix, suffix)
+
+    def check_program(self, program: Program) -> list[Finding]:
+        catalog_rel = None
+        catalog_module = self.config.metrics_catalog.partition(":")[0]
+        catalog_rel = program.rel_for_module(catalog_module)
+        fragments = program.fragments(self.id)
+        entries: list[tuple[str, int]] = []
+        used: set[str] = set()
+        templates: list[tuple[str, str]] = []
+        for fragment in fragments.values():
+            used.update(fragment["uses"])  # type: ignore[index]
+            templates.extend(
+                (str(prefix), str(suffix))
+                for prefix, suffix in fragment["templates"]  # type: ignore[index]
+            )
+            entries.extend(
+                (str(name), int(line))
+                for name, line in fragment["entries"]  # type: ignore[index]
+            )
+        if not entries or catalog_rel is None:
+            return []  # catalog not part of this run: nothing to diff
+        findings: list[Finding] = []
+        for name, line in entries:
+            if name in used:
+                continue
+            if any(
+                name.startswith(prefix)
+                and name.endswith(suffix)
+                and len(name) >= len(prefix) + len(suffix)
+                for prefix, suffix in templates
+            ):
+                continue
+            findings.append(
+                Finding(
+                    self.id,
+                    catalog_rel,
+                    line,
+                    0,
+                    f'metric "{name}" is declared in the catalog but no '
+                    "instrument call ever records it — dead metric",
+                )
+            )
+        return findings
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -855,6 +1706,10 @@ RULES: tuple[type[Rule], ...] = (
     PickleSafetyRule,
     BroadExceptRule,
     ScalarLoopRule,
+    DeterminismTaintRule,
+    WireContractRule,
+    ResourceLifecycleRule,
+    DeadMetricRule,
 )
 
 #: Every rule id the tool can emit, engine diagnostics included —

@@ -330,7 +330,7 @@ class _Parser:
                 raise QueryError(f"invalid GROUP BY column {name!r}")
         return tuple(names)
 
-    def _parse_literal(self):
+    def _parse_literal(self) -> str | int | float:
         token = self.next()
         if token.startswith(("'", '"')):
             return token[1:-1]

@@ -49,10 +49,11 @@ either body decodes to the same response dict.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
-from typing import BinaryIO
+from typing import Any, BinaryIO
 
 import numpy as np
 
@@ -175,7 +176,7 @@ ERROR_CLASSES = {
 }
 
 
-def raise_for_error(payload: dict) -> None:
+def raise_for_error(payload: dict[str, Any]) -> None:
     """Raise the matching :class:`ServerError` for an error response."""
     if payload.get("ok", False):
         return
@@ -185,7 +186,7 @@ def raise_for_error(payload: dict) -> None:
     raise ERROR_CLASSES.get(code, ServerError)(message, code=code)
 
 
-def error_response(code: str, message: str) -> dict:
+def error_response(code: str, message: str) -> dict[str, Any]:
     """A structured error frame for ``code``."""
     return {
         "ok": False,
@@ -200,7 +201,7 @@ def error_response(code: str, message: str) -> dict:
 # ----------------------------------------------------------------------
 # Frame encoding
 # ----------------------------------------------------------------------
-def _json_default(value):
+def _json_default(value: Any) -> Any:
     """Serialise numpy scalars (engine rows may carry them) by value."""
     item = getattr(value, "item", None)
     if callable(item):
@@ -210,7 +211,7 @@ def _json_default(value):
     )
 
 
-def encode_frame(payload: dict) -> bytes:
+def encode_frame(payload: dict[str, Any]) -> bytes:
     """Length-prefix and serialise one JSON payload."""
     body = json.dumps(
         payload, separators=(",", ":"), default=_json_default
@@ -222,7 +223,7 @@ def encode_frame(payload: dict) -> bytes:
     return HEADER.pack(len(body)) + body
 
 
-def decode_body(body: bytes) -> dict:
+def decode_body(body: bytes) -> dict[str, Any]:
     """Parse a frame body (JSON or columnar); raises
     :class:`BadRequestError` on junk."""
     if body.startswith(COLUMNAR_MAGIC):
@@ -239,7 +240,7 @@ def decode_body(body: bytes) -> dict:
 # ----------------------------------------------------------------------
 # Columnar response encoding
 # ----------------------------------------------------------------------
-def negotiated_wire(request: dict) -> str:
+def negotiated_wire(request: dict[str, Any]) -> str:
     """The response wire format a request asked for (default JSON)."""
     accept = request.get("accept")
     if isinstance(accept, str):
@@ -249,7 +250,7 @@ def negotiated_wire(request: dict) -> str:
     return WIRE_JSON
 
 
-def _column_encoding(values: list) -> str:
+def _column_encoding(values: list[Any]) -> str:
     """The tightest wire encoding holding every value of one column."""
     types = {type(value) for value in values}
     if types == {int}:
@@ -264,8 +265,8 @@ def _column_encoding(values: list) -> str:
 
 
 def encode_columns(
-    rows: list[dict],
-) -> tuple[list[dict], list[bytes]] | None:
+    rows: list[dict[str, Any]],
+) -> tuple[list[dict[str, Any]], list[bytes]] | None:
     """Column descriptors and payload buffers for a rectangular result.
 
     Returns None when the rows do not form a rectangle (some row is not
@@ -279,8 +280,8 @@ def encode_columns(
     for row in rows:
         if not isinstance(row, dict) or list(row.keys()) != names:
             return None
-    columns = []
-    buffers = []
+    columns: list[dict[str, Any]] = []
+    buffers: list[bytes] = []
     for name in names:
         values = [row[name] for row in rows]
         encoding = _column_encoding(values)
@@ -299,7 +300,7 @@ def encode_columns(
     return columns, buffers
 
 
-def encode_columnar_frame(payload: dict) -> bytes | None:
+def encode_columnar_frame(payload: dict[str, Any]) -> bytes | None:
     """Length-prefix and columnar-encode one response, if possible.
 
     Returns None when the payload has no rectangular ``rows`` list or
@@ -318,7 +319,7 @@ def encode_columnar_frame(payload: dict) -> bytes | None:
         if encoded is None:
             return None
         try:
-            rows.columnar_columns = encoded
+            rows.columnar_columns = encoded  # type: ignore[attr-defined]
         except AttributeError:
             pass  # plain lists cannot memoise; CachedResult can
     columns, buffers = encoded
@@ -336,7 +337,7 @@ def encode_columnar_frame(payload: dict) -> bytes | None:
     return HEADER.pack(len(body)) + body
 
 
-def _decode_columnar_body(body: bytes) -> dict:
+def _decode_columnar_body(body: bytes) -> dict[str, Any]:
     """Decode a columnar body back into the response dict."""
     try:
         offset = len(COLUMNAR_MAGIC)
@@ -378,7 +379,7 @@ def _decode_columnar_body(body: bytes) -> dict:
         raise BadRequestError(f"malformed columnar frame: {exc}") from exc
 
 
-async def read_frame(reader) -> dict | None:
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
     """Read one frame from an asyncio stream; None on clean EOF."""
     try:
         header = await reader.readexactly(HEADER.size)
@@ -393,7 +394,11 @@ async def read_frame(reader) -> dict | None:
     return decode_body(body)
 
 
-async def write_frame(writer, payload: dict, wire: str = WIRE_JSON) -> str:
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    payload: dict[str, Any],
+    wire: str = WIRE_JSON,
+) -> str:
     """Write one frame to an asyncio stream and drain.
 
     ``wire`` is the *requested* response format; returns the format
@@ -416,7 +421,7 @@ async def write_frame(writer, payload: dict, wire: str = WIRE_JSON) -> str:
 # ----------------------------------------------------------------------
 # Blocking (client-side) frame I/O
 # ----------------------------------------------------------------------
-def send_frame(sock: socket.socket | BinaryIO, payload: dict) -> None:
+def send_frame(sock: socket.socket | BinaryIO, payload: dict[str, Any]) -> None:
     """Blocking send of one frame over a socket or binary file."""
     data = encode_frame(payload)
     if isinstance(sock, socket.socket):
@@ -438,7 +443,7 @@ def _recv_exactly(sock: socket.socket, length: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> dict | None:
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
     """Blocking receive of one frame; None on clean EOF."""
     header = _recv_exactly(sock, HEADER.size)
     if header is None:

@@ -25,11 +25,15 @@ from repro.analysis.rules import (
     ALL_RULE_SPECS,
     RULES,
     BroadExceptRule,
+    DeadMetricRule,
+    DeterminismTaintRule,
     LockDisciplineRule,
     MetricCatalogRule,
     NoWallClockRule,
     PickleSafetyRule,
+    ResourceLifecycleRule,
     ScalarLoopRule,
+    WireContractRule,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -613,6 +617,518 @@ class TestRPR006ScalarLoops:
         assert report.clean
 
 
+class TestRPR007DeterminismTaint:
+    #: A deterministic-scope kernel calling an out-of-scope helper that
+    #: reads the clock — RPR001 is blind to this, RPR007 is not.
+    TAINTED = {
+        "src/repro/util/clock.py": """
+            import time
+
+            def stamp():
+                return time.time()
+        """,
+        "src/repro/models/kernel.py": """
+            from repro.util.clock import stamp
+
+            def fit(values):
+                return stamp()
+        """,
+    }
+
+    def test_cross_file_chain_is_flagged(self, tmp_path):
+        report = analyze(tmp_path, dict(self.TAINTED), DeterminismTaintRule)
+        assert rule_ids(report) == ["RPR007"]
+        finding = report.findings[0]
+        assert finding.path == "src/repro/models/kernel.py"
+        assert "time.time" in finding.message
+        assert "path:" in finding.message
+
+    def test_monotonic_clock_is_clean(self, tmp_path):
+        files = {
+            "src/repro/util/clock.py": """
+                import time
+
+                def stamp():
+                    return time.monotonic()
+            """,
+            "src/repro/models/kernel.py": self.TAINTED[
+                "src/repro/models/kernel.py"
+            ],
+        }
+        report = analyze(tmp_path, files, DeterminismTaintRule)
+        assert report.clean
+
+    def test_direct_in_scope_source_is_rpr001_territory(self, tmp_path):
+        files = {
+            "src/repro/models/a.py": """
+                import time
+
+                def leaky():
+                    return time.time()
+            """,
+            "src/repro/models/b.py": """
+                from repro.models.a import leaky
+
+                def kernel():
+                    return leaky()
+            """,
+        }
+        report = analyze(tmp_path, files, DeterminismTaintRule)
+        assert report.clean  # one defect, one finding — RPR001's
+
+    def test_two_hop_chain_is_flagged(self, tmp_path):
+        files = {
+            "src/repro/util/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+
+                def relay():
+                    return stamp()
+            """,
+            "src/repro/models/kernel.py": """
+                from repro.util.clock import relay
+
+                def fit(values):
+                    return relay()
+            """,
+        }
+        report = analyze(tmp_path, files, DeterminismTaintRule)
+        assert rule_ids(report) == ["RPR007"]
+        assert "relay" in report.findings[0].message
+
+    def test_suppressed(self, tmp_path):
+        files = dict(self.TAINTED)
+        files["src/repro/models/kernel.py"] = """
+            from repro.util.clock import stamp
+
+            def fit(values):
+                return stamp()  # reprolint: disable=RPR007
+        """
+        report = analyze(tmp_path, files, DeterminismTaintRule)
+        assert report.clean
+
+
+class TestRPR008WireContract:
+    SERVER = "src/repro/server/server.py"
+    CLIENT = "src/repro/server/client.py"
+    DISPATCHER = "src/repro/server/dispatcher.py"
+    DOCS = "docs/OPERATIONS.md"
+
+    def test_undocumented_op_is_flagged(self, tmp_path):
+        files = {
+            self.SERVER: """
+                class Server:
+                    async def _handle_request(self, request):
+                        op = request.get("op")
+                        if op == "ping":
+                            return {"ok": True}
+                        return {"ok": False}
+            """,
+            self.CLIENT: """
+                class ServerClient:
+                    def ping(self):
+                        return self.request({"op": "ping"})
+            """,
+            self.DOCS: "Nothing documented here.\n",
+        }
+        report = analyze(tmp_path, files, WireContractRule)
+        assert rule_ids(report) == ["RPR008"]
+        assert "not documented" in report.findings[0].message
+
+    def test_client_server_op_mismatch(self, tmp_path):
+        files = {
+            self.SERVER: """
+                class Server:
+                    async def _handle_request(self, request):
+                        op = request.get("op")
+                        if op == "ping":
+                            return {"ok": True}
+                        return {"ok": False}
+            """,
+            self.CLIENT: """
+                class ServerClient:
+                    def zap(self):
+                        return self.request({"op": "zap"})
+            """,
+            self.DOCS: "The ping op is documented.\n",
+        }
+        report = analyze(tmp_path, files, WireContractRule)
+        messages = sorted(f.message for f in report.findings)
+        assert len(messages) == 2
+        assert any("no handler branch" in m for m in messages)
+        assert any("no ServerClient payload" in m for m in messages)
+
+    def test_missing_dispatcher_route(self, tmp_path):
+        files = {
+            self.SERVER: """
+                class Server:
+                    def _run(self, sql):
+                        return self.dispatcher.execute(sql)
+            """,
+            self.DISPATCHER: """
+                class Dispatcher:
+                    def metrics(self):
+                        return {}
+            """,
+        }
+        report = analyze(tmp_path, files, WireContractRule)
+        assert rule_ids(report) == ["RPR008"]
+        assert "defines no execute()" in report.findings[0].message
+
+    def test_validated_field_dropped_is_flagged(self, tmp_path):
+        files = {
+            self.SERVER: """
+                class Server:
+                    async def _handle_query(self, request):
+                        sql = request.get("sql")
+                        if not isinstance(sql, str):
+                            return {"ok": False}
+                        return {"ok": True}
+            """,
+        }
+        report = analyze(tmp_path, files, WireContractRule)
+        assert rule_ids(report) == ["RPR008"]
+        assert 'field "sql"' in report.findings[0].message
+
+    def test_threaded_field_is_clean(self, tmp_path):
+        files = {
+            self.SERVER: """
+                class Server:
+                    async def _handle_query(self, request):
+                        sql = request.get("sql")
+                        if not isinstance(sql, str):
+                            return {"ok": False}
+                        return self.engine.execute(sql)
+            """,
+        }
+        report = analyze(tmp_path, files, WireContractRule)
+        assert report.clean
+
+    def test_suppressed(self, tmp_path):
+        files = {
+            self.SERVER: """
+                class Server:
+                    async def _handle_request(self, request):
+                        op = request.get("op")
+                        if op == "ping":  # reprolint: disable=RPR008
+                            return {"ok": True}
+                        return {"ok": False}
+            """,
+            self.DOCS: "Nothing documented here.\n",
+        }
+        report = analyze(tmp_path, files, WireContractRule)
+        assert report.clean
+
+
+class TestRPR009ResourceLifecycle:
+    def test_unclosed_handle_is_flagged(self, tmp_path):
+        source = """
+            def leak():
+                client = ServerClient()
+                client.ping()
+        """
+        report = analyze(tmp_path, {"src/v.py": source}, ResourceLifecycleRule)
+        assert rule_ids(report) == ["RPR009"]
+        assert "never closed" in report.findings[0].message
+
+    def test_conditional_close_is_flagged(self, tmp_path):
+        source = """
+            def maybe(flag):
+                db = ModelarDB()
+                if flag:
+                    db.close()
+        """
+        report = analyze(tmp_path, {"src/v.py": source}, ResourceLifecycleRule)
+        assert rule_ids(report) == ["RPR009"]
+        assert "conditionally closed" in report.findings[0].message
+
+    def test_with_block_is_clean(self, tmp_path):
+        source = """
+            def scoped():
+                with ModelarDB() as db:
+                    return db.size_bytes()
+        """
+        report = analyze(tmp_path, {"src/v.py": source}, ResourceLifecycleRule)
+        assert report.clean
+
+    def test_close_in_finally_is_clean(self, tmp_path):
+        source = """
+            def guarded(simulated):
+                cluster = ProcessCluster()
+                try:
+                    cluster.ingest([])
+                finally:
+                    if not simulated:
+                        cluster.close()
+        """
+        report = analyze(tmp_path, {"src/v.py": source}, ResourceLifecycleRule)
+        assert report.clean
+
+    def test_returned_handle_escapes(self, tmp_path):
+        source = """
+            def factory():
+                db = ModelarDB.open()
+                return db
+        """
+        report = analyze(tmp_path, {"src/v.py": source}, ResourceLifecycleRule)
+        assert report.clean
+
+    def test_handle_passed_to_call_escapes(self, tmp_path):
+        source = """
+            def wire(registry):
+                tier = ShardedCluster()
+                return registry.adopt(tier)
+        """
+        report = analyze(tmp_path, {"src/v.py": source}, ResourceLifecycleRule)
+        assert report.clean
+
+    def test_method_call_on_handle_is_not_an_escape(self, tmp_path):
+        source = """
+            def leak():
+                db = ModelarDB.open()
+                rows = db.sql("SELECT * FROM DataPoint")
+                return rows
+        """
+        report = analyze(tmp_path, {"src/v.py": source}, ResourceLifecycleRule)
+        assert rule_ids(report) == ["RPR009"]
+
+    def test_internal_shim_call_is_flagged(self, tmp_path):
+        files = {
+            "src/store.py": """
+                import warnings
+
+                class Storage:
+                    def segments(self):
+                        warnings.warn(
+                            "use scan()", DeprecationWarning, stacklevel=2
+                        )
+                        return []
+            """,
+            "src/use.py": """
+                def consume(storage):
+                    return storage.segments()
+            """,
+        }
+        report = analyze(tmp_path, files, ResourceLifecycleRule)
+        assert rule_ids(report) == ["RPR009"]
+        assert "Storage.segments" in report.findings[0].message
+
+    def test_suppressed(self, tmp_path):
+        source = """
+            def leak():
+                client = ServerClient()  # reprolint: disable=RPR009
+                client.ping()
+        """
+        report = analyze(tmp_path, {"src/v.py": source}, ResourceLifecycleRule)
+        assert report.clean
+
+
+class TestRPR010DeadMetrics:
+    CATALOG = "src/repro/obs/catalog.py"
+    ENTRY = 'DEAD = MetricSpec("zz.dead_total", "counter", (), "unused")\n'
+
+    def test_unrecorded_entry_is_flagged(self, tmp_path):
+        report = analyze(tmp_path, {self.CATALOG: self.ENTRY}, DeadMetricRule)
+        assert rule_ids(report) == ["RPR010"]
+        assert "zz.dead_total" in report.findings[0].message
+        assert report.findings[0].path == self.CATALOG
+
+    def test_literal_use_is_clean(self, tmp_path):
+        files = {
+            self.CATALOG: self.ENTRY,
+            "src/site.py": (
+                "def f(registry):\n"
+                '    return registry.counter("zz.dead_total")\n'
+            ),
+        }
+        report = analyze(tmp_path, files, DeadMetricRule)
+        assert report.clean
+
+    def test_fstring_template_covers_entry(self, tmp_path):
+        files = {
+            self.CATALOG: self.ENTRY,
+            "src/site.py": (
+                "def f(registry, name):\n"
+                '    return registry.counter(f"zz.{name}_total")\n'
+            ),
+        }
+        report = analyze(tmp_path, files, DeadMetricRule)
+        assert report.clean
+
+    def test_no_catalog_in_tree_is_a_noop(self, tmp_path):
+        report = analyze(tmp_path, {"src/ok.py": "x = 1\n"}, DeadMetricRule)
+        assert report.clean
+
+    def test_suppressed(self, tmp_path):
+        catalog = (
+            "DEAD = MetricSpec("
+            '"zz.dead_total", "counter", (), "unused"'
+            ")  # reprolint: disable=RPR010\n"
+        )
+        report = analyze(tmp_path, {self.CATALOG: catalog}, DeadMetricRule)
+        assert report.clean
+
+
+class TestIncrementalCache:
+    FILES = {
+        "src/repro/models/v.py": (
+            "import time\n\n\ndef f():\n    return time.time()\n"
+        ),
+        "src/ok.py": "x = 1\n",
+    }
+
+    @staticmethod
+    def write(tmp_path, files):
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+
+    def test_second_run_reuses_every_file(self, tmp_path):
+        self.write(tmp_path, self.FILES)
+        config = Config()
+        first = run_analysis(tmp_path, ["."], config)
+        second = run_analysis(tmp_path, ["."], config)
+        assert first.files_reused == 0
+        assert second.files_reused == len(self.FILES)
+        assert [f.to_dict() for f in first.findings] == [
+            f.to_dict() for f in second.findings
+        ]
+        assert (tmp_path / ".reprolint-cache.json").is_file()
+
+    def test_edited_file_is_reanalyzed(self, tmp_path):
+        self.write(tmp_path, self.FILES)
+        config = Config()
+        run_analysis(tmp_path, ["."], config)
+        (tmp_path / "src/ok.py").write_text(
+            "import time\ny = time.monotonic()\n", encoding="utf-8"
+        )
+        report = run_analysis(tmp_path, ["."], config)
+        assert report.files_reused == len(self.FILES) - 1
+
+    def test_config_change_invalidates_cache(self, tmp_path):
+        self.write(tmp_path, self.FILES)
+        run_analysis(tmp_path, ["."], Config())
+        report = run_analysis(
+            tmp_path, ["."], Config(deterministic_paths=("src",))
+        )
+        assert report.files_reused == 0
+
+    def test_explicit_rule_subset_skips_the_cache(self, tmp_path):
+        self.write(tmp_path, self.FILES)
+        config = Config()
+        run_analysis(tmp_path, ["."], config)
+        report = run_analysis(
+            tmp_path, ["."], config, rules=[NoWallClockRule(config)]
+        )
+        assert report.files_reused == 0
+
+    def test_cached_findings_identical_to_fresh(self, tmp_path):
+        self.write(tmp_path, self.FILES)
+        config = Config()
+        fresh = run_analysis(tmp_path, ["."], config, use_cache=False)
+        run_analysis(tmp_path, ["."], config)
+        warm = run_analysis(tmp_path, ["."], config)
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in fresh.findings
+        ]
+
+
+class TestDisabledRules:
+    def test_disabled_rule_does_not_run(self, tmp_path):
+        config = Config(disabled_rules=("RPR001",))
+        for rel, source in {
+            "src/repro/models/v.py": (
+                "import time\n\n\ndef f():\n    return time.time()\n"
+            )
+        }.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        report = run_analysis(tmp_path, ["."], config)
+        assert report.clean
+
+    def test_suppression_of_disabled_rule_is_not_audited(self, tmp_path):
+        config = Config(disabled_rules=("RPR001",))
+        target = tmp_path / "src/repro/models/v.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "import time\n\n\ndef f():\n"
+            "    return time.time()  # reprolint: disable=RPR001\n",
+            encoding="utf-8",
+        )
+        report = run_analysis(tmp_path, ["."], config)
+        assert report.clean  # dormant, not stale
+
+    def test_suppression_of_active_rule_is_still_audited(self, tmp_path):
+        config = Config(disabled_rules=("RPR001",))
+        target = tmp_path / "src/ok.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "x = 1  # reprolint: disable=RPR005\n", encoding="utf-8"
+        )
+        report = run_analysis(tmp_path, ["."], config)
+        assert rule_ids(report) == ["RPR000"]
+
+    def test_from_pyproject_reads_new_keys(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            textwrap.dedent(
+                """
+                [tool.reprolint]
+                paths = ["src"]
+                disabled-rules = ["RPR006"]
+                wire-server = "src/srv.py"
+                wire-client = "src/cli.py"
+                wire-dispatcher = "src/disp.py"
+                wire-docs = "docs/OPS.md"
+                resource-types = ["Widget"]
+                """
+            ),
+            encoding="utf-8",
+        )
+        config = Config.from_pyproject(tmp_path)
+        assert config.disabled_rules == ("RPR006",)
+        assert config.wire_server == "src/srv.py"
+        assert config.wire_client == "src/cli.py"
+        assert config.wire_dispatcher == "src/disp.py"
+        assert config.wire_docs == "docs/OPS.md"
+        assert config.resource_types == ("Widget",)
+
+
+class TestSarifOutput:
+    def test_sarif_shape(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/repro/models/x.py": "import time\ntime.time()\n"},
+            NoWallClockRule,
+        )
+        sarif = json.loads(report.to_sarif_json())
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert {rule["id"] for rule in driver["rules"]} == {
+            spec.id for spec in ALL_RULE_SPECS
+        }
+        (result,) = run["results"]
+        assert result["ruleId"] == "RPR001"
+        assert result["level"] == "error"
+        (location,) = result["locations"]
+        physical = location["physicalLocation"]
+        assert (
+            physical["artifactLocation"]["uri"]
+            == "src/repro/models/x.py"
+        )
+        assert physical["region"]["startLine"] == 2
+
+    def test_clean_report_has_empty_results(self, tmp_path):
+        report = analyze(tmp_path, {"src/ok.py": "x = 1\n"})
+        sarif = json.loads(report.to_sarif_json())
+        assert sarif["runs"][0]["results"] == []
+
+
 # ---------------------------------------------------------------------------
 # End-to-end: the CLI on fixture trees and on the real repository
 # ---------------------------------------------------------------------------
@@ -647,6 +1163,30 @@ VIOLATIONS: dict[str, tuple[str, str]] = {
         "src/repro/models/v.py",
         "class C:\n    def _extend(self, block):\n        for row in block:\n"
         "            self._try_append(row)\n",
+    ),
+    # A kernel reaching the clock through two in-scope hops: RPR001
+    # flags the direct read, RPR007 the transitive call chain.
+    "RPR007": (
+        "src/repro/models/v.py",
+        "import time\n\n\ndef helper_a():\n    return time.time()\n\n\n"
+        "def helper_b():\n    return helper_a()\n\n\n"
+        "def kernel():\n    return helper_b()\n",
+    ),
+    "RPR008": (
+        "src/repro/server/server.py",
+        "class Server:\n    async def _handle_query(self, request):\n"
+        '        sql = request.get("sql")\n'
+        "        if not isinstance(sql, str):\n"
+        '            return {"ok": False}\n'
+        '        return {"ok": True}\n',
+    ),
+    "RPR009": (
+        "src/v.py",
+        "def leak():\n    client = ServerClient()\n    client.ping()\n",
+    ),
+    "RPR010": (
+        "src/repro/obs/catalog.py",
+        'DEAD = MetricSpec("zz.dead_total", "counter", (), "unused")\n',
     ),
 }
 
@@ -696,6 +1236,30 @@ class TestCLI:
         assert data == json.loads(result.stdout)
         assert data["files_checked"] == 1
         assert data["findings"] == []
+
+    def test_sarif_artifact_and_format(self, tmp_path):
+        rel, source = VIOLATIONS["RPR001"]
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        sarif_path = tmp_path / "report.sarif"
+        result = run_cli(
+            "src",
+            "--root",
+            str(tmp_path),
+            "--format",
+            "sarif",
+            "--sarif",
+            str(sarif_path),
+            "--no-cache",
+            cwd=tmp_path,
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        data = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert data == json.loads(result.stdout)
+        assert data["version"] == "2.1.0"
+        assert data["runs"][0]["results"][0]["ruleId"] == "RPR001"
+        assert not (tmp_path / ".reprolint-cache.json").exists()
 
     def test_missing_path_is_a_usage_error(self, tmp_path):
         result = run_cli(

@@ -1,0 +1,386 @@
+"""Tests for the whole-program symbol table and call graph
+(:mod:`repro.analysis.callgraph`).
+
+The builder is what makes RPR007–RPR010 trustworthy, so it gets its
+own corpus: module naming, call-site classification, resolution
+through every supported indirection (plain imports, aliased imports,
+``from`` imports, ``self.`` methods, locally-constructed receivers,
+factory constructors, unique basenames, inheritance), cycle handling
+in the taint walk, and — critically — a drift test proving the
+interprocedural findings do not depend on file visit order.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.callgraph import (
+    MODULE_BODY,
+    ModuleFacts,
+    Program,
+    extract_module_facts,
+    in_scope,
+    module_name,
+)
+from repro.analysis.engine import Config, FileContext
+from repro.analysis.rules import DeterminismTaintRule
+
+
+def facts_for(tmp_path: Path, rel: str, source: str) -> ModuleFacts:
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    text = textwrap.dedent(source)
+    target.write_text(text, encoding="utf-8")
+    return extract_module_facts(FileContext(tmp_path, target, text))
+
+
+def build_program(
+    tmp_path: Path,
+    files: dict[str, str],
+    order: list[str] | None = None,
+) -> Program:
+    modules = {rel: facts_for(tmp_path, rel, src) for rel, src in files.items()}
+    if order is not None:
+        modules = {rel: modules[rel] for rel in order}
+    return Program(tmp_path, Config(), modules, {})
+
+
+class TestModuleNaming:
+    def test_src_prefix_is_stripped(self):
+        assert module_name("src/repro/obs/catalog.py") == "repro.obs.catalog"
+
+    def test_package_init_maps_to_package(self):
+        assert module_name("src/repro/models/__init__.py") == "repro.models"
+
+    def test_non_src_path(self):
+        assert module_name("benchmarks/bench_x.py") == "benchmarks.bench_x"
+
+    def test_in_scope_prefixes(self):
+        assert in_scope("src/repro/models/swing.py", ("src/repro/models",))
+        assert in_scope("src/repro/models/swing.py", ("src/repro/models/",))
+        assert not in_scope(
+            "src/repro/modelsx/y.py", ("src/repro/models",)
+        )
+
+
+class TestExtraction:
+    def test_functions_methods_and_module_body(self, tmp_path):
+        facts = facts_for(
+            tmp_path,
+            "src/pkg/mod.py",
+            """
+            import time
+
+            time.time()
+
+            def top():
+                pass
+
+            class C:
+                def method(self):
+                    self.helper()
+
+                def helper(self):
+                    pass
+            """,
+        )
+        names = {(f.cls, f.name) for f in facts.functions}
+        assert (None, MODULE_BODY) in names
+        assert (None, "top") in names
+        assert ("C", "method") in names
+        assert facts.classes[0].name == "C"
+        assert set(facts.classes[0].methods) == {"method", "helper"}
+
+    def test_call_kinds(self, tmp_path):
+        facts = facts_for(
+            tmp_path,
+            "src/pkg/mod.py",
+            """
+            import time
+            import numpy as np
+            from json import dumps
+
+            def f(arg):
+                time.time()
+                np.random.default_rng()
+                dumps({})
+                local()
+                arg.mystery()
+                self_free = 1
+
+            def local():
+                pass
+            """,
+        )
+        (f,) = [fn for fn in facts.functions if fn.name == "f"]
+        kinds = {(c.kind, c.target) for c in f.calls}
+        assert ("dotted", "time.time") in kinds
+        assert ("dotted", "numpy.random.default_rng") in kinds
+        assert ("dotted", "json.dumps") in kinds
+        assert ("name", "local") in kinds
+        assert ("method", "mystery") in kinds
+
+    def test_bare_flag_marks_argless_calls(self, tmp_path):
+        facts = facts_for(
+            tmp_path,
+            "src/pkg/mod.py",
+            """
+            import numpy as np
+
+            def f():
+                np.random.default_rng()
+                np.random.default_rng(7)
+            """,
+        )
+        (f,) = [fn for fn in facts.functions if fn.name == "f"]
+        bares = [c.bare for c in f.calls]
+        assert bares == [True, False]
+
+    def test_round_trip_through_json_dicts(self, tmp_path):
+        facts = facts_for(
+            tmp_path,
+            "src/pkg/mod.py",
+            """
+            class C:
+                def m(self):
+                    self.n()
+
+                def n(self):
+                    pass
+            """,
+        )
+        assert ModuleFacts.from_dict(facts.to_dict()) == facts
+
+
+class TestResolution:
+    def test_aliased_import_resolves(self, tmp_path):
+        program = build_program(
+            tmp_path,
+            {
+                "src/a/util.py": """
+                    def helper():
+                        pass
+                """,
+                "src/a/caller.py": """
+                    import a.util as u
+
+                    def go():
+                        u.helper()
+                """,
+            },
+        )
+        caller = program.functions["a.caller.go"]
+        (call,) = caller.calls
+        assert program.resolve_call(caller, call) == ["a.util.helper"]
+
+    def test_from_import_resolves(self, tmp_path):
+        program = build_program(
+            tmp_path,
+            {
+                "src/a/util.py": "def helper():\n    pass\n",
+                "src/a/caller.py": """
+                    from a.util import helper
+
+                    def go():
+                        helper()
+                """,
+            },
+        )
+        caller = program.functions["a.caller.go"]
+        (call,) = caller.calls
+        assert program.resolve_call(caller, call) == ["a.util.helper"]
+
+    def test_self_method_resolves_through_bases(self, tmp_path):
+        program = build_program(
+            tmp_path,
+            {
+                "src/a/base.py": """
+                    class Base:
+                        def shared(self):
+                            pass
+                """,
+                "src/a/child.py": """
+                    from a.base import Base
+
+                    class Child(Base):
+                        def go(self):
+                            self.shared()
+                """,
+            },
+        )
+        caller = program.functions["a.child.Child.go"]
+        (call,) = caller.calls
+        assert program.resolve_call(caller, call) == ["a.base.Base.shared"]
+
+    def test_typed_local_receiver_resolves(self, tmp_path):
+        program = build_program(
+            tmp_path,
+            {
+                "src/a/store.py": """
+                    class Store:
+                        def scan(self):
+                            pass
+                """,
+                "src/a/caller.py": """
+                    from a.store import Store
+
+                    def go():
+                        store = Store()
+                        store.scan()
+                """,
+            },
+        )
+        caller = program.functions["a.caller.go"]
+        scan = [c for c in caller.calls if c.target.endswith("scan")][0]
+        assert program.resolve_call(caller, scan) == ["a.store.Store.scan"]
+
+    def test_factory_constructor_types_the_local(self, tmp_path):
+        program = build_program(
+            tmp_path,
+            {
+                "src/a/store.py": """
+                    class Store:
+                        @classmethod
+                        def open(cls):
+                            return cls()
+
+                        def scan(self):
+                            pass
+                """,
+                "src/a/caller.py": """
+                    from a.store import Store
+
+                    def go():
+                        store = Store.open()
+                        store.scan()
+                """,
+            },
+        )
+        caller = program.functions["a.caller.go"]
+        scan = [c for c in caller.calls if c.target.endswith("scan")][0]
+        assert program.resolve_call(caller, scan) == ["a.store.Store.scan"]
+
+    def test_unique_basename_fallback(self, tmp_path):
+        program = build_program(
+            tmp_path,
+            {
+                "src/a/impl.py": "def unique_helper():\n    pass\n",
+                "src/a/caller.py": """
+                    from a.facade import unique_helper
+
+                    def go():
+                        unique_helper()
+                """,
+            },
+        )
+        caller = program.functions["a.caller.go"]
+        (call,) = caller.calls
+        assert program.resolve_call(caller, call) == ["a.impl.unique_helper"]
+
+    def test_ambiguous_basename_does_not_resolve(self, tmp_path):
+        program = build_program(
+            tmp_path,
+            {
+                "src/a/one.py": "def dup():\n    pass\n",
+                "src/a/two.py": "def dup():\n    pass\n",
+                "src/a/caller.py": """
+                    from a.elsewhere import dup
+
+                    def go():
+                        dup()
+                """,
+            },
+        )
+        caller = program.functions["a.caller.go"]
+        (call,) = caller.calls
+        assert program.resolve_call(caller, call) == []
+
+
+class TestTaint:
+    FILES = {
+        "src/repro/util/clock.py": """
+            import time
+
+            def stamp():
+                return time.time()
+
+            def relay():
+                return stamp()
+        """,
+        "src/repro/models/kernel.py": """
+            from repro.util.clock import relay
+
+            def fit(values):
+                return relay()
+        """,
+    }
+
+    @staticmethod
+    def classify(call):
+        from repro.analysis.rules import _source_of
+
+        if call.kind != "dotted":
+            return None
+        return _source_of(call.target, call.bare)
+
+    def test_taint_propagates_with_chain(self, tmp_path):
+        program = build_program(tmp_path, self.FILES)
+        tainted = program.taint(self.classify)
+        assert tainted["repro.util.clock.stamp"].source == "time.time"
+        assert tainted["repro.util.clock.stamp"].chain == (
+            "repro.util.clock.stamp",
+        )
+        assert tainted["repro.util.clock.relay"].chain == (
+            "repro.util.clock.relay",
+            "repro.util.clock.stamp",
+        )
+        assert "repro.models.kernel.fit" in tainted
+
+    def test_recursive_cycle_terminates(self, tmp_path):
+        program = build_program(
+            tmp_path,
+            {
+                "src/a/loop.py": """
+                    import time
+
+                    def ping():
+                        return pong()
+
+                    def pong():
+                        return ping() + time.time()
+                """,
+            },
+        )
+        tainted = program.taint(self.classify)
+        assert "a.loop.ping" in tainted
+        assert "a.loop.pong" in tainted
+
+    def test_rpr007_findings_stable_under_file_order(self, tmp_path):
+        rule = DeterminismTaintRule(Config())
+        orders = (
+            sorted(self.FILES),
+            sorted(self.FILES, reverse=True),
+        )
+        results = []
+        for index, order in enumerate(orders):
+            base = tmp_path / f"run{index}"
+            base.mkdir()
+            program = build_program(base, dict(self.FILES), list(order))
+            results.append(
+                [
+                    (f.rule, f.path, f.line, f.col, f.message)
+                    for f in rule.check_program(program)
+                ]
+            )
+        assert results[0] == results[1]
+        assert results[0], "expected at least one RPR007 finding"
+
+    def test_callers_of_is_reverse_adjacency(self, tmp_path):
+        program = build_program(tmp_path, self.FILES)
+        callers = program.callers_of()
+        assert "repro.util.clock.relay" in callers["repro.util.clock.stamp"]
+        assert (
+            "repro.models.kernel.fit"
+            in callers["repro.util.clock.relay"]
+        )
